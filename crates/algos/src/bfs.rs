@@ -1,0 +1,128 @@
+//! Breadth-first search — the paper's third §6 extension target.
+//!
+//! [`bfs_levels`] is the plain queue-based reference. [`bfs_partition_centric`]
+//! is the HiPa-style variant: level-synchronous, with each level's expansion
+//! routed through per-partition frontier bins, so that (a) a partition's
+//! vertices are expanded together while their adjacency is cache-resident
+//! and (b) the level arrays are written partition-by-partition — the same
+//! locality discipline the PageRank engine imposes.
+
+use hipa_graph::DiGraph;
+
+/// Level of each vertex from `source` (`u32::MAX` = unreachable).
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Plain BFS reference.
+pub fn bfs_levels(g: &DiGraph, source: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut level = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize] + 1;
+        for &u in g.out_csr().neighbors(v) {
+            if level[u as usize] == UNREACHED {
+                level[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    level
+}
+
+/// Partition-centric level-synchronous BFS.
+pub fn bfs_partition_centric(g: &DiGraph, source: u32, verts_per_partition: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let vpp = verts_per_partition.max(1);
+    let num_parts = n.div_ceil(vpp);
+    let part_of = |v: u32| v as usize / vpp;
+
+    let mut level = vec![UNREACHED; n];
+    level[source as usize] = 0;
+    // Per-partition frontier bins for the *current* level.
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); num_parts];
+    bins[part_of(source)].push(source);
+    let mut cur = 0u32;
+    let mut remaining: usize = 1;
+
+    while remaining > 0 {
+        remaining = 0;
+        let mut next_bins: Vec<Vec<u32>> = vec![Vec::new(); num_parts];
+        // Expand one source partition at a time: its adjacency and its
+        // vertices stay hot while it is being drained.
+        for p in 0..num_parts {
+            for i in 0..bins[p].len() {
+                let v = bins[p][i];
+                for &u in g.out_csr().neighbors(v) {
+                    if level[u as usize] == UNREACHED {
+                        level[u as usize] = cur + 1;
+                        next_bins[part_of(u)].push(u);
+                        remaining += 1;
+                    }
+                }
+            }
+        }
+        bins = next_bins;
+        cur += 1;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_graph::gen::{cycle, grid, path, star};
+    use hipa_graph::EdgeList;
+
+    #[test]
+    fn path_levels_are_distances() {
+        let g = DiGraph::from_edge_list(&path(6));
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = DiGraph::from_edge_list(&EdgeList::new(4, vec![(0, 1).into()]));
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, 1, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn star_is_one_hop() {
+        let g = DiGraph::from_edge_list(&star(7));
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[0], 0);
+        assert!(l[1..].iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn partition_centric_matches_reference() {
+        for seed in [100u64, 101, 102] {
+            let g = hipa_graph::datasets::small_test_graph(seed);
+            let want = bfs_levels(&g, 0);
+            for vpp in [7usize, 64, 1000, 1 << 20] {
+                assert_eq!(bfs_partition_centric(&g, 0, vpp), want, "seed {seed} vpp {vpp}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_centric_on_structured_graphs() {
+        for el in [cycle(33), grid(7, 9), path(20)] {
+            let g = DiGraph::from_edge_list(&el);
+            assert_eq!(bfs_partition_centric(&g, 0, 8), bfs_levels(&g, 0));
+        }
+    }
+
+    #[test]
+    fn different_sources_agree() {
+        let g = hipa_graph::datasets::small_test_graph(103);
+        for s in [1u32, 17, 500] {
+            assert_eq!(bfs_partition_centric(&g, s, 128), bfs_levels(&g, s));
+        }
+    }
+}

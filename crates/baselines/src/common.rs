@@ -1,0 +1,63 @@
+//! Small helpers shared by the baseline engines.
+
+use hipa_core::{DanglingPolicy, PageRankConfig};
+use hipa_graph::DiGraph;
+
+/// `1/outdeg` per vertex (0 for dangling vertices, whose contribution is
+/// handled by the dangling policy).
+pub fn inv_deg_array(g: &DiGraph) -> Vec<f32> {
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.out_degree(v as u32);
+            if d == 0 { 0.0 } else { 1.0 / d as f32 }
+        })
+        .collect()
+}
+
+/// Dangling rank mass of the current vector under the configured policy.
+pub fn dangling_mass(g: &DiGraph, cfg: &PageRankConfig, rank: &[f32]) -> f64 {
+    match cfg.dangling {
+        DanglingPolicy::Ignore => 0.0,
+        DanglingPolicy::Redistribute => (0..g.num_vertices())
+            .filter(|&v| g.out_degree(v as u32) == 0)
+            .map(|v| rank[v] as f64)
+            .sum(),
+    }
+}
+
+/// The per-vertex constant term of Eq. 1 for this iteration.
+pub fn base_value(cfg: &PageRankConfig, n: usize, dangling: f64) -> f32 {
+    let d = cfg.damping;
+    let inv_n = 1.0f32 / n as f32;
+    (1.0 - d) * inv_n + d * (dangling as f32) * inv_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_graph::gen::path;
+
+    #[test]
+    fn inv_deg_handles_dangling() {
+        let g = DiGraph::from_edge_list(&path(3));
+        let inv = inv_deg_array(&g);
+        assert_eq!(inv, vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dangling_mass_by_policy() {
+        let g = DiGraph::from_edge_list(&path(3));
+        let rank = vec![0.25f32, 0.25, 0.5];
+        let ignore = PageRankConfig::default();
+        assert_eq!(dangling_mass(&g, &ignore, &rank), 0.0);
+        let redis = ignore.with_dangling(DanglingPolicy::Redistribute);
+        assert!((dangling_mass(&g, &redis, &rank) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_value_formula() {
+        let cfg = PageRankConfig::new(0.85, 1);
+        let b = base_value(&cfg, 10, 0.0);
+        assert!((b - 0.015).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,102 @@
+//! GPOP-lite: a model of the GPOP partition-centric framework (§4.1).
+//!
+//! GPOP (Lakhotia et al., TOPC 2020) generalises PCPM into a framework.
+//! Relative to the hand-coded p-PR this costs:
+//!
+//! * every edge goes through the bins — the framework's scatter/gather
+//!   contract leaves no direct intra-edge fast path;
+//! * per-partition bookkeeping (`Flags`, `State`, per-bin size fields) is
+//!   read and written in every phase — the overhead the paper points to for
+//!   GPOP's LLC blow-up at very small partitions (Fig. 7, 16 KB).
+//!
+//! Following the paper's setup, the harnesses run GPOP with 1 MB partitions
+//! and physical-core-count threads, and with the frontier machinery disabled
+//! (the paper reports the simplified no-frontier GPOP).
+
+use crate::pcpm_common::{run_native, run_sim, PcpmParams};
+use hipa_core::{Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
+use hipa_graph::DiGraph;
+
+const PARAMS: PcpmParams = PcpmParams {
+    label: "GPOP",
+    include_intra_in_bins: true,
+    meta_bytes_per_part: 64,
+    payload_bytes: 8,
+    extra_ops_per_edge: 8,
+};
+
+/// The GPOP-lite methodology.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gpop;
+
+impl Engine for Gpop {
+    fn name(&self) -> &'static str {
+        "GPOP"
+    }
+
+    fn numa_aware(&self) -> bool {
+        false
+    }
+
+    fn run_native(&self, g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
+        run_native(g, cfg, opts, &PARAMS)
+    }
+
+    fn run_sim(&self, g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
+        run_sim(g, cfg, opts, &PARAMS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_core::reference::{max_rel_error, reference_pagerank};
+    use hipa_numasim::MachineSpec;
+
+    #[test]
+    fn gpop_native_matches_reference() {
+        let g = hipa_graph::datasets::small_test_graph(60);
+        let cfg = PageRankConfig::default().with_iterations(8);
+        let run = Gpop.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 2048 });
+        let oracle = reference_pagerank(&g, &cfg);
+        assert!(max_rel_error(&run.ranks, &oracle) < 1e-3);
+    }
+
+    #[test]
+    fn gpop_sim_bitwise_matches_native() {
+        let g = hipa_graph::datasets::small_test_graph(61);
+        let cfg = PageRankConfig::default().with_iterations(4);
+        let sim = Gpop.run_sim(
+            &g,
+            &cfg,
+            &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(2048),
+        );
+        let nat = Gpop.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 2048 });
+        assert_eq!(sim.ranks, nat.ranks);
+    }
+
+    #[test]
+    fn gpop_bins_every_edge() {
+        // With one giant partition GPOP still produces messages (one per
+        // source vertex), whereas p-PR produces none.
+        let g = hipa_graph::datasets::small_test_graph(62);
+        let cfg = PageRankConfig::default().with_iterations(2);
+        let sim_gpop = Gpop.run_sim(
+            &g,
+            &cfg,
+            &SimOpts::new(MachineSpec::tiny_test()).with_threads(2).with_partition_bytes(1 << 24),
+        );
+        let sim_ppr = crate::Ppr.run_sim(
+            &g,
+            &cfg,
+            &SimOpts::new(MachineSpec::tiny_test()).with_threads(2).with_partition_bytes(1 << 24),
+        );
+        // Same ranks regardless.
+        assert_eq!(sim_gpop.ranks, sim_ppr.ranks);
+        // GPOP moves more bytes (bins + metadata).
+        assert!(
+            sim_gpop.report.mem.dram_bytes(64) > sim_ppr.report.mem.dram_bytes(64),
+            "GPOP should generate more traffic than p-PR at equal partition size"
+        );
+    }
+}

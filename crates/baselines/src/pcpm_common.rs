@@ -1,0 +1,400 @@
+//! Shared implementation of the two NUMA-oblivious partition-centric
+//! baselines (p-PR and GPOP-lite).
+//!
+//! Both use the PCPM scatter/gather layout from `hipa_core::pcpm`, but —
+//! unlike HiPa — with the conventional partition-centric execution model
+//! the paper's §3.2/§3.3 argue against:
+//!
+//! * **many-to-many threads↔partitions**: partitions are claimed first-come-
+//!   first-serve from a shared atomic counter (the native path really does
+//!   this; the simulated path charges the atomic claim and deals partitions
+//!   round-robin, which is what FCFS converges to under uniform progress);
+//! * **Algorithm 1 thread lifecycle**: a fresh OS-placed thread pool per
+//!   parallel region (2 regions per iteration);
+//! * **NUMA-oblivious placement**: all pages interleaved.
+//!
+//! GPOP-lite differs from p-PR by `include_intra_in_bins` (the framework
+//! bins every edge, with no direct intra-edge application) and by touching
+//! per-partition framework metadata (Flags/State) in every phase.
+
+use crate::common::{base_value, dangling_mass, inv_deg_array};
+use hipa_core::disjoint::SharedSlice;
+use hipa_core::{DanglingPolicy, NativeOpts, NativeRun, PageRankConfig, PcpmLayout, SimOpts, SimRun};
+use hipa_graph::{DiGraph, VERTEX_BYTES};
+use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Behavioural knobs distinguishing p-PR from GPOP-lite.
+#[derive(Debug, Clone, Copy)]
+pub struct PcpmParams {
+    pub label: &'static str,
+    /// Bin every edge (GPOP) instead of applying intra-edges directly (p-PR).
+    pub include_intra_in_bins: bool,
+    /// Framework metadata bytes per partition, read+written each phase.
+    pub meta_bytes_per_part: usize,
+    /// Bytes per message in the bins: 4 for the hand-tuned p-PR (pure
+    /// values), 8 for the generic framework (id + value pairs).
+    pub payload_bytes: usize,
+    /// Framework overhead per processed edge/message (user-function
+    /// dispatch, id decoding, bounds/state checks) in arithmetic-op units.
+    /// 0 for hand-tuned code.
+    pub extra_ops_per_edge: u64,
+}
+
+pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts, params: &PcpmParams) -> NativeRun {
+    let n = g.num_vertices();
+    if n == 0 {
+        return NativeRun { ranks: Vec::new(), preprocess: Default::default(), compute: Default::default(), iterations_run: 0 };
+    }
+    let threads = opts.threads.max(1);
+    let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
+
+    let t0 = Instant::now();
+    let layout = PcpmLayout::build(g.out_csr(), vpp, params.include_intra_in_bins);
+    let inv_deg = inv_deg_array(g);
+    let preprocess = t0.elapsed();
+
+    let d = cfg.damping;
+    let parts = layout.num_partitions;
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let mut acc = vec![0.0f32; n];
+    let mut vals = vec![0.0f32; layout.total_msgs as usize];
+    let mut dangling = dangling_mass(g, cfg, &rank);
+    let degs = g.out_degrees();
+
+    let t1 = Instant::now();
+    for _it in 0..cfg.iterations {
+        let base = base_value(cfg, n, dangling);
+        // --- Scatter region: fresh threads, FCFS partition claiming ---
+        {
+            let rank = &rank;
+            let acc_s = SharedSlice::new(&mut acc);
+            let vals_s = SharedSlice::new(&mut vals);
+            let counter = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _j in 0..threads {
+                    let acc_s = &acc_s;
+                    let vals_s = &vals_s;
+                    let counter = &counter;
+                    let layout = &layout;
+                    let inv_deg = &inv_deg;
+                    scope.spawn(move || loop {
+                        let p = counter.fetch_add(1, Ordering::Relaxed);
+                        if p >= parts {
+                            break;
+                        }
+                        let vr = layout.partition_vertices(p);
+                        for v in vr.start as usize..vr.end as usize {
+                            let intra = layout.intra_of(v as u32);
+                            if intra.is_empty() {
+                                continue;
+                            }
+                            let val = rank[v] * inv_deg[v];
+                            for &dst in intra {
+                                // SAFETY: intra destinations lie in partition
+                                // p, which this thread exclusively claimed.
+                                unsafe { acc_s.update(dst as usize, |a| *a += val) };
+                            }
+                        }
+                        for pair in layout.png_of(p) {
+                            for (k, &src) in layout.png_sources(pair).iter().enumerate() {
+                                let val = rank[src as usize] * inv_deg[src as usize];
+                                // SAFETY: one writer per slot.
+                                unsafe { vals_s.write(pair.slot_start as usize + k, val) };
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        // --- Gather region ---
+        let mut partials = vec![0.0f64; threads];
+        {
+            let rank_s = SharedSlice::new(&mut rank);
+            let acc_s = SharedSlice::new(&mut acc);
+            let vals = &vals;
+            let partials_s = SharedSlice::new(&mut partials);
+            let counter = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for j in 0..threads {
+                    let rank_s = &rank_s;
+                    let acc_s = &acc_s;
+                    let partials_s = &partials_s;
+                    let counter = &counter;
+                    let layout = &layout;
+                    scope.spawn(move || {
+                        let mut dpart = 0.0f64;
+                        loop {
+                            let q = counter.fetch_add(1, Ordering::Relaxed);
+                            if q >= parts {
+                                break;
+                            }
+                            for k in layout.part_slot_ranges[q].clone() {
+                                let val = vals[k as usize];
+                                for &dst in layout.dests_of(k) {
+                                    // SAFETY: destinations lie in q, claimed
+                                    // exclusively by this thread.
+                                    unsafe { acc_s.update(dst as usize, |a| *a += val) };
+                                }
+                            }
+                            let vr = layout.partition_vertices(q);
+                            for v in vr.start as usize..vr.end as usize {
+                                // SAFETY: own claimed partition.
+                                let a = unsafe { acc_s.get(v) };
+                                let new = base + d * a;
+                                unsafe {
+                                    rank_s.write(v, new);
+                                    acc_s.write(v, 0.0);
+                                }
+                                if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
+                                    dpart += new as f64;
+                                }
+                            }
+                        }
+                        // SAFETY: own slot.
+                        unsafe { partials_s.write(j, dpart) };
+                    });
+                }
+            });
+        }
+        if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
+            dangling = partials.iter().sum();
+        }
+    }
+    let compute = t1.elapsed();
+    NativeRun { ranks: rank, preprocess, compute, iterations_run: cfg.iterations }
+}
+
+pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmParams) -> SimRun {
+    let n = g.num_vertices();
+    let mut machine = SimMachine::new(opts.machine.clone());
+    if n == 0 {
+        return SimRun { ranks: Vec::new(), iterations_run: 0, report: machine.report(params.label), preprocess_cycles: 0.0, compute_cycles: 0.0 };
+    }
+    let threads = opts.threads.clamp(1, machine.spec().topology.logical_cpus());
+    let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
+    let m = g.num_edges();
+
+    let layout = PcpmLayout::build(g.out_csr(), vpp, params.include_intra_in_bins);
+    let msgs = layout.total_msgs as usize;
+    let n_intra = layout.intra_dst.len();
+    let n_dest = layout.dest_verts.len();
+    let parts = layout.num_partitions;
+
+    // NUMA-oblivious: interleaved everywhere.
+    let il = || Placement::Interleaved;
+    let rank_r = machine.alloc("rank", 4 * n, il());
+    // Pre-scaled contributions (rank/outdeg computed once at finalise) — the
+    // PCPM trick that keeps each phase's random working set to one vertex
+    // array per partition.
+    let contrib_r = machine.alloc("contrib", 4 * n, il());
+    let acc_r = machine.alloc("acc", 4 * n, il());
+    let invdeg_r = machine.alloc("inv_deg", 4 * n, il());
+    let deg_r = machine.alloc("deg", 4 * n, il());
+    // Runtime metadata widths follow the PCPM encoding (see hipa-core's
+    // sim path): u32 intra offsets, 12-byte PNG bin headers, u32 source
+    // lists, MSB-flagged destination lists.
+    let payload = params.payload_bytes;
+    let intra_off_r = machine.alloc("intra_offsets", 4 * (n + 1), il());
+    let intra_dst_r = machine.alloc("intra_dst", 4 * n_intra.max(1), il());
+    let png_pairs_r = machine.alloc("png_pairs", (12 * layout.png_pairs.len()).max(64), il());
+    let png_src_r = machine.alloc("png_src", 4 * msgs.max(1), il());
+    let vals_r = machine.alloc("vals", (payload * msgs).max(64), il());
+    let dest_verts_r = machine.alloc("dest_verts", 4 * n_dest.max(1), il());
+    let sched_r = machine.alloc("fcfs_counter", 64, il());
+    let meta_r = machine.alloc("part_meta", (params.meta_bytes_per_part * parts).max(64), il());
+    let csr_tgt_r = machine.alloc("csr_targets", 4 * m.max(1), il());
+    let csr_off_r = machine.alloc("csr_offsets", 8 * (n + 1), il());
+
+    // Preprocessing: the PCPM layout build (three edge passes + writes).
+    machine.seq(|ctx| {
+        for _pass in 0..3 {
+            ctx.stream_read(csr_off_r, 0, 8 * (n + 1));
+            if m > 0 {
+                ctx.stream_read(csr_tgt_r, 0, 4 * m);
+            }
+            ctx.compute(2 * m as u64);
+        }
+        for (r, bytes) in [
+            (rank_r, 4 * n),
+            (contrib_r, 4 * n),
+            (acc_r, 4 * n),
+            (invdeg_r, 4 * n),
+            (intra_off_r, 4 * (n + 1)),
+            (intra_dst_r, 4 * n_intra),
+            (png_pairs_r, 12 * layout.png_pairs.len()),
+            (png_src_r, 4 * msgs),
+            (dest_verts_r, 4 * n_dest),
+        ] {
+            if bytes > 0 {
+                ctx.stream_write(r, 0, bytes);
+            }
+        }
+    });
+    let preprocess_cycles = machine.cycles();
+
+    let inv_deg = inv_deg_array(g);
+    let d = cfg.damping;
+    let inv_n = 1.0f32 / n as f32;
+    let mut rank = vec![inv_n; n];
+    let mut contrib: Vec<f32> = (0..n).map(|v| inv_n * inv_deg[v]).collect();
+    let mut acc = vec![0.0f32; n];
+    let mut vals = vec![0.0f32; msgs];
+    let mut dangling = dangling_mass(g, cfg, &rank);
+    let degs = g.out_degrees();
+    let meta = params.meta_bytes_per_part;
+
+    for it in 0..cfg.iterations {
+        let last_iter = it + 1 == cfg.iterations;
+        let base = base_value(cfg, n, dangling);
+
+        // --- Scatter region: fresh OS-placed pool, FCFS claims ---
+        let pool = machine.create_pool(threads, &ThreadPlacement::OsRandom);
+        {
+            let contrib = &contrib;
+            let acc = &mut acc;
+            let vals = &mut vals;
+            let layout = &layout;
+            machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
+                let mut p = j;
+                while p < parts {
+                    // FCFS claim on the shared counter.
+                    ctx.atomic_rmw(sched_r, 0, 8);
+                    if meta > 0 {
+                        ctx.stream_read(meta_r, p * meta, meta);
+                        ctx.stream_write(meta_r, p * meta, meta);
+                    }
+                    let vr = layout.partition_vertices(p);
+                    let (lo, hi) = (vr.start as usize, vr.end as usize);
+                    if lo < hi {
+                        let len = hi - lo;
+                        // Intra pass (absent in the binned GPOP mode).
+                        let ilo = layout.intra_offsets[lo] as usize;
+                        let ihi = layout.intra_offsets[hi] as usize;
+                        if ihi > ilo {
+                            ctx.stream_read(intra_off_r, 4 * lo, 4 * (len + 1));
+                            ctx.stream_read(intra_dst_r, 4 * ilo, 4 * (ihi - ilo));
+                            for v in lo..hi {
+                                let intra = layout.intra_of(v as u32);
+                                if intra.is_empty() {
+                                    continue;
+                                }
+                                ctx.read(contrib_r, 4 * v, 4);
+                                let val = contrib[v];
+                                for &dst in intra {
+                                    acc[dst as usize] += val;
+                                    ctx.write(acc_r, 4 * dst as usize, 4);
+                                }
+                                ctx.compute(1 + intra.len() as u64);
+                            }
+                        }
+                        // PNG pass: sequential bin writes per destination.
+                        let pairs = layout.png_of(p);
+                        if !pairs.is_empty() {
+                            let pr = layout.png_index[p].clone();
+                            ctx.stream_read(png_pairs_r, 12 * pr.start as usize, 12 * pairs.len());
+                        }
+                        for pair in pairs {
+                            let srcs = layout.png_sources(pair);
+                            ctx.stream_read(png_src_r, 4 * pair.src_start as usize, 4 * srcs.len());
+                            ctx.stream_write(vals_r, payload * pair.slot_start as usize, payload * srcs.len());
+                            for (k, &src) in srcs.iter().enumerate() {
+                                ctx.read(contrib_r, 4 * src as usize, 4);
+                                vals[pair.slot_start as usize + k] = contrib[src as usize];
+                            }
+                            ctx.compute((1 + params.extra_ops_per_edge) * srcs.len() as u64);
+                        }
+                    }
+                    p += threads;
+                }
+            });
+        }
+
+        // --- Gather region ---
+        let mut partials = vec![0.0f64; threads];
+        let pool = machine.create_pool(threads, &ThreadPlacement::OsRandom);
+        {
+            let rank = &mut rank;
+            let contrib = &mut contrib;
+            let inv_deg = &inv_deg;
+            let acc = &mut acc;
+            let vals = &vals;
+            let layout = &layout;
+            let partials = &mut partials;
+            machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
+                let mut dpart = 0.0f64;
+                let mut q = j;
+                while q < parts {
+                    ctx.atomic_rmw(sched_r, 0, 8);
+                    if meta > 0 {
+                        ctx.stream_read(meta_r, q * meta, meta);
+                        ctx.stream_write(meta_r, q * meta, meta);
+                    }
+                    let sr = layout.part_slot_ranges[q].clone();
+                    let (slo, shi) = (sr.start as usize, sr.end as usize);
+                    if shi > slo {
+                        ctx.stream_read(vals_r, payload * slo, payload * (shi - slo));
+                        // Message boundaries ride as MSB flags in the
+                        // destination list; no separate offsets stream.
+                        let dlo = layout.dest_offsets[slo] as usize;
+                        let dhi = layout.dest_offsets[shi] as usize;
+                        if dhi > dlo {
+                            ctx.stream_read(dest_verts_r, 4 * dlo, 4 * (dhi - dlo));
+                        }
+                        for k in slo..shi {
+                            let val = vals[k];
+                            let dests = layout.dests_of(k as u64);
+                            for &dst in dests {
+                                acc[dst as usize] += val;
+                                ctx.write(acc_r, 4 * dst as usize, 4);
+                            }
+                            ctx.compute((1 + params.extra_ops_per_edge) * dests.len() as u64);
+                        }
+                    }
+                    let vr = layout.partition_vertices(q);
+                    let (lo, hi) = (vr.start as usize, vr.end as usize);
+                    if lo < hi {
+                        let len = hi - lo;
+                        ctx.stream_read(acc_r, 4 * lo, 4 * len);
+                        ctx.stream_read(invdeg_r, 4 * lo, 4 * len);
+                        ctx.stream_write(contrib_r, 4 * lo, 4 * len);
+                        ctx.stream_write(acc_r, 4 * lo, 4 * len);
+                        if last_iter {
+                            ctx.stream_write(rank_r, 4 * lo, 4 * len);
+                        }
+                        if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
+                            ctx.stream_read(deg_r, 4 * lo, 4 * len);
+                        }
+                        for v in lo..hi {
+                            let new = base + d * acc[v];
+                            contrib[v] = new * inv_deg[v];
+                            acc[v] = 0.0;
+                            if last_iter {
+                                rank[v] = new;
+                            }
+                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
+                                dpart += new as f64;
+                            }
+                        }
+                        ctx.compute(3 * len as u64);
+                    }
+                    q += threads;
+                }
+                partials[j] = dpart;
+            });
+        }
+        if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
+            dangling = partials.iter().sum();
+        }
+    }
+
+    let total = machine.cycles();
+    SimRun {
+        ranks: rank,
+        iterations_run: cfg.iterations,
+        report: machine.report(params.label),
+        preprocess_cycles,
+        compute_cycles: total - preprocess_cycles,
+    }
+}

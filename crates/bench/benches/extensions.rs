@@ -1,0 +1,27 @@
+//! Criterion benches of the §6 extensions: SpMV, PageRank-Delta, BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipa_algos::{bfs_partition_centric, pagerank_delta, spmv_partition_centric, PrDeltaConfig};
+use std::time::Duration;
+
+fn bench_extensions(c: &mut Criterion) {
+    let g = hipa_graph::datasets::small_test_graph(8);
+    let x: Vec<f32> = (0..g.num_vertices()).map(|i| 1.0 / (i + 1) as f32).collect();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+
+    group.bench_function("spmv_partition_centric", |b| {
+        b.iter(|| spmv_partition_centric(&g, &x, 2, 256))
+    });
+    group.bench_function("pagerank_delta", |b| {
+        b.iter(|| pagerank_delta(&g, &PrDeltaConfig { threshold: 1e-6, ..Default::default() }))
+    });
+    group.bench_function("bfs_partition_centric", |b| {
+        b.iter(|| bfs_partition_centric(&g, 0, 256))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benches of the deterministic graph generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipa_graph::gen::{erdos_renyi, rmat, zipf_graph, RmatParams, ZipfParams};
+use std::time::Duration;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("rmat_scale12_ef8", |b| {
+        let p = RmatParams::graph500(12, 8);
+        b.iter(|| rmat(&p, 7))
+    });
+    group.bench_function("zipf_8k_deg12", |b| {
+        let p = ZipfParams { num_vertices: 8192, ..Default::default() };
+        b.iter(|| zipf_graph(&p, 7))
+    });
+    group.bench_function("er_8k_64k", |b| b.iter(|| erdos_renyi(8192, 65536, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches of the preprocessing structures: the hierarchical plan
+//! (Eq. 2–4), the PCPM layout build (compression), and the lookup table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipa_core::PcpmLayout;
+use hipa_partition::{hipa_plan, LookupTable};
+use std::time::Duration;
+
+fn bench_layout(c: &mut Criterion) {
+    let g = hipa_graph::datasets::small_test_graph(4);
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+
+    for vpp in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("pcpm_build", vpp), &vpp, |b, &vpp| {
+            b.iter(|| PcpmLayout::build(g.out_csr(), vpp, false))
+        });
+    }
+    group.bench_function("hipa_plan", |b| {
+        b.iter(|| hipa_plan(g.out_degrees(), 2, 8, 64))
+    });
+    group.bench_function("lookup_table", |b| {
+        let plan = hipa_plan(g.out_degrees(), 2, 8, 64);
+        b.iter(|| LookupTable::from_plan(&plan))
+    });
+    group.bench_function("csr_build", |b| {
+        let el = hipa_graph::gen::rmat(&hipa_graph::gen::RmatParams::graph500(10, 8), 3);
+        b.iter(|| hipa_graph::Csr::from_edge_list(&el))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches of the machine simulator itself: raw access-path
+//! throughput (how many simulated accesses per second the host sustains)
+//! and a full simulated PageRank run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipa_core::{Engine, PageRankConfig, SimOpts};
+use hipa_numasim::{MachineSpec, Placement, SimMachine, ThreadPlacement};
+use std::time::Duration;
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_access_path");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let accesses = 100_000usize;
+    group.throughput(criterion::Throughput::Elements(accesses as u64));
+
+    group.bench_function("random_reads", |b| {
+        b.iter(|| {
+            let mut m = SimMachine::new(MachineSpec::tiny_test());
+            let r = m.alloc("a", 1 << 20, Placement::Interleaved);
+            let pool = m.create_pool(4, &ThreadPlacement::RoundRobin);
+            m.phase(pool, |j, ctx| {
+                let mut k = j * 7919;
+                for _ in 0..accesses / 4 {
+                    k = (k * 1103515245 + 12345) & ((1 << 20) - 4 - 1);
+                    ctx.read(r, k & !3, 4);
+                }
+            });
+            m.cycles()
+        })
+    });
+    group.bench_function("stream_reads", |b| {
+        b.iter(|| {
+            let mut m = SimMachine::new(MachineSpec::tiny_test());
+            let r = m.alloc("a", 64 * accesses, Placement::Interleaved);
+            let pool = m.create_pool(4, &ThreadPlacement::RoundRobin);
+            m.phase(pool, |j, ctx| {
+                let chunk = 64 * accesses / 4;
+                ctx.stream_read(r, j * chunk, chunk);
+            });
+            m.cycles()
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let g = hipa_graph::datasets::small_test_graph(6);
+    let cfg = PageRankConfig::default().with_iterations(3);
+    let mut group = c.benchmark_group("sim_full_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("hipa_tiny_machine", |b| {
+        b.iter(|| {
+            hipa_core::HiPa.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(MachineSpec::tiny_test()).with_threads(8).with_partition_bytes(1024),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_path, bench_full_sim);
+criterion_main!(benches);

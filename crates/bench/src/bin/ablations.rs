@@ -1,0 +1,63 @@
+//! Ablation study over HiPa's design choices (DESIGN.md §7) — each row
+//! disables exactly one mechanism of §3 and reports the slowdown and the
+//! memory-system shift it causes on `journal` and `kron`.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin ablations [--fast] [--csv]
+//! ```
+//!
+//! Expected directions: disabling inter-edge compression inflates MApE and
+//! time; disabling thread-data pinning (FCFS + OS placement) and disabling
+//! persistent threads (per-region pools + binding migrations) cost time;
+//! interleaved placement inflates the remote fraction toward ~50 %.
+
+use hipa_bench::{scaled_partition, skylake, BinArgs};
+use hipa_core::hipa::sim::{run_variant, HiPaVariant};
+use hipa_core::{PageRankConfig, SimOpts};
+use hipa_graph::datasets::Dataset;
+use hipa_report::{fmt_pct, fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let variants: Vec<(&str, HiPaVariant)> = vec![
+        ("full HiPa", HiPaVariant::default()),
+        ("- edge compression", HiPaVariant { compress_inter: false, ..Default::default() }),
+        ("- thread pinning", HiPaVariant { thread_pinning: false, ..Default::default() }),
+        ("- persistent threads", HiPaVariant { persistent_threads: false, ..Default::default() }),
+        ("- NUMA placement", HiPaVariant { partitioned_placement: false, ..Default::default() }),
+    ];
+    let graphs = if args.fast { vec![Dataset::Journal] } else { vec![Dataset::Journal, Dataset::Kron] };
+    let mut table = Table::new(
+        &format!("Ablations: HiPa minus one design choice ({iters} iterations)"),
+        &["graph", "variant", "time", "vs full", "MApE/iter", "remote %", "migrations"],
+    );
+    for ds in &graphs {
+        let g = ds.build();
+        let cfg = PageRankConfig::default().with_iterations(iters);
+        let mut full_time = 0.0;
+        for (name, v) in &variants {
+            let opts = SimOpts::new(skylake())
+                .with_threads(40)
+                .with_partition_bytes(scaled_partition(256 << 10));
+            let run = run_variant(&g, &cfg, &opts, v);
+            let t = run.compute_seconds();
+            if *name == "full HiPa" {
+                full_time = t;
+            }
+            table.row(vec![
+                ds.name().to_string(),
+                name.to_string(),
+                fmt_secs(t),
+                fmt_ratio(t / full_time),
+                format!("{:.1}", run.report.mape(g.num_edges()) / iters as f64),
+                fmt_pct(run.report.mem.remote_fraction()),
+                run.report.migrations.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,43 @@
+//! Developer diagnostic: MApE decomposition for HiPa on journal across
+//! thread counts and partition sizes. Not part of the paper reproduction.
+
+use hipa_bench::{scaled_partition, skylake};
+use hipa_core::{Engine, HiPa, PageRankConfig, SimOpts};
+use hipa_graph::datasets::Dataset;
+
+fn main() {
+    let g = Dataset::Journal.build();
+    let cfg = PageRankConfig::default().with_iterations(3);
+    println!("journal: |V|={} |E|={}", g.num_vertices(), g.num_edges());
+    let l = hipa_core::PcpmLayout::build(g.out_csr(), scaled_partition(256 << 10) / 4, false);
+    println!(
+        "parts={} msgs={} intra={} dests={} compression={:.2}",
+        l.num_partitions,
+        l.total_msgs,
+        l.intra_dst.len(),
+        l.dest_verts.len(),
+        l.compression_ratio()
+    );
+    for (threads, pbytes) in [(40, 256 << 10), (20, 256 << 10), (10, 256 << 10), (20, 64 << 10), (20, 1 << 20)] {
+        let opts = SimOpts::new(skylake())
+            .with_threads(threads)
+            .with_partition_bytes(scaled_partition(pbytes));
+        let run = HiPa.run_sim(&g, &cfg, &opts);
+        let m = &run.report.mem;
+        let e = g.num_edges() as f64;
+        println!(
+            "t={threads:>2} P={:>4}KB  secs={:.4}  mape={:>6.1}  demand/e={:.1} wb/e={:.1}  l1h/e={:.1} l2h/e={:.1} llch/e={:.1}  remote={:.1}%  bwbound={}/{}",
+            pbytes >> 10,
+            run.compute_seconds(),
+            run.report.mape(g.num_edges()),
+            (m.dram_local + m.dram_remote) as f64 * 64.0 / e / cfg.iterations as f64,
+            (m.wb_local + m.wb_remote) as f64 * 64.0 / e / cfg.iterations as f64,
+            m.l1_hits as f64 / e / cfg.iterations as f64,
+            m.l2_hits as f64 / e / cfg.iterations as f64,
+            m.llc_hits as f64 / e / cfg.iterations as f64,
+            m.remote_fraction() * 100.0,
+            run.report.bandwidth_bound_phases,
+            run.report.phases,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Bonus experiment (paper §6): the HiPa methodology applied to SpMV.
+//!
+//! Runs repeated `y = Aᵀx` passes on the simulated Skylake under the full
+//! HiPa treatment (hierarchical plan, partition-mapped placement, pinned
+//! persistent threads) versus the conventional NUMA-oblivious configuration,
+//! on two contrasting graphs.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin ext_spmv [--fast] [--csv]
+//! ```
+//!
+//! Expected shape: the same ~1.3–1.5× win and remote-traffic reduction the
+//! PageRank evaluation shows — supporting the paper's claim that the
+//! optimisations transfer to SpMV.
+
+use hipa_algos::spmv_sim;
+use hipa_bench::{scaled_partition, skylake, BinArgs};
+use hipa_graph::datasets::Dataset;
+use hipa_report::{fmt_pct, fmt_ratio, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let reps = if args.fast { 4 } else { 20 };
+    let graphs = if args.fast {
+        vec![Dataset::Journal]
+    } else {
+        vec![Dataset::Journal, Dataset::Wiki, Dataset::Kron]
+    };
+    let mut table = Table::new(
+        &format!("§6 extension: SpMV under HiPa vs NUMA-oblivious ({reps} passes)"),
+        &["graph", "HiPa time", "oblivious time", "speedup", "HiPa remote", "obliv remote"],
+    );
+    for ds in graphs {
+        let g = ds.build();
+        let x: Vec<f32> = (0..g.num_vertices()).map(|i| 1.0 / (1 + i % 97) as f32).collect();
+        let part = scaled_partition(256 << 10);
+        let aware = spmv_sim(&g, &x, skylake(), 40, part, true, reps);
+        let obliv = spmv_sim(&g, &x, skylake(), 20, part, false, reps);
+        let ta = aware.compute_cycles / (aware.report.ghz * 1e9);
+        let to = obliv.compute_cycles / (obliv.report.ghz * 1e9);
+        table.row(vec![
+            ds.name().to_string(),
+            format!("{ta:.4}s"),
+            format!("{to:.4}s"),
+            fmt_ratio(to / ta),
+            fmt_pct(aware.report.mem.remote_fraction()),
+            fmt_pct(obliv.report.mem.remote_fraction()),
+        ]);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Fig. 5**: memory accesses per edge (MApE, bytes of DRAM
+//! traffic per edge per iteration) with the local/remote split, for the five
+//! methodologies on all six graphs.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin fig5 [--fast] [--csv]
+//! ```
+//!
+//! As in the paper (§4.1), the memory experiments run 60 iterations so
+//! preprocessing effects are amortised. Shape targets: remote fraction
+//! ≈ 50 % for the NUMA-oblivious engines vs ≈ 4–25 % for HiPa and Polymer
+//! (Polymer lowest); partition-centric total MApE several times below the
+//! vertex-centric engines; v-PR highest.
+
+use hipa_bench::{paper_methods, skylake, BinArgs};
+use hipa_report::{fmt_pct, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    // Paper: memory/cache experiments run longer to amortise preprocessing.
+    let iters = if args.fast { 15 } else { 60 };
+    let methods = paper_methods();
+    let mut table = Table::new(
+        &format!("Fig. 5: memory accesses per edge per iteration (B), {iters} iterations"),
+        &["graph", "method", "MApE", "remote MApE", "remote %"],
+    );
+    let mut summary: Vec<(String, f64, f64)> = Vec::new();
+    for ds in args.datasets() {
+        let g = ds.build();
+        for m in &methods {
+            let run = m.run(&g, skylake(), iters);
+            let mape = run.report.mape(g.num_edges()) / iters as f64;
+            let remote = run.report.remote_mape(g.num_edges()) / iters as f64;
+            table.row(vec![
+                ds.name().to_string(),
+                m.name().to_string(),
+                format!("{mape:.2}"),
+                format!("{remote:.2}"),
+                fmt_pct(run.report.mem.remote_fraction()),
+            ]);
+            summary.push((m.name().to_string(), mape, run.report.mem.remote_fraction()));
+        }
+    }
+    table.print();
+
+    // Per-method averages (the figures the paper quotes in §4.3 prose).
+    let mut avg = Table::new(
+        "Fig. 5 summary: per-method averages over all graphs",
+        &["method", "avg MApE", "avg remote %"],
+    );
+    for m in &methods {
+        let rows: Vec<_> = summary.iter().filter(|(n, _, _)| n == m.name()).collect();
+        let mape = rows.iter().map(|(_, x, _)| x).sum::<f64>() / rows.len() as f64;
+        let rem = rows.iter().map(|(_, _, r)| r).sum::<f64>() / rows.len() as f64;
+        avg.row(vec![m.name().to_string(), format!("{mape:.2}"), fmt_pct(rem)]);
+    }
+    avg.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

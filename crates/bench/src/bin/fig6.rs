@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 6**: execution time on `journal` versus thread count,
+//! normalised per method by its own 40-thread time (all plots converge to 1
+//! at the right edge, as in the paper).
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin fig6 [--fast] [--csv]
+//! ```
+//!
+//! Shape targets: HiPa, v-PR and Polymer improve monotonically through 40
+//! threads; p-PR and GPOP bottom out around 16–20 threads and degrade
+//! (≈ 2× in the paper) when all 40 logical cores are used. Also prints the
+//! §3.3 thread-creation/migration ledger (Algorithm 1 vs Algorithm 2).
+
+use hipa_bench::{paper_methods, skylake, BinArgs};
+use hipa_graph::datasets::Dataset;
+use hipa_report::Table;
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let g = Dataset::Journal.build();
+    let methods = paper_methods();
+    let thread_counts: Vec<usize> = vec![2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40];
+
+    let mut header = vec!["threads".to_string()];
+    header.extend(methods.iter().map(|m| m.name().to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        &format!("Fig. 6: normalised execution time vs threads on journal ({iters} iterations)"),
+        &hdr,
+    );
+
+    // Collect raw seconds per (method, threads).
+    let mut raw: Vec<Vec<f64>> = Vec::new();
+    for m in &methods {
+        let mut times = Vec::new();
+        for &t in &thread_counts {
+            let run = m.run_with_threads(&g, skylake(), iters, t);
+            times.push(run.compute_seconds());
+            eprintln!("  {} @ {t} threads: {:.4}s", m.name(), run.compute_seconds());
+        }
+        raw.push(times);
+    }
+    for (ti, &t) in thread_counts.iter().enumerate() {
+        let mut row = vec![t.to_string()];
+        for times in &raw {
+            let norm = times[ti] / times.last().unwrap();
+            row.push(format!("{norm:.2}"));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    // §3.3: the thread ledger at 40 threads.
+    let mut ledger = Table::new(
+        "Thread management ledger at full thread count (paper §3.3)",
+        &["method", "threads created", "migrations"],
+    );
+    for m in &methods {
+        let run = m.run_with_threads(&g, skylake(), iters, 40);
+        ledger.row(vec![
+            m.name().to_string(),
+            run.report.threads_created.to_string(),
+            run.report.migrations.to_string(),
+        ]);
+    }
+    ledger.print();
+
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 7**: LLC hits (and hit ratio) plus execution time on
+//! `journal` as the partition size sweeps 16 KB – 8 MB (paper units), for
+//! the three partition-centric methodologies.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin fig7 [--fast] [--csv]
+//! ```
+//!
+//! Shape targets: execution time declines as compression improves up to
+//! ≈ 256 KB (= L2/4) and degrades beyond it; LLC hits surge once partitions
+//! spill out of the L2 (256 KB → 8 MB).
+
+use hipa_bench::{scaled_partition, skylake, BinArgs, Method};
+use hipa_report::{fmt_bytes, fmt_pct, fmt_secs, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let g = hipa_graph::datasets::Dataset::Journal.build();
+    let methods: Vec<Method> = vec![
+        Method { engine: Box::new(hipa_core::HiPa), threads: 40, partition_paper_bytes: 0 },
+        Method { engine: Box::new(hipa_baselines::Ppr), threads: 20, partition_paper_bytes: 0 },
+        Method { engine: Box::new(hipa_baselines::Gpop), threads: 20, partition_paper_bytes: 0 },
+    ];
+    let sizes: &[usize] = &[
+        16 << 10,
+        32 << 10,
+        64 << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+    ];
+    let mut header = vec!["partition".to_string()];
+    for m in &methods {
+        header.push(format!("{} time", m.name()));
+        header.push(format!("{} LLC hits", m.name()));
+        header.push(format!("{} LLC ratio", m.name()));
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        &format!("Fig. 7: partition-size sensitivity on journal ({iters} iterations, paper-unit sizes)"),
+        &hdr,
+    );
+    for &size in sizes {
+        let mut row = vec![fmt_bytes(size)];
+        for m in &methods {
+            let opts = hipa_core::SimOpts::new(skylake())
+                .with_threads(m.threads)
+                .with_partition_bytes(scaled_partition(size));
+            let cfg = hipa_core::PageRankConfig::default().with_iterations(iters);
+            let run = m.engine.run_sim(&g, &cfg, &opts);
+            row.push(fmt_secs(run.compute_seconds()));
+            row.push(format!("{:.2e}", run.report.mem.llc_hits as f64));
+            row.push(fmt_pct(run.report.mem.llc_hit_ratio()));
+        }
+        table.row(row);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates the **§4.2 overhead analysis**: preprocessing cost (graph
+//! partitioning + NUMA-aware data binding, excluding graph loading) per
+//! graph, and the number of PageRank iterations needed to amortise it.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin overheads [--fast] [--csv]
+//! ```
+//!
+//! Shape targets: HiPa's overhead amortises in the low tens of iterations
+//! (the paper reports 12.7 on average, vs 9.61 for GPOP and 12.44 for p-PR).
+
+use hipa_bench::{paper_methods, skylake, BinArgs};
+use hipa_report::{fmt_secs, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let methods = paper_methods();
+    let mut table = Table::new(
+        &format!("§4.2 overheads: preprocessing seconds and amortisation iterations ({iters}-iteration runs)"),
+        &["graph", "HiPa pre", "HiPa amort", "p-PR pre", "p-PR amort", "GPOP pre", "GPOP amort"],
+    );
+    let mut sums = [0.0f64; 3];
+    let mut count = 0usize;
+    for ds in args.datasets() {
+        let g = ds.build();
+        let mut row = vec![ds.name().to_string()];
+        for m in &methods {
+            if !matches!(m.name(), "HiPa" | "p-PR" | "GPOP") {
+                continue;
+            }
+            let run = m.run(&g, skylake(), iters);
+            let amort = run.amortization_iterations(iters);
+            row.push(fmt_secs(run.preprocess_seconds()));
+            row.push(format!("{amort:.1}"));
+            let idx = match m.name() {
+                "HiPa" => 0,
+                "p-PR" => 1,
+                _ => 2,
+            };
+            sums[idx] += amort;
+        }
+        count += 1;
+        table.row(row);
+    }
+    let mut avg = vec!["Average".to_string()];
+    for s in sums {
+        avg.push(String::new());
+        avg.push(format!("{:.1}", s / count as f64));
+    }
+    // Fix the layout of the average row (pre columns left empty).
+    table.row(avg);
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

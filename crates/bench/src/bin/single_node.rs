@@ -1,0 +1,76 @@
+//! Regenerates the **§4.5 single-node experiment**: HiPa confined to one
+//! NUMA node with 20 threads versus 2-node HiPa, p-PR and GPOP at the same
+//! thread count, on `journal`.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin single_node [--fast] [--csv]
+//! ```
+//!
+//! Shape target (paper, 20 iterations): single-node HiPa (0.44 s) loses to
+//! 2-node HiPa (0.39 s) because every contention concentrates on one node,
+//! but stays competitive with 2-node p-PR (0.41 s) and far ahead of 2-node
+//! GPOP (1.14 s).
+
+use hipa_bench::{scaled_partition, skylake, BinArgs};
+use hipa_core::{Engine, PageRankConfig, SimOpts};
+use hipa_report::{fmt_secs, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let g = hipa_graph::datasets::Dataset::Journal.build();
+    let cfg = PageRankConfig::default().with_iterations(iters);
+    let part = scaled_partition(256 << 10);
+    let part_gpop = scaled_partition(1 << 20);
+
+    let mut table = Table::new(
+        &format!("§4.5 single-node vs 2-node at 20 threads on journal ({iters} iterations)"),
+        &["configuration", "time", "remote %"],
+    );
+
+    let runs: Vec<(&str, hipa_core::SimRun)> = vec![
+        (
+            "HiPa, 1 node, 20 threads",
+            hipa_core::HiPa.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(skylake().with_sockets(1)).with_threads(20).with_partition_bytes(part),
+            ),
+        ),
+        (
+            "HiPa, 2 nodes, 20 threads",
+            hipa_core::HiPa.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(skylake()).with_threads(20).with_partition_bytes(part),
+            ),
+        ),
+        (
+            "p-PR, 2 nodes, 20 threads",
+            hipa_baselines::Ppr.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(skylake()).with_threads(20).with_partition_bytes(part),
+            ),
+        ),
+        (
+            "GPOP, 2 nodes, 20 threads",
+            hipa_baselines::Gpop.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(skylake()).with_threads(20).with_partition_bytes(part_gpop),
+            ),
+        ),
+    ];
+    for (name, run) in &runs {
+        table.row(vec![
+            name.to_string(),
+            fmt_secs(run.compute_seconds()),
+            format!("{:.1}%", run.report.mem.remote_fraction() * 100.0),
+        ]);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Table 1**: the evaluation graphs with vertex/edge counts
+//! and the intra-/inter-edge census per 1 MB (paper-units) partition.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin table1 [--csv]
+//! ```
+//!
+//! The stand-ins are scaled (DESIGN.md §5); the paper sizes are printed
+//! alongside so the scale factor is visible. Shape target: wiki and mpi are
+//! intra-heavy, journal/kron/twitter inter-heavy, matching the paper's
+//! relative Intra/Inter profile.
+
+use hipa_bench::{scaled_partition, BinArgs};
+use hipa_graph::datasets::Dataset;
+use hipa_graph::stats::{degree_summary, partition_census};
+use hipa_report::{fmt_count, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let mut table = Table::new(
+        "Table 1: graph descriptions (scaled stand-ins; census per 1MB-equivalent partition)",
+        &[
+            "graph",
+            "|V|",
+            "|E|",
+            "paper |V|",
+            "paper |E|",
+            "deg(mean)",
+            "deg(max)",
+            "top10%",
+            "intra/part",
+            "inter/part",
+            "intra:inter",
+        ],
+    );
+    for ds in Dataset::ALL {
+        let el = ds.edge_list();
+        let csr = hipa_graph::Csr::from_edge_list(&el);
+        let (pv, pe) = ds.paper_size();
+        let sum = degree_summary(&csr);
+        // 1 MB paper partition, scaled, in vertices.
+        let vpp = scaled_partition(1 << 20) / hipa_graph::VERTEX_BYTES;
+        let c = partition_census(&csr, vpp);
+        table.row(vec![
+            ds.name().to_string(),
+            fmt_count(el.num_vertices() as u64),
+            fmt_count(el.num_edges() as u64),
+            fmt_count(pv),
+            fmt_count(pe),
+            format!("{:.1}", sum.mean),
+            fmt_count(sum.max as u64),
+            format!("{:.0}%", sum.top10_edge_share * 100.0),
+            fmt_count(c.intra_per_part as u64),
+            fmt_count(c.inter_per_part as u64),
+            format!("{:.3}", c.intra_total as f64 / c.inter_total.max(1) as f64),
+        ]);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

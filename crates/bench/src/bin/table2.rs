@@ -1,0 +1,54 @@
+//! Regenerates **Table 2**: execution time (simulated seconds) of PageRank
+//! for the five methodologies on all six graphs, 20 iterations, with the
+//! paper's per-method tuning (§4.1/§4.2).
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin table2 [--fast] [--csv]
+//! ```
+//!
+//! Shape targets (not absolute numbers — the substrate is a scaled
+//! simulator): HiPa fastest everywhere; partition-centric beats
+//! vertex-centric on the same design basis; Polymer slowest.
+
+use hipa_bench::{paper_methods, skylake, BinArgs};
+use hipa_report::{fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let methods = paper_methods();
+    let mut header = vec!["graph"];
+    header.extend(methods.iter().map(|m| m.name()));
+    header.push("best-other/HiPa");
+    let mut table = Table::new(
+        &format!("Table 2: PageRank execution time (simulated seconds, {iters} iterations)"),
+        &header,
+    );
+
+    for ds in args.datasets() {
+        let g = ds.build();
+        let mut row = vec![ds.name().to_string()];
+        let mut times = Vec::new();
+        for m in &methods {
+            let run = m.run(&g, skylake(), iters);
+            let secs = run.compute_seconds();
+            times.push(secs);
+            row.push(fmt_secs(secs));
+            eprintln!(
+                "  [{}] {}: {:.3}s (mape {:.1} B/e, remote {:.1}%)",
+                ds.name(),
+                m.name(),
+                secs,
+                run.report.mape(g.num_edges()),
+                run.report.mem.remote_fraction() * 100.0
+            );
+        }
+        let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        row.push(fmt_ratio(best_other / times[0]));
+        table.row(row);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

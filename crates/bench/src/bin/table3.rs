@@ -1,0 +1,97 @@
+//! Regenerates **Table 3**: execution time across partition sizes
+//! {64, 128, 256, 512} KB (paper units) on the Haswell and Skylake machine
+//! models, normalised per (machine, method) by the paper's reference column
+//! (256 KB on Skylake, 128 KB on Haswell), averaged over the four graphs the
+//! paper could fit on the Haswell box (all but kron and mpi).
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin table3 [--fast] [--csv]
+//! ```
+//!
+//! Shape target: the optimum lands at 256 KB (= L2/4) on Skylake and at
+//! 128 KB (= L2/2) on Haswell; sizes > 256 KB decelerate sharply on both.
+
+use hipa_bench::{haswell, scaled_partition, skylake, BinArgs, Method};
+use hipa_graph::datasets::Dataset;
+use hipa_numasim::MachineSpec;
+use hipa_report::Table;
+
+fn methods() -> Vec<Method> {
+    vec![
+        Method { engine: Box::new(hipa_core::HiPa), threads: 0, partition_paper_bytes: 0 },
+        Method { engine: Box::new(hipa_baselines::Ppr), threads: 0, partition_paper_bytes: 0 },
+        Method { engine: Box::new(hipa_baselines::Gpop), threads: 0, partition_paper_bytes: 0 },
+    ]
+}
+
+fn run_cell(
+    m: &Method,
+    machine: &MachineSpec,
+    graphs: &[Dataset],
+    size: usize,
+    iters: usize,
+) -> f64 {
+    // HiPa uses all logical cores; p-PR/GPOP their physical-core best.
+    let threads = match m.name() {
+        "HiPa" => machine.topology.logical_cpus(),
+        _ => machine.topology.physical_cores(),
+    };
+    let mut total = 0.0;
+    for &ds in graphs {
+        let g = ds.build();
+        let opts = hipa_core::SimOpts::new(machine.clone())
+            .with_threads(threads)
+            .with_partition_bytes(scaled_partition(size));
+        let cfg = hipa_core::PageRankConfig::default().with_iterations(iters);
+        total += m.engine.run_sim(&g, &cfg, &opts).compute_seconds();
+    }
+    total
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    // Paper: "all graphs except kron and mpi" fit the Haswell machine.
+    let graphs = if args.fast {
+        vec![Dataset::Journal, Dataset::Wiki]
+    } else {
+        vec![Dataset::Journal, Dataset::Pld, Dataset::Wiki, Dataset::Twitter]
+    };
+    let sizes = [64 << 10, 128 << 10, 256 << 10, 512 << 10];
+    let mut table = Table::new(
+        &format!("Table 3: normalised execution time by partition size ({iters} iterations)"),
+        &[
+            "method", "HSW 64K", "HSW 128K", "HSW 256K", "HSW 512K", "SKX 64K", "SKX 128K",
+            "SKX 256K", "SKX 512K",
+        ],
+    );
+    let mut col_sums = vec![0.0f64; 8];
+    let ms = methods();
+    for m in &ms {
+        let mut row = vec![m.name().to_string()];
+        let mut cells = Vec::new();
+        for (mi, machine) in [haswell(), skylake()].iter().enumerate() {
+            // Normalisation column: 128 KB on Haswell, 256 KB on Skylake.
+            let ref_size = if mi == 0 { 128 << 10 } else { 256 << 10 };
+            let reference = run_cell(m, machine, &graphs, ref_size, iters);
+            for &s in &sizes {
+                let t = run_cell(m, machine, &graphs, s, iters);
+                cells.push(t / reference);
+            }
+        }
+        for (i, c) in cells.iter().enumerate() {
+            row.push(format!("{c:.2}"));
+            col_sums[i] += c;
+        }
+        table.row(row);
+    }
+    let mut avg_row = vec!["Average".to_string()];
+    for s in &col_sums {
+        avg_row.push(format!("{:.2}", s / ms.len() as f64));
+    }
+    table.row(avg_row);
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,84 @@
+//! PageRank configuration shared by every engine.
+
+/// What to do with the rank mass of dangling vertices (out-degree 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Drop it, exactly as Eq. 1 is written in the paper (total rank then
+    /// decays below 1 on graphs with dangling vertices). This is what the
+    /// evaluated systems compute, so it is the default.
+    #[default]
+    Ignore,
+    /// Redistribute it uniformly each iteration, keeping the rank vector a
+    /// probability distribution — the textbook-correct variant used by the
+    /// invariant-checking property tests.
+    Redistribute,
+}
+
+/// Parameters of a PageRank run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor `d` in Eq. 1.
+    pub damping: f32,
+    /// Iteration cap (the paper times a fixed 20 iterations).
+    pub iterations: usize,
+    pub dangling: DanglingPolicy,
+    /// Optional convergence tolerance: when set, HiPa stops as soon as the
+    /// L1 rank delta of an iteration (summed over non-dangling vertices)
+    /// drops below it, or at the `iterations` cap. The paper's experiments
+    /// use fixed iteration counts, so this defaults to `None`; the
+    /// comparison baselines ignore it.
+    pub tolerance: Option<f32>,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 20,
+            dangling: DanglingPolicy::Ignore,
+            tolerance: None,
+        }
+    }
+}
+
+impl PageRankConfig {
+    pub fn new(damping: f32, iterations: usize) -> Self {
+        assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+        PageRankConfig { damping, iterations, dangling: DanglingPolicy::Ignore, tolerance: None }
+    }
+
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    pub fn with_dangling(mut self, dangling: DanglingPolicy) -> Self {
+        self.dangling = dangling;
+        self
+    }
+
+    pub fn with_tolerance(mut self, tolerance: f32) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        self.tolerance = Some(tolerance);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = PageRankConfig::default();
+        assert_eq!(c.damping, 0.85);
+        assert_eq!(c.iterations, 20);
+        assert_eq!(c.dangling, DanglingPolicy::Ignore);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        PageRankConfig::new(1.5, 10);
+    }
+}

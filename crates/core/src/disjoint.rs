@@ -1,0 +1,124 @@
+//! A shared-slice primitive for the native engines' disjoint-write pattern.
+//!
+//! Partition-centric PageRank writes are *structurally* disjoint: each
+//! thread owns a fixed vertex range (accumulator and rank writes stay inside
+//! it) and a fixed slot range of every message bin. `std` has no safe way to
+//! hand different threads interleaved mutable views chosen at runtime, so
+//! the engines share one [`SharedSlice`] and uphold the disjointness
+//! contract themselves — the same pattern the paper's C++ uses implicitly,
+//! here confined to one audited module.
+//!
+//! Debug builds additionally verify bounds on every access.
+
+use std::cell::UnsafeCell;
+
+/// A slice whose elements may be written concurrently by multiple threads,
+/// provided no element is accessed by two threads without synchronisation.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: `SharedSlice` only adds the *capability* for shared mutation; the
+// soundness obligation (disjoint element access across threads, or access
+// separated by a barrier) is documented on `write`/`get`/`update` and
+// upheld by the engines: every write index is derived from the writing
+// thread's own partition plan.
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a uniquely borrowed slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` guarantees unique access; `UnsafeCell<T>` has
+        // the same layout as `T`, so the cast is valid. All further aliasing
+        // goes through raw-pointer reads/writes below.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { data }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    /// No other thread may read or write element `i` concurrently (writes by
+    /// the same thread, or phases separated by a barrier, are fine).
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.data.len());
+        unsafe { *self.data[i].get() = value };
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// No other thread may write element `i` concurrently.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.data.len());
+        unsafe { *self.data[i].get() }
+    }
+
+    /// Applies `f` to element `i` in place (read-modify-write).
+    ///
+    /// # Safety
+    /// No other thread may access element `i` concurrently.
+    #[inline]
+    pub unsafe fn update(&self, i: usize, f: impl FnOnce(&mut T)) {
+        debug_assert!(i < self.data.len());
+        unsafe { f(&mut *self.data[i].get()) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let mut v = vec![0u32; 8];
+        {
+            let s = SharedSlice::new(&mut v);
+            for i in 0..8 {
+                unsafe { s.write(i, i as u32 * 2) };
+            }
+            unsafe { s.update(3, |x| *x += 1) };
+            assert_eq!(unsafe { s.get(3) }, 7);
+        }
+        assert_eq!(v, vec![0, 2, 4, 7, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let n = 1024;
+        let mut v = vec![0usize; n];
+        {
+            let s = SharedSlice::new(&mut v);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let lo = t * n / 4;
+                        let hi = (t + 1) * n / 4;
+                        for i in lo..hi {
+                            // SAFETY: ranges are disjoint per thread.
+                            unsafe { s.write(i, i) };
+                        }
+                    });
+                }
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+}

@@ -1,0 +1,236 @@
+//! HiPa on real host threads.
+//!
+//! One persistent worker per plan thread runs the complete iterative
+//! scatter–gather loop with `std::sync::Barrier` synchronisation
+//! (Algorithm 2: threads outlive the whole computation instead of being
+//! recreated per parallel region). All writes are structurally disjoint —
+//! each thread owns its vertex ranges and its message slots — and go
+//! through [`SharedSlice`](crate::disjoint::SharedSlice).
+//!
+//! The arithmetic order (intra contributions in source order during
+//! scatter, then inbox messages in slot order during gather) is identical
+//! to the simulated path, so native and simulated runs produce bit-equal
+//! f32 ranks for any thread count.
+
+use crate::config::{DanglingPolicy, PageRankConfig};
+use crate::disjoint::SharedSlice;
+use crate::pcpm::PcpmLayout;
+use crate::runs::{NativeOpts, NativeRun};
+use hipa_graph::{DiGraph, VERTEX_BYTES};
+use hipa_partition::hipa_plan;
+use std::sync::Barrier;
+use std::time::Instant;
+
+pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
+    let n = g.num_vertices();
+    if n == 0 {
+        return NativeRun {
+            ranks: Vec::new(),
+            preprocess: Default::default(),
+            compute: Default::default(),
+            iterations_run: 0,
+        };
+    }
+    let threads = opts.threads.max(1);
+    let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
+
+    let t0 = Instant::now();
+    // On the host there is no NUMA topology to honour; the hierarchical plan
+    // degenerates to its cache level (one node, `threads` groups).
+    let plan = hipa_plan(g.out_degrees(), 1, threads, vpp);
+    let layout = PcpmLayout::build(g.out_csr(), vpp, false);
+    let inv_deg: Vec<f32> = (0..n)
+        .map(|v| {
+            let deg = g.out_degree(v as u32);
+            if deg == 0 { 0.0 } else { 1.0 / deg as f32 }
+        })
+        .collect();
+    let preprocess = t0.elapsed();
+
+    let d = cfg.damping;
+    let inv_n = 1.0f32 / n as f32;
+    let mut rank = vec![inv_n; n];
+    let mut acc = vec![0.0f32; n];
+    let mut vals = vec![0.0f32; layout.total_msgs as usize];
+    let mut partials = vec![0.0f64; threads];
+    let init_dangling: f64 = match cfg.dangling {
+        DanglingPolicy::Ignore => 0.0,
+        DanglingPolicy::Redistribute => (0..n)
+            .filter(|&v| g.out_degree(v as u32) == 0)
+            .map(|v| rank[v] as f64)
+            .sum(),
+    };
+    let mut base_box = vec![(1.0 - d) * inv_n + d * (init_dangling as f32) * inv_n];
+    let mut delta_partials = vec![0.0f64; threads];
+    // ctrl[0] = stop flag (tolerance reached), ctrl[1] = iterations executed.
+    let mut ctrl_box = vec![0u32; 2];
+
+    let thread_parts: Vec<std::ops::Range<usize>> =
+        plan.threads().map(|(_, _, t)| t.part_range.clone()).collect();
+    let degs = g.out_degrees();
+
+    let t1 = Instant::now();
+    {
+        let rank_s = SharedSlice::new(&mut rank);
+        let acc_s = SharedSlice::new(&mut acc);
+        let vals_s = SharedSlice::new(&mut vals);
+        let partials_s = SharedSlice::new(&mut partials);
+        let deltas_s = SharedSlice::new(&mut delta_partials);
+        let base_s = SharedSlice::new(&mut base_box);
+        let ctrl_s = SharedSlice::new(&mut ctrl_box);
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for j in 0..threads {
+                let rank_s = &rank_s;
+                let acc_s = &acc_s;
+                let vals_s = &vals_s;
+                let partials_s = &partials_s;
+                let deltas_s = &deltas_s;
+                let base_s = &base_s;
+                let ctrl_s = &ctrl_s;
+                let barrier = &barrier;
+                let layout = &layout;
+                let inv_deg = &inv_deg;
+                let parts = thread_parts[j].clone();
+                let partials_all = 0..threads;
+                scope.spawn(move || {
+                    for it in 0..cfg.iterations {
+                        // SAFETY: `base_box[0]` was written by thread 0
+                        // strictly before the previous iteration's final
+                        // barrier (or before spawn for iteration 0).
+                        let base = unsafe { base_s.get(0) };
+
+                        // --- Scatter own partitions: intra pass, then one
+                        // sequential bin write per destination (PNG view) ---
+                        for p in parts.clone() {
+                            let vr = layout.partition_vertices(p);
+                            for v in vr.start as usize..vr.end as usize {
+                                let intra = layout.intra_of(v as u32);
+                                if intra.is_empty() {
+                                    continue;
+                                }
+                                // SAFETY: v is in this thread's own range.
+                                let val = unsafe { rank_s.get(v) } * inv_deg[v];
+                                for &dst in intra {
+                                    // SAFETY: intra destinations stay inside
+                                    // this thread's own partitions.
+                                    unsafe { acc_s.update(dst as usize, |a| *a += val) };
+                                }
+                            }
+                            for pair in layout.png_of(p) {
+                                for (k, &src) in layout.png_sources(pair).iter().enumerate() {
+                                    // SAFETY: src is in this thread's range;
+                                    // each slot has exactly one writer.
+                                    let val = unsafe { rank_s.get(src as usize) } * inv_deg[src as usize];
+                                    unsafe { vals_s.write(pair.slot_start as usize + k, val) };
+                                }
+                            }
+                        }
+                        barrier.wait();
+
+                        // --- Gather + finalise own partitions ---
+                        let mut dpart = 0.0f64;
+                        let mut delta = 0.0f64;
+                        for q in parts.clone() {
+                            let sr = layout.part_slot_ranges[q].clone();
+                            for k in sr {
+                                // SAFETY: the inbox of q is only read by q's
+                                // owner after the scatter barrier.
+                                let val = unsafe { vals_s.get(k as usize) };
+                                for &dst in layout.dests_of(k) {
+                                    // SAFETY: dest vertices lie inside q.
+                                    unsafe { acc_s.update(dst as usize, |a| *a += val) };
+                                }
+                            }
+                            let vr = layout.partition_vertices(q);
+                            for v in vr.start as usize..vr.end as usize {
+                                // SAFETY: own range.
+                                let a = unsafe { acc_s.get(v) };
+                                let new = base + d * a;
+                                if cfg.tolerance.is_some() {
+                                    // SAFETY: own range (pre-write read).
+                                    let old = unsafe { rank_s.get(v) };
+                                    delta += (new - old).abs() as f64;
+                                }
+                                unsafe {
+                                    rank_s.write(v, new);
+                                    acc_s.write(v, 0.0);
+                                }
+                                if matches!(cfg.dangling, DanglingPolicy::Redistribute)
+                                    && degs[v] == 0
+                                {
+                                    dpart += new as f64;
+                                }
+                            }
+                        }
+                        // SAFETY: slots j are this thread's own.
+                        unsafe { partials_s.write(j, dpart) };
+                        unsafe { deltas_s.write(j, delta) };
+                        barrier.wait();
+
+                        // --- Reduction (thread 0) ---
+                        if j == 0 {
+                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
+                                let mut mass = 0.0f64;
+                                for t in partials_all.clone() {
+                                    // SAFETY: all threads passed the barrier;
+                                    // no one writes partials until the next.
+                                    mass += unsafe { partials_s.get(t) };
+                                }
+                                let nb = (1.0 - d) * inv_n + d * (mass as f32) * inv_n;
+                                // SAFETY: only thread 0 writes, pre-barrier.
+                                unsafe { base_s.write(0, nb) };
+                            }
+                            // SAFETY: ctrl is thread 0's to write, pre-barrier.
+                            unsafe { ctrl_s.write(1, it as u32 + 1) };
+                            if let Some(tol) = cfg.tolerance {
+                                let mut dsum = 0.0f64;
+                                for t in partials_all.clone() {
+                                    // SAFETY: as above.
+                                    dsum += unsafe { deltas_s.get(t) };
+                                }
+                                if dsum < tol as f64 {
+                                    unsafe { ctrl_s.write(0, 1) };
+                                }
+                            }
+                        }
+                        barrier.wait();
+                        // SAFETY: thread 0 set the flag before the barrier.
+                        if cfg.tolerance.is_some() && unsafe { ctrl_s.get(0) } == 1 {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let compute = t1.elapsed();
+    let iterations_run = ctrl_box[1] as usize;
+
+    NativeRun { ranks: rank, preprocess, compute, iterations_run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{max_rel_error, reference_pagerank};
+    use hipa_graph::gen::cycle;
+
+    #[test]
+    fn native_matches_reference_on_cycle() {
+        let g = DiGraph::from_edge_list(&cycle(64));
+        let cfg = PageRankConfig::default().with_iterations(15);
+        let run = run(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 64 });
+        let oracle = reference_pagerank(&g, &cfg);
+        assert!(max_rel_error(&run.ranks, &oracle) < 1e-4);
+    }
+
+    #[test]
+    fn native_thread_count_does_not_change_result() {
+        let g = hipa_graph::datasets::small_test_graph(21);
+        let cfg = PageRankConfig::default().with_iterations(8);
+        let r1 = run(&g, &cfg, &NativeOpts { threads: 1, partition_bytes: 1024 });
+        let r4 = run(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 1024 });
+        assert_eq!(r1.ranks, r4.ranks, "bitwise determinism across thread counts");
+    }
+}

@@ -1,0 +1,32 @@
+//! The HiPa engine — the paper's primary contribution.
+//!
+//! HiPa accelerates PageRank on NUMA multicores with hierarchical
+//! partitioning (NUMA level, Eq. 3; cache level, Eq. 4), thread-data
+//! pinning over persistent threads (Algorithm 2), PCPM-style inter-edge
+//! compression (Fig. 4) and a partition-mapped contiguous data layout
+//! (§3.4).
+//!
+//! This crate provides:
+//!
+//! * [`PageRankConfig`] / [`reference_pagerank`] — the algorithm definition
+//!   (Eq. 1) and an f64 sequential oracle every engine is tested against;
+//! * [`Engine`] — the common interface all five methodologies implement,
+//!   with a native (real threads) and a simulated (NUMA machine model)
+//!   execution path each;
+//! * [`PcpmLayout`] — the partition-centric scatter/gather data layout with
+//!   compressed inter-edges, shared with the `p-PR` and `GPOP` baselines;
+//! * [`HiPa`] — the engine itself.
+
+pub mod config;
+pub mod disjoint;
+pub mod hipa;
+pub mod pcpm;
+pub mod reference;
+pub mod runs;
+
+pub use config::{DanglingPolicy, PageRankConfig};
+pub use hipa::sim::HiPaVariant;
+pub use hipa::HiPa;
+pub use pcpm::PcpmLayout;
+pub use reference::reference_pagerank;
+pub use runs::{Engine, NativeOpts, NativeRun, SimOpts, SimRun};

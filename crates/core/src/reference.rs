@@ -1,0 +1,138 @@
+//! Sequential f64 PageRank oracle.
+//!
+//! Every engine (native and simulated, HiPa and all four baselines) is
+//! required by the integration tests to agree with this implementation to
+//! f32-commensurate tolerance. It is written for clarity, not speed.
+
+use crate::config::{DanglingPolicy, PageRankConfig};
+use hipa_graph::DiGraph;
+
+/// Computes PageRank per Eq. 1 by pull-based power iteration in f64.
+pub fn reference_pagerank(g: &DiGraph, cfg: &PageRankConfig) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = cfg.damping as f64;
+    let inv_n = 1.0 / n as f64;
+    let mut rank = vec![inv_n; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..cfg.iterations {
+        let dangling_sum: f64 = match cfg.dangling {
+            DanglingPolicy::Ignore => 0.0,
+            DanglingPolicy::Redistribute => (0..n)
+                .filter(|&v| g.out_degree(v as u32) == 0)
+                .map(|v| rank[v])
+                .sum(),
+        };
+        let base = (1.0 - d) * inv_n + d * dangling_sum * inv_n;
+        for v in 0..n {
+            let mut acc = 0.0f64;
+            for &u in g.in_csr().neighbors(v as u32) {
+                acc += rank[u as usize] / g.out_degree(u) as f64;
+            }
+            next[v] = base + d * acc;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Maximum relative difference between an engine's f32 ranks and the oracle.
+/// The denominator is clamped at `1/n` so near-zero ranks do not explode the
+/// metric.
+pub fn max_rel_error(f32_ranks: &[f32], oracle: &[f64]) -> f64 {
+    assert_eq!(f32_ranks.len(), oracle.len());
+    let n = oracle.len().max(1) as f64;
+    f32_ranks
+        .iter()
+        .zip(oracle)
+        .map(|(&a, &b)| ((a as f64 - b).abs()) / b.abs().max(1.0 / n))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_graph::gen::{complete, cycle, star};
+    use hipa_graph::{DiGraph, EdgeList};
+
+    fn cfg(iters: usize) -> PageRankConfig {
+        PageRankConfig::default().with_iterations(iters)
+    }
+
+    #[test]
+    fn cycle_rank_is_uniform() {
+        let g = DiGraph::from_edge_list(&cycle(10));
+        let r = reference_pagerank(&g, &cfg(30));
+        for &x in &r {
+            assert!((x - 0.1).abs() < 1e-12, "rank {x}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_rank_is_uniform() {
+        let g = DiGraph::from_edge_list(&complete(6));
+        let r = reference_pagerank(&g, &cfg(15));
+        for &x in &r {
+            assert!((x - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_hub_dominates() {
+        let g = DiGraph::from_edge_list(&star(11));
+        let r = reference_pagerank(&g, &cfg(40));
+        for v in 1..11 {
+            assert!(r[0] > 3.0 * r[v]);
+            assert!((r[v] - r[1]).abs() < 1e-12, "spokes symmetric");
+        }
+    }
+
+    #[test]
+    fn redistribute_preserves_probability_mass() {
+        // Path graph has a dangling tail.
+        let g = DiGraph::from_edge_list(&hipa_graph::gen::path(6));
+        let c = cfg(25).with_dangling(DanglingPolicy::Redistribute);
+        let r = reference_pagerank(&g, &c);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10, "sum {sum}");
+    }
+
+    #[test]
+    fn ignore_loses_dangling_mass() {
+        let g = DiGraph::from_edge_list(&hipa_graph::gen::path(6));
+        let r = reference_pagerank(&g, &cfg(25));
+        let sum: f64 = r.iter().sum();
+        assert!(sum < 0.9999, "sum {sum} should decay");
+    }
+
+    #[test]
+    fn two_vertex_closed_form() {
+        // 0 <-> 1: symmetric, rank = 0.5 each at any damping.
+        let g = DiGraph::from_edge_list(&EdgeList::from_pairs([(0, 1), (1, 0)]));
+        let r = reference_pagerank(&g, &cfg(50));
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iterations_is_uniform_init() {
+        let g = DiGraph::from_edge_list(&cycle(4));
+        let r = reference_pagerank(&g, &cfg(0));
+        assert_eq!(r, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edge_list(&EdgeList::new(0, vec![]));
+        assert!(reference_pagerank(&g, &cfg(5)).is_empty());
+    }
+
+    #[test]
+    fn max_rel_error_detects_mismatch() {
+        let oracle = vec![0.5f64, 0.5];
+        assert!(max_rel_error(&[0.5, 0.5], &oracle) < 1e-9);
+        assert!(max_rel_error(&[0.4, 0.5], &oracle) > 0.1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The common engine interface and run-result types.
+//!
+//! Every methodology the paper evaluates (HiPa, p-PR, v-PR, GPOP-lite,
+//! Polymer-lite) implements [`Engine`] with two paths:
+//!
+//! * **native** — real `std::thread` execution on the host. Produces correct
+//!   ranks and wall-clock timings (the criterion benches drive this path).
+//!   The host in this reproduction has one core, so native timings do not
+//!   show parallel speedups — the simulated path is the measurement
+//!   substrate for the paper's tables.
+//! * **sim** — the same computation executed against
+//!   [`hipa_numasim::SimMachine`], producing identical ranks plus the
+//!   modelled cycle counts and memory-system statistics.
+
+use crate::config::PageRankConfig;
+use hipa_graph::DiGraph;
+use hipa_numasim::{MachineSpec, SimReport};
+use std::time::Duration;
+
+/// Options for the native path.
+#[derive(Debug, Clone)]
+pub struct NativeOpts {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Cache-partition size in bytes (|P| = bytes / 4). Ignored by
+    /// vertex-centric engines.
+    pub partition_bytes: usize,
+}
+
+impl Default for NativeOpts {
+    fn default() -> Self {
+        NativeOpts { threads: 4, partition_bytes: 256 * 1024 }
+    }
+}
+
+/// Options for the simulated path.
+#[derive(Debug, Clone)]
+pub struct SimOpts {
+    pub machine: MachineSpec,
+    /// Worker thread count (≤ the machine's logical CPUs).
+    pub threads: usize,
+    /// Cache-partition size in bytes *on the simulated machine* — pass the
+    /// scaled value when using a scaled machine.
+    pub partition_bytes: usize,
+}
+
+impl SimOpts {
+    pub fn new(machine: MachineSpec) -> Self {
+        let threads = machine.topology.logical_cpus();
+        SimOpts { machine, threads, partition_bytes: 256 * 1024 }
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn with_partition_bytes(mut self, bytes: usize) -> Self {
+        self.partition_bytes = bytes;
+        self
+    }
+}
+
+/// Result of a native run.
+#[derive(Debug, Clone)]
+pub struct NativeRun {
+    pub ranks: Vec<f32>,
+    /// Partitioning + layout construction (the paper's "overhead", §4.2).
+    pub preprocess: Duration,
+    /// The timed iterations.
+    pub compute: Duration,
+    /// Iterations actually executed (less than the cap only when a
+    /// tolerance was set and convergence hit first; engines that ignore the
+    /// tolerance report the cap).
+    pub iterations_run: usize,
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    pub ranks: Vec<f32>,
+    /// Iterations actually executed (see [`NativeRun::iterations_run`]).
+    pub iterations_run: usize,
+    /// Full machine report (cycles include preprocessing).
+    pub report: SimReport,
+    /// Simulated cycles spent in preprocessing (partitioning, layout, NUMA
+    /// placement) — excluded from Table 2, reported in §4.2.
+    pub preprocess_cycles: f64,
+    /// Simulated cycles spent in the PageRank iterations.
+    pub compute_cycles: f64,
+}
+
+impl SimRun {
+    /// Simulated seconds for the iterations only (Table 2's quantity).
+    pub fn compute_seconds(&self) -> f64 {
+        self.compute_cycles / (self.report.ghz * 1e9)
+    }
+
+    /// Simulated seconds of preprocessing overhead (§4.2's quantity).
+    pub fn preprocess_seconds(&self) -> f64 {
+        self.preprocess_cycles / (self.report.ghz * 1e9)
+    }
+
+    /// Iterations needed to amortise preprocessing (§4.2 reports 12.7 for
+    /// HiPa on average).
+    pub fn amortization_iterations(&self, iterations: usize) -> f64 {
+        if self.compute_cycles == 0.0 {
+            return 0.0;
+        }
+        let per_iter = self.compute_cycles / iterations.max(1) as f64;
+        self.preprocess_cycles / per_iter
+    }
+}
+
+/// A PageRank methodology under evaluation.
+pub trait Engine: Sync {
+    /// Short name as used in the paper's tables ("HiPa", "p-PR", ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether the engine places data and threads NUMA-aware (affects which
+    /// placement policy the harness reports it under).
+    fn numa_aware(&self) -> bool;
+
+    /// Real-thread execution.
+    fn run_native(&self, g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun;
+
+    /// Simulated execution on the machine model.
+    fn run_sim(&self, g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_numasim::MachineSpec;
+
+    #[test]
+    fn sim_opts_builder() {
+        let o = SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(1024);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.partition_bytes, 1024);
+    }
+
+    #[test]
+    fn sim_run_derived_metrics() {
+        let machine = MachineSpec::tiny_test();
+        let m = hipa_numasim::SimMachine::new(machine);
+        let run = SimRun {
+            ranks: vec![],
+            iterations_run: 20,
+            report: m.report("x"),
+            preprocess_cycles: 5.0e9,
+            compute_cycles: 10.0e9,
+        };
+        // tiny_test runs at 1 GHz.
+        assert!((run.compute_seconds() - 10.0).abs() < 1e-9);
+        assert!((run.preprocess_seconds() - 5.0).abs() < 1e-9);
+        assert!((run.amortization_iterations(20) - 10.0).abs() < 1e-9);
+    }
+}

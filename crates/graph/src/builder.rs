@@ -1,0 +1,139 @@
+//! Incremental CSR construction with normalisation options.
+//!
+//! Generators emit raw pairs with duplicates and self-loops; file readers
+//! emit whatever the file holds. `CsrBuilder` funnels both into a clean
+//! [`DiGraph`].
+
+use crate::{Csr, DiGraph, Edge, EdgeList, VertexId};
+
+/// Builder accumulating edges before a single O(V + E) CSR construction.
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    drop_self_loops: bool,
+    dedup: bool,
+}
+
+impl CsrBuilder {
+    /// New builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        CsrBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            drop_self_loops: false,
+            dedup: false,
+        }
+    }
+
+    /// Drop `v -> v` edges during [`Self::build`].
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Collapse parallel edges during [`Self::build`].
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Pre-allocates room for `n` more edges.
+    pub fn reserve(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    /// Adds one edge.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.edges.push(Edge { src, dst });
+    }
+
+    /// Adds many edges.
+    pub fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, pairs: I) {
+        for (s, d) in pairs {
+            self.add_edge(s, d);
+        }
+    }
+
+    /// Number of edges currently buffered (before normalisation).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalises into a [`DiGraph`], applying the configured normalisation.
+    pub fn build(mut self) -> DiGraph {
+        if self.drop_self_loops {
+            self.edges.retain(|e| e.src != e.dst);
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        let out = Csr::from_edges(self.num_vertices, &self.edges);
+        DiGraph::from_out_csr(out)
+    }
+
+    /// Finalises into an [`EdgeList`] (normalisation applied).
+    pub fn build_edge_list(mut self) -> EdgeList {
+        if self.drop_self_loops {
+            self.edges.retain(|e| e.src != e.dst);
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        EdgeList::new(self.num_vertices, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_normalises() {
+        let mut b = CsrBuilder::new(3).drop_self_loops(true).dedup(true);
+        b.extend([(0, 1), (0, 1), (1, 1), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_csr().neighbors(0), &[1]);
+        assert_eq!(g.out_csr().neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn builder_keeps_parallel_edges_without_dedup() {
+        let mut b = CsrBuilder::new(2);
+        b.extend([(0, 1), (0, 1)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_checks_range() {
+        let mut b = CsrBuilder::new(1);
+        b.add_edge(0, 1);
+    }
+
+    #[test]
+    fn build_edge_list_matches_build() {
+        let mut b = CsrBuilder::new(4).dedup(true);
+        b.extend([(2, 3), (0, 1), (2, 3)]);
+        let el = b.build_edge_list();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.num_vertices(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Weakly-connected components via union–find, used by dataset sanity
+//! checks (a PageRank stand-in should be dominated by one giant component,
+//! like the real crawls) and by the BFS extension's tests.
+
+use crate::{Csr, VertexId};
+
+/// Union–find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `v`'s set.
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            // Path halving.
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `v`'s set.
+    pub fn component_size(&mut self, v: u32) -> usize {
+        let r = self.find(v);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Summary of the weakly-connected components of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSummary {
+    pub num_components: usize,
+    /// Vertices in the largest component.
+    pub largest: usize,
+    /// Component id (representative-indexed, compacted to 0..k) per vertex.
+    pub label: Vec<u32>,
+}
+
+/// Computes weakly-connected components (edge direction ignored).
+pub fn weakly_connected_components(csr: &Csr) -> ComponentSummary {
+    let n = csr.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for v in 0..n as VertexId {
+        for &t in csr.neighbors(v) {
+            uf.union(v, t);
+        }
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut sizes: Vec<usize> = Vec::new();
+    for v in 0..n as u32 {
+        let r = uf.find(v);
+        if label[r as usize] == u32::MAX {
+            label[r as usize] = next;
+            sizes.push(0);
+            next += 1;
+        }
+        label[v as usize] = label[r as usize];
+        sizes[label[v as usize] as usize] += 1;
+    }
+    ComponentSummary {
+        num_components: uf.num_components(),
+        largest: sizes.iter().copied().max().unwrap_or(0),
+        label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, path};
+    use crate::EdgeList;
+
+    #[test]
+    fn single_component_cycle() {
+        let csr = Csr::from_edge_list(&cycle(10));
+        let c = weakly_connected_components(&csr);
+        assert_eq!(c.num_components, 1);
+        assert_eq!(c.largest, 10);
+        assert!(c.label.iter().all(|&l| l == c.label[0]));
+    }
+
+    #[test]
+    fn disjoint_paths() {
+        // Two paths 0-1-2 and 3-4, plus isolated 5.
+        let el = EdgeList::new(6, vec![(0, 1).into(), (1, 2).into(), (3, 4).into()]);
+        let c = weakly_connected_components(&Csr::from_edge_list(&el));
+        assert_eq!(c.num_components, 3);
+        assert_eq!(c.largest, 3);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[1], c.label[2]);
+        assert_eq!(c.label[3], c.label[4]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_ne!(c.label[3], c.label[5]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // Directed path is weakly connected regardless of direction.
+        let csr = Csr::from_edge_list(&path(20));
+        assert_eq!(weakly_connected_components(&csr).num_components, 1);
+    }
+
+    #[test]
+    fn union_find_invariants() {
+        let mut uf = UnionFind::new(8);
+        assert_eq!(uf.num_components(), 8);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.num_components(), 5);
+        assert_eq!(uf.component_size(2), 4);
+        assert_eq!(uf.find(1), uf.find(3));
+    }
+
+    #[test]
+    fn dataset_standins_have_giant_component() {
+        let g = crate::datasets::small_test_graph(55);
+        let c = weakly_connected_components(g.out_csr());
+        assert!(
+            c.largest as f64 > 0.5 * g.num_vertices() as f64,
+            "largest component {} of {}",
+            c.largest,
+            g.num_vertices()
+        );
+    }
+}

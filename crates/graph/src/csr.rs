@@ -1,0 +1,328 @@
+//! Compressed sparse row adjacency.
+//!
+//! [`Csr`] stores one direction of adjacency (out-edges when built from an
+//! edge list directly, in-edges when built from its transpose). [`DiGraph`]
+//! bundles both directions plus the degree arrays every PageRank variant
+//! needs: push/scatter engines walk out-edges, pull/gather engines walk
+//! in-edges but divide by *out*-degree.
+
+use crate::{EdgeList, VertexId};
+
+/// Compressed sparse row adjacency structure.
+///
+/// `offsets` has `num_vertices + 1` entries; the neighbours of vertex `v`
+/// are `targets[offsets[v] .. offsets[v + 1]]`, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from unsorted `(src, dst)` pairs using counting sort —
+    /// O(V + E), no comparison sort of the edge array.
+    pub fn from_edges(num_vertices: usize, edges: &[crate::Edge]) -> Self {
+        let mut offsets = vec![0u64; num_vertices + 1];
+        for e in edges {
+            offsets[e.src as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut cursor = offsets.clone();
+        for e in edges {
+            let c = &mut cursor[e.src as usize];
+            targets[*c as usize] = e.dst;
+            *c += 1;
+        }
+        // Sort each adjacency run so neighbour order is canonical.
+        for v in 0..num_vertices {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds from an [`EdgeList`].
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::from_edges(el.num_vertices(), el.edges())
+    }
+
+    /// Parallel variant of [`Self::from_edges`]: the counting sort is
+    /// sequential (O(V + E) and memory-bound) but the per-vertex adjacency
+    /// sorting — the dominant cost on skewed graphs — fans out over a rayon
+    /// pool. Produces exactly the same CSR as the sequential builder.
+    pub fn from_edges_parallel(num_vertices: usize, edges: &[crate::Edge]) -> Self {
+        use rayon::prelude::*;
+        let mut offsets = vec![0u64; num_vertices + 1];
+        for e in edges {
+            offsets[e.src as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut cursor = offsets.clone();
+        for e in edges {
+            let c = &mut cursor[e.src as usize];
+            targets[c.to_owned() as usize] = e.dst;
+            *c += 1;
+        }
+        // Split the target array into disjoint per-vertex runs, then sort
+        // them in parallel.
+        let mut runs: Vec<&mut [VertexId]> = Vec::with_capacity(num_vertices);
+        let mut rest: &mut [VertexId] = &mut targets;
+        for v in 0..num_vertices {
+            let len = (offsets[v + 1] - offsets[v]) as usize;
+            let (run, tail) = rest.split_at_mut(len);
+            runs.push(run);
+            rest = tail;
+        }
+        runs.par_iter_mut().for_each(|r| r.sort_unstable());
+        Csr { offsets, targets }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in the stored direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Neighbours of `v` in the stored direction, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Index into [`Self::targets_raw`] where `v`'s adjacency run begins.
+    #[inline]
+    pub fn offset(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// The raw offsets array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn offsets_raw(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated targets array.
+    #[inline]
+    pub fn targets_raw(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Returns the transpose (edge direction reversed).
+    pub fn transposed(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut offsets = vec![0u64; n + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut cursor = offsets.clone();
+        for v in 0..n {
+            // Source vertices visited ascending, so each adjacency run in the
+            // transpose is filled in ascending order — already sorted.
+            for &t in self.neighbors(v as VertexId) {
+                let c = &mut cursor[t as usize];
+                targets[*c as usize] = v as VertexId;
+                *c += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Iterates all edges `(src, dst)` in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.neighbors(v as VertexId)
+                .iter()
+                .map(move |&t| (v as VertexId, t))
+        })
+    }
+}
+
+/// A directed graph holding both adjacency directions and degree arrays.
+///
+/// * `out` — out-edge CSR (scatter/push traversal);
+/// * `in_` — in-edge CSR (gather/pull traversal);
+/// * `out_degree[v]` — what PageRank divides `v`'s rank by.
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    out: Csr,
+    in_: Csr,
+    out_degree: Vec<u32>,
+}
+
+impl DiGraph {
+    /// Builds both directions from an edge list.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let out = Csr::from_edge_list(el);
+        Self::from_out_csr(out)
+    }
+
+    /// Builds from an out-CSR, deriving the transpose and degrees.
+    pub fn from_out_csr(out: Csr) -> Self {
+        let in_ = out.transposed();
+        let out_degree = (0..out.num_vertices())
+            .map(|v| out.degree(v as VertexId))
+            .collect();
+        DiGraph { out, in_, out_degree }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Out-edge CSR.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// In-edge CSR.
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_
+    }
+
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out_degree[v as usize]
+    }
+
+    #[inline]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degree
+    }
+
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.in_.degree(v)
+    }
+
+    /// Vertices with no outgoing edges (PageRank "dangling" vertices).
+    pub fn dangling_vertices(&self) -> Vec<VertexId> {
+        (0..self.num_vertices() as u32)
+            .filter(|&v| self.out_degree[v as usize] == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn diamond() -> EdgeList {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        EdgeList::from_pairs([(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_basic_structure() {
+        let csr = Csr::from_edge_list(&diamond());
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[3]);
+        assert_eq!(csr.neighbors(3), &[] as &[u32]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(3), 0);
+    }
+
+    #[test]
+    fn csr_sorts_adjacency_runs() {
+        let el = EdgeList::from_pairs([(0, 3), (0, 1), (0, 2)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let csr = Csr::from_edge_list(&diamond());
+        assert_eq!(csr.transposed().transposed(), csr);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let csr = Csr::from_edge_list(&diamond());
+        let t = csr.transposed();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn iter_edges_yields_all_in_order() {
+        let csr = Csr::from_edge_list(&diamond());
+        let edges: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn digraph_degrees_and_dangling() {
+        let g = DiGraph::from_edge_list(&diamond());
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.dangling_vertices(), vec![3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edge_list(&EdgeList::new(0, vec![]));
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_builder_matches_sequential() {
+        let el = crate::datasets::small_test_graph(99);
+        let edges: Vec<crate::Edge> =
+            el.out_csr().iter_edges().map(|(s, d)| crate::Edge::new(s, d)).collect();
+        let seq = Csr::from_edges(el.num_vertices(), &edges);
+        let par = Csr::from_edges_parallel(el.num_vertices(), &edges);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_builder_empty_and_tiny() {
+        assert_eq!(
+            Csr::from_edges_parallel(0, &[]),
+            Csr::from_edges(0, &[])
+        );
+        let e = [crate::Edge::new(0, 2), crate::Edge::new(0, 1)];
+        assert_eq!(Csr::from_edges_parallel(3, &e).neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let g = DiGraph::from_edge_list(&EdgeList::new(10, vec![crate::Edge::new(0, 1)]));
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.dangling_vertices().len(), 9);
+    }
+}

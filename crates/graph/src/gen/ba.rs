@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment — the classic generative model
+//! for the power-law degree distributions the paper's introduction
+//! motivates ("a celebrity has massive social influence…").
+//!
+//! Each new vertex attaches `m` out-edges to existing vertices picked with
+//! probability proportional to their current degree, via the standard
+//! repeated-endpoint trick (sampling a uniform position in the running edge
+//! list is exactly degree-proportional sampling).
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert graph with `n` vertices and `m` attachments
+/// per new vertex. Deterministic for `(n, m, seed)`.
+///
+/// The first `m + 1` vertices form a seed clique-ish core (vertex `i` links
+/// to all earlier vertices), after which preferential attachment takes over.
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(m >= 1, "need at least one attachment per vertex");
+    assert!(n > m, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Flat endpoint list: every edge contributes both endpoints, so a
+    // uniform draw from it is degree-proportional.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+
+    // Seed core.
+    for v in 1..=m as u32 {
+        for t in 0..v {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    // Growth.
+    for v in (m + 1) as u32..n as u32 {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    EdgeList::new(n, edges.into_iter().map(Into::into).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_summary;
+    use crate::{Csr, DiGraph};
+
+    #[test]
+    fn ba_size_and_determinism() {
+        let g = barabasi_albert(500, 3, 7);
+        assert_eq!(g.num_vertices(), 500);
+        // Seed core: 1+2+3 = 6 edges; growth vertices 4..499 contribute 3 each.
+        assert_eq!(g.num_edges(), 6 + 496 * 3);
+        assert_eq!(g, barabasi_albert(500, 3, 7));
+        assert_ne!(g, barabasi_albert(500, 3, 8));
+    }
+
+    #[test]
+    fn ba_in_degrees_are_skewed() {
+        let g = barabasi_albert(2000, 4, 1);
+        let in_csr = Csr::from_edge_list(&g).transposed();
+        let s = degree_summary(&in_csr);
+        assert!(s.max as f64 > 10.0 * s.mean, "max {} mean {}", s.max, s.mean);
+        // Early vertices should be hubs (rich get richer).
+        let early: u32 = (0..10).map(|v| in_csr.degree(v)).sum();
+        let late: u32 = (1990..2000).map(|v| in_csr.degree(v)).sum();
+        assert!(early > 5 * (late + 1));
+    }
+
+    #[test]
+    fn ba_no_self_loops_or_multi_edges_per_vertex() {
+        let g = barabasi_albert(300, 5, 3);
+        let csr = Csr::from_edge_list(&g);
+        for v in 0..300u32 {
+            let nbrs = csr.neighbors(v);
+            assert!(nbrs.iter().all(|&t| t != v), "self loop at {v}");
+            assert!(nbrs.windows(2).all(|w| w[0] != w[1]), "parallel edge at {v}");
+        }
+    }
+
+    #[test]
+    fn ba_is_weakly_connected() {
+        let g = barabasi_albert(400, 2, 11);
+        let c = crate::components::weakly_connected_components(&Csr::from_edge_list(&g));
+        assert_eq!(c.num_components, 1);
+        let _ = DiGraph::from_edge_list(&g);
+    }
+}

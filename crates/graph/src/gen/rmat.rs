@@ -1,0 +1,161 @@
+//! R-MAT / Graph500 Kronecker generator.
+//!
+//! The paper's `kron` dataset is produced by the Graph500 Kronecker
+//! generator (scale 23); `journal` and `twitter` stand-ins also use R-MAT
+//! with skew tuned per graph. This is the classic recursive quadrant
+//! sampler: each edge picks one of four quadrants per scale level with
+//! probabilities `(a, b, c, d)`.
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the R-MAT recursive matrix generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Edges to *sample* (duplicates/self-loops removed afterwards if
+    /// `simplify` is set, so the realised count is slightly lower).
+    pub edges: usize,
+    /// Quadrant probabilities; `d` is implied as `1 - a - b - c`.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Remove duplicate edges and self-loops after sampling.
+    pub simplify: bool,
+    /// Randomly permute vertex ids afterwards to break the id-degree
+    /// correlation R-MAT otherwise exhibits. Graph500 does this; natural
+    /// datasets (journal/twitter crawls) keep crawl order, so stand-ins for
+    /// those set it to `false`.
+    pub shuffle_ids: bool,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters (a=0.57, b=c=0.19).
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatParams {
+            scale,
+            edges: (1usize << scale) * edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            simplify: true,
+            shuffle_ids: true,
+        }
+    }
+}
+
+/// Generates an R-MAT graph. Deterministic for a given `(params, seed)`.
+pub fn rmat(params: &RmatParams, seed: u64) -> EdgeList {
+    assert!(params.scale <= 31, "scale {} too large", params.scale);
+    let d = 1.0 - params.a - params.b - params.c;
+    assert!(
+        params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must be non-negative and sum to <= 1"
+    );
+    let n = 1usize << params.scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(params.edges);
+    // Per-level probability noise (+-10%) as in the Graph500 reference code,
+    // which smooths the otherwise blocky degree distribution.
+    for _ in 0..params.edges {
+        let (mut lo_s, mut lo_d) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let ab = params.a + params.b;
+            let noise = |p: f64, rng: &mut StdRng| p * (0.9 + 0.2 * rng.gen::<f64>());
+            let a_ = noise(params.a, &mut rng);
+            let b_ = noise(params.b, &mut rng);
+            let c_ = noise(params.c, &mut rng);
+            let d_ = noise(d, &mut rng);
+            let norm = a_ + b_ + c_ + d_;
+            let r: f64 = rng.gen::<f64>() * norm;
+            let _ = ab;
+            if r < a_ {
+                // top-left: neither bit set
+            } else if r < a_ + b_ {
+                lo_d += half;
+            } else if r < a_ + b_ + c_ {
+                lo_s += half;
+            } else {
+                lo_s += half;
+                lo_d += half;
+            }
+            half >>= 1;
+        }
+        edges.push((lo_s as u32, lo_d as u32));
+    }
+    if params.shuffle_ids {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates with the same rng keeps the whole pipeline one-seed.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for e in &mut edges {
+            e.0 = perm[e.0 as usize];
+            e.1 = perm[e.1 as usize];
+        }
+    }
+    let mut el = EdgeList::new(n, edges.into_iter().map(Into::into).collect());
+    if params.simplify {
+        el.dedup_simplify();
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let p = RmatParams::graph500(8, 8);
+        let g1 = rmat(&p, 42);
+        let g2 = rmat(&p, 42);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn rmat_seed_changes_output() {
+        let p = RmatParams::graph500(8, 8);
+        assert_ne!(rmat(&p, 1), rmat(&p, 2));
+    }
+
+    #[test]
+    fn rmat_respects_vertex_bound() {
+        let p = RmatParams::graph500(6, 4);
+        let g = rmat(&p, 7);
+        assert_eq!(g.num_vertices(), 64);
+        for e in g.edges() {
+            assert!(e.src < 64 && e.dst < 64);
+        }
+    }
+
+    #[test]
+    fn rmat_simplify_removes_loops_and_dups() {
+        let p = RmatParams { simplify: true, ..RmatParams::graph500(7, 16) };
+        let g = rmat(&p, 3);
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            assert_ne!(e.src, e.dst, "self-loop survived");
+            assert!(seen.insert((e.src, e.dst)), "duplicate survived");
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // With Graph500 parameters the max degree should far exceed the mean.
+        let p = RmatParams::graph500(10, 16);
+        let g = rmat(&p, 11);
+        let csr = crate::Csr::from_edge_list(&g);
+        let n = csr.num_vertices();
+        let mean = csr.num_edges() as f64 / n as f64;
+        let max = (0..n).map(|v| csr.degree(v as u32)).max().unwrap();
+        assert!(
+            (max as f64) > 6.0 * mean,
+            "expected skew: max degree {max} vs mean {mean:.1}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Small structured graphs with closed-form PageRank behaviour, used by unit
+//! and property tests across the workspace.
+
+use crate::EdgeList;
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: usize) -> EdgeList {
+    EdgeList::new(n, (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1).into()).collect())
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+///
+/// Every vertex has in- and out-degree 1, so PageRank is exactly uniform —
+/// the sharpest closed-form check available.
+pub fn cycle(n: usize) -> EdgeList {
+    assert!(n >= 1);
+    EdgeList::new(n, (0..n).map(|i| (i as u32, ((i + 1) % n) as u32).into()).collect())
+}
+
+/// Star: spokes `1..n` all point at the hub `0`, and the hub points back at
+/// every spoke (so there are no dangling vertices).
+pub fn star(n: usize) -> EdgeList {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(2 * (n - 1));
+    for i in 1..n as u32 {
+        edges.push((i, 0).into());
+        edges.push((0, i).into());
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Complete directed graph (all ordered pairs, no loops). PageRank is
+/// uniform by symmetry.
+pub fn complete(n: usize) -> EdgeList {
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s != d {
+                edges.push((s, d).into());
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// 2-D grid with edges to the right and downward neighbour — a high-locality
+/// graph (nearly all edges are intra-partition under any contiguous split).
+pub fn grid(rows: usize, cols: usize) -> EdgeList {
+    let n = rows * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as u32;
+            if c + 1 < cols {
+                edges.push((v, v + 1).into());
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols as u32).into());
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    #[test]
+    fn cycle_degrees_all_one() {
+        let g = DiGraph::from_edge_list(&cycle(10));
+        for v in 0..10u32 {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn path_has_one_dangling() {
+        let g = DiGraph::from_edge_list(&path(5));
+        assert_eq!(g.dangling_vertices(), vec![4]);
+    }
+
+    #[test]
+    fn star_hub_degrees() {
+        let g = DiGraph::from_edge_list(&star(6));
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(0), 5);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = DiGraph::from_edge_list(&complete(5));
+        assert_eq!(g.num_edges(), 20);
+        for v in 0..5u32 {
+            assert_eq!(g.out_degree(v), 4);
+            assert_eq!(g.in_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(3, 4);
+        // right edges: 3 rows * 3, down edges: 2 * 4
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert_eq!(g.num_vertices(), 12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Watts–Strogatz small-world rewiring — a high-locality control graph.
+//!
+//! Starts from a ring lattice where every vertex links to its `k` nearest
+//! clockwise neighbours (extreme spatial locality: under any contiguous
+//! partitioning nearly all edges are intra) and rewires each edge with
+//! probability `beta` to a uniform target. Sweeping `beta` from 0 to 1
+//! interpolates between the best and worst case for partition-centric
+//! engines — useful for locality-sensitivity studies.
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Watts–Strogatz graph: `n` vertices, `k` clockwise lattice
+/// links each, rewiring probability `beta`. Deterministic for the full
+/// parameter set.
+///
+/// # Panics
+/// Panics if `k == 0`, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> EdgeList {
+    assert!(k >= 1 && k < n, "need 1 <= k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * k);
+    for v in 0..n {
+        for j in 1..=k {
+            let lattice = ((v + j) % n) as u32;
+            let dst = if rng.gen::<f64>() < beta {
+                // Rewire anywhere except a self-loop.
+                let mut t = rng.gen_range(0..n as u32);
+                while t == v as u32 {
+                    t = rng.gen_range(0..n as u32);
+                }
+                t
+            } else {
+                lattice
+            };
+            edges.push((v as u32, dst));
+        }
+    }
+    let mut el = EdgeList::new(n, edges.into_iter().map(Into::into).collect());
+    el.dedup_simplify();
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::partition_census;
+    use crate::Csr;
+
+    #[test]
+    fn beta_zero_is_pure_lattice() {
+        let g = watts_strogatz(100, 3, 0.0, 1);
+        assert_eq!(g.num_edges(), 300);
+        let csr = Csr::from_edge_list(&g);
+        for v in 0..100u32 {
+            let want: Vec<u32> = {
+                let mut w: Vec<u32> = (1..=3).map(|j| (v + j) % 100).collect();
+                w.sort_unstable();
+                w
+            };
+            assert_eq!(csr.neighbors(v), &want[..]);
+        }
+    }
+
+    #[test]
+    fn locality_degrades_with_beta() {
+        let intra = |beta: f64| {
+            let g = watts_strogatz(4096, 4, beta, 5);
+            let csr = Csr::from_edge_list(&g);
+            let c = partition_census(&csr, 256);
+            c.intra_total as f64 / (c.intra_total + c.inter_total) as f64
+        };
+        let lattice = intra(0.0);
+        let half = intra(0.5);
+        let random = intra(1.0);
+        assert!(lattice > 0.9, "lattice intra {lattice}");
+        assert!(lattice > half && half > random, "{lattice} > {half} > {random}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(200, 2, 0.3, 9), watts_strogatz(200, 2, 0.3, 9));
+        assert_ne!(watts_strogatz(200, 2, 0.3, 9), watts_strogatz(200, 2, 0.3, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        watts_strogatz(10, 2, 1.5, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Zipf / power-law generator with optional target locality.
+//!
+//! Models crawl-style graphs (the paper's `pld`, `wiki`, `mpi` stand-ins):
+//! out-degrees follow a truncated Zipf distribution, and each edge's target
+//! is drawn either uniformly, from a Zipf popularity ranking (producing
+//! in-degree skew — "celebrity" vertices), or from the source's own
+//! community block (producing the high intra-edge counts the paper reports
+//! for `wiki` and `mpi` in Table 1).
+
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the Zipf graph generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfParams {
+    pub num_vertices: usize,
+    /// Target mean out-degree; total sampled edges ≈ `num_vertices * mean_degree`.
+    pub mean_degree: f64,
+    /// Zipf exponent for the out-degree distribution (larger = more skew).
+    pub degree_exponent: f64,
+    /// Maximum out-degree (truncation), as a fraction of `num_vertices`.
+    pub max_degree_frac: f64,
+    /// Zipf exponent on the target popularity *ranking* (rank r drawn with
+    /// probability ∝ r^-target_exponent); 0.0 = uniform targets. Web-scale
+    /// in-degree distributions correspond to values around 0.8–1.0.
+    pub target_exponent: f64,
+    /// Probability that an edge stays inside the source's community block.
+    pub locality: f64,
+    /// Community block size in vertices (ignored if `locality == 0`).
+    pub block_size: usize,
+    /// Remove duplicate edges and self-loops.
+    pub simplify: bool,
+}
+
+impl Default for ZipfParams {
+    fn default() -> Self {
+        ZipfParams {
+            num_vertices: 1 << 12,
+            mean_degree: 12.0,
+            degree_exponent: 2.2,
+            max_degree_frac: 0.05,
+            target_exponent: 0.8,
+            locality: 0.0,
+            block_size: 1024,
+            simplify: true,
+        }
+    }
+}
+
+/// Draws one value from a truncated discrete Zipf distribution over
+/// `1..=max` with exponent `s`, via inverse-CDF rejection (Devroye).
+/// Deterministic given the rng state.
+fn zipf_sample(rng: &mut StdRng, s: f64, max: f64) -> f64 {
+    // Rejection sampler for the Zipf(s) distribution, valid for s > 1.
+    // For s <= 1 fall back to a bounded power-law inverse transform.
+    if s > 1.0 {
+        loop {
+            let u: f64 = rng.gen();
+            let v: f64 = rng.gen();
+            let x = (1.0 - u).powf(-1.0 / (s - 1.0));
+            if x > max {
+                continue;
+            }
+            let t = (1.0 + 1.0 / x).powf(s - 1.0);
+            if v * x * (t - 1.0) / (2.0f64.powf(s - 1.0) - 1.0) <= t / 2.0f64.powf(s - 1.0) {
+                return x.floor();
+            }
+        }
+    } else {
+        // s <= 1: inverse transform of the continuous density x^-s on
+        // [1, max+1): CDF(x) ∝ x^(1-s) - 1. Degenerates to uniform as s -> 0.
+        let t = (1.0 - s).max(1e-3);
+        let u: f64 = rng.gen();
+        let x = (1.0 + u * ((max + 1.0).powf(t) - 1.0)).powf(1.0 / t);
+        x.floor().min(max)
+    }
+}
+
+/// Generates a Zipf power-law graph. Deterministic for `(params, seed)`.
+pub fn zipf_graph(params: &ZipfParams, seed: u64) -> EdgeList {
+    let n = params.num_vertices;
+    assert!(n > 1, "need at least two vertices");
+    let max_deg = ((n as f64 * params.max_degree_frac).max(1.0)).min((n - 1) as f64);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Sample raw out-degrees, then rescale to hit the requested mean.
+    let mut degs: Vec<f64> = (0..n)
+        .map(|_| zipf_sample(&mut rng, params.degree_exponent, max_deg))
+        .collect();
+    let raw_mean = degs.iter().sum::<f64>() / n as f64;
+    let scale = params.mean_degree / raw_mean;
+    for d in &mut degs {
+        *d = (*d * scale).round().min(max_deg);
+    }
+
+    let total: usize = degs.iter().map(|&d| d as usize).sum();
+    let mut edges = Vec::with_capacity(total);
+    let nb = params.block_size.max(1);
+    // Popularity ranking decoupled from vertex ids: rank r maps to vertex
+    // perm[r]. Real crawls assign ids in discovery order, which is largely
+    // uncorrelated with popularity — without this, every hub lands in the
+    // first few cache partitions and creates an artificial gather hotspot.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    for (src, &d) in degs.iter().enumerate() {
+        let block_lo = (src / nb) * nb;
+        let block_hi = (block_lo + nb).min(n);
+        for _ in 0..d as usize {
+            let dst = if params.locality > 0.0 && rng.gen::<f64>() < params.locality {
+                rng.gen_range(block_lo..block_hi)
+            } else if params.target_exponent > 0.0 {
+                let r = (zipf_sample(&mut rng, params.target_exponent, n as f64) as usize - 1)
+                    .min(n - 1);
+                perm[r] as usize
+            } else {
+                rng.gen_range(0..n)
+            };
+            edges.push((src as u32, dst as u32));
+        }
+    }
+    let mut el = EdgeList::new(n, edges.into_iter().map(Into::into).collect());
+    if params.simplify {
+        el.dedup_simplify();
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let p = ZipfParams { num_vertices: 500, ..Default::default() };
+        assert_eq!(zipf_graph(&p, 9), zipf_graph(&p, 9));
+        assert_ne!(zipf_graph(&p, 9), zipf_graph(&p, 10));
+    }
+
+    #[test]
+    fn zipf_mean_degree_roughly_met() {
+        let p = ZipfParams { num_vertices: 4000, mean_degree: 10.0, simplify: false, ..Default::default() };
+        let g = zipf_graph(&p, 1);
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((5.0..20.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn zipf_targets_are_skewed_when_exponent_positive() {
+        let p = ZipfParams { num_vertices: 2000, target_exponent: 1.0, ..Default::default() };
+        let g = zipf_graph(&p, 5);
+        let in_csr = Csr::from_edge_list(&g).transposed();
+        // A few hub vertices should collect far more in-edges than average.
+        let n = in_csr.num_vertices();
+        let mut degs: Vec<u32> = (0..n as u32).map(|v| in_csr.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = degs[..20].iter().map(|&d| d as u64).sum();
+        let total: u64 = degs.iter().map(|&d| d as u64).sum();
+        assert!(top as f64 > 0.08 * total as f64, "top20 {top} of {total}");
+        // ...and the hubs must be spread over the id space, not clustered at
+        // low ids (popularity is decoupled from id).
+        let lo: usize = (0..100).map(|v| in_csr.degree(v) as usize).sum();
+        let hi: usize = (1900..2000).map(|v| in_csr.degree(v) as usize).sum();
+        assert!(lo < 10 * (hi + 1), "hubs still clustered: lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn zipf_locality_keeps_edges_in_blocks() {
+        let p = ZipfParams {
+            num_vertices: 2048,
+            locality: 1.0,
+            block_size: 256,
+            target_exponent: 0.0,
+            ..Default::default()
+        };
+        let g = zipf_graph(&p, 2);
+        for e in g.edges() {
+            assert_eq!(e.src / 256, e.dst / 256, "edge left its block");
+        }
+    }
+
+    #[test]
+    fn zipf_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..2000 {
+            let x = zipf_sample(&mut rng, 2.0, 50.0);
+            assert!((1.0..=50.0).contains(&x));
+        }
+        for _ in 0..2000 {
+            let x = zipf_sample(&mut rng, 0.8, 50.0);
+            assert!((1.0..=50.0).contains(&x));
+        }
+    }
+}

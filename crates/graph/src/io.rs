@@ -1,0 +1,190 @@
+//! Edge-list file I/O.
+//!
+//! Two formats:
+//! * **text** — one `src dst` pair per line, `#`-prefixed comment lines
+//!   ignored (the SNAP dataset convention, so real LiveJournal/Twitter dumps
+//!   can be dropped in as replacements for the synthetic stand-ins);
+//! * **binary** — a fixed little-endian header (`magic, version, |V|, |E|`)
+//!   followed by `|E|` pairs of `u32`, for fast reload of generated graphs.
+
+use crate::{Edge, EdgeList};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4849_5041; // "HIPA"
+const VERSION: u32 = 1;
+
+/// Reads a SNAP-style text edge list. Vertex count is inferred from the
+/// maximum endpoint unless a `# Nodes: <n>` comment declares it.
+pub fn read_text<R: Read>(r: R) -> io::Result<EdgeList> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("Nodes:") {
+                declared_nodes = n.trim().split_whitespace().next().and_then(|t| t.parse().ok());
+            }
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: missing field", lineno + 1)))?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))
+        };
+        let src = parse(it.next())?;
+        let dst = parse(it.next())?;
+        edges.push(Edge { src, dst });
+    }
+    let inferred = edges.iter().map(|e| e.src.max(e.dst) as usize + 1).max().unwrap_or(0);
+    let n = declared_nodes.map_or(inferred, |d| d.max(inferred));
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Writes the text format, with a `# Nodes:` header so isolated trailing
+/// vertices round-trip.
+pub fn write_text<W: Write>(w: W, el: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# Nodes: {} Edges: {}", el.num_vertices(), el.num_edges())?;
+    for e in el.edges() {
+        writeln!(w, "{}\t{}", e.src, e.dst)?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<EdgeList> {
+    let mut head = [0u8; 16];
+    r.read_exact(&mut head)?;
+    let word = |i: usize| u32::from_le_bytes(head[i * 4..i * 4 + 4].try_into().unwrap());
+    if word(0) != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    if word(1) != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unsupported version {}", word(1))));
+    }
+    let n = word(2) as usize;
+    let m = word(3) as usize;
+    let mut buf = vec![0u8; m * 8];
+    r.read_exact(&mut buf)?;
+    let mut edges = Vec::with_capacity(m);
+    for c in buf.chunks_exact(8) {
+        edges.push(Edge {
+            src: u32::from_le_bytes(c[0..4].try_into().unwrap()),
+            dst: u32::from_le_bytes(c[4..8].try_into().unwrap()),
+        });
+    }
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Writes the binary format.
+pub fn write_binary<W: Write>(w: W, el: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(el.num_vertices() as u32).to_le_bytes())?;
+    w.write_all(&(el.num_edges() as u32).to_le_bytes())?;
+    for e in el.edges() {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Loads a graph from a path, picking the format by extension: `.bin` is
+/// binary, anything else is text.
+pub fn load_path<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    let f = std::fs::File::open(&path)?;
+    if path.as_ref().extension().is_some_and(|e| e == "bin") {
+        read_binary(f)
+    } else {
+        read_text(f)
+    }
+}
+
+/// Saves a graph to a path, picking the format by extension as in
+/// [`load_path`].
+pub fn save_path<P: AsRef<Path>>(path: P, el: &EdgeList) -> io::Result<()> {
+    let f = std::fs::File::create(&path)?;
+    if path.as_ref().extension().is_some_and(|e| e == "bin") {
+        write_binary(f, el)
+    } else {
+        write_text(f, el)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::new(6, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 0)])
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &el).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blank_lines() {
+        let input = b"# a comment\n\n0 1\n2 3\n" as &[u8];
+        let el = read_text(input).unwrap();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.num_vertices(), 4);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text(b"0 x\n" as &[u8]).is_err());
+        assert!(read_text(b"0\n" as &[u8]).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &el).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = vec![0u8; 16];
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncated() {
+        let el = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &el).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn path_round_trip_by_extension() {
+        let dir = std::env::temp_dir();
+        let tp = dir.join("hipa_io_test.txt");
+        let bp = dir.join("hipa_io_test.bin");
+        let el = sample();
+        save_path(&tp, &el).unwrap();
+        save_path(&bp, &el).unwrap();
+        assert_eq!(load_path(&tp).unwrap(), el);
+        assert_eq!(load_path(&bp).unwrap(), el);
+        let _ = std::fs::remove_file(tp);
+        let _ = std::fs::remove_file(bp);
+    }
+}

@@ -1,0 +1,274 @@
+//! Graph statistics: degree summaries and the intra-/inter-edge census of
+//! the paper's Table 1.
+//!
+//! A *partition* here is a contiguous vertex-id range holding `verts_per_part`
+//! vertices (the paper's |P| = partition bytes / 4). An edge whose endpoints
+//! fall in the same partition is an **intra-edge**; one that crosses is an
+//! **inter-edge**. The paper's edge-compression (§3.4) collapses all
+//! inter-edges sharing a source vertex and a destination partition into one
+//! message, so the census also reports the compressed inter count.
+
+use crate::{Csr, VertexId};
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    pub min: u32,
+    pub max: u32,
+    pub mean: f64,
+    pub p50: u32,
+    pub p90: u32,
+    pub p99: u32,
+    /// Fraction of all edges owned by the top 10 % highest-degree vertices —
+    /// the paper's "10 % of vertices hold 90 % of edges" skew measure.
+    pub top10_edge_share: f64,
+}
+
+/// Computes a [`DegreeSummary`] for the stored direction of `csr`.
+pub fn degree_summary(csr: &Csr) -> DegreeSummary {
+    let n = csr.num_vertices();
+    assert!(n > 0, "empty graph has no degree distribution");
+    let mut degs: Vec<u32> = (0..n).map(|v| csr.degree(v as VertexId)).collect();
+    degs.sort_unstable();
+    let total: u64 = degs.iter().map(|&d| d as u64).sum();
+    let pct = |p: f64| degs[((n - 1) as f64 * p) as usize];
+    let top10_cut = n - (n / 10).max(1);
+    let top10: u64 = degs[top10_cut..].iter().map(|&d| d as u64).sum();
+    DegreeSummary {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: total as f64 / n as f64,
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        top10_edge_share: if total == 0 { 0.0 } else { top10 as f64 / total as f64 },
+    }
+}
+
+/// Result of the per-partition intra/inter edge census (Table 1 columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionCensus {
+    pub verts_per_part: usize,
+    pub num_parts: usize,
+    /// Total edges whose endpoints share a partition.
+    pub intra_total: u64,
+    /// Total edges crossing partitions, uncompressed.
+    pub inter_total: u64,
+    /// Total inter-edges after source-vertex × destination-partition
+    /// compression (paper §3.4 / Fig. 4).
+    pub inter_compressed_total: u64,
+    /// Mean intra-edges per partition (Table 1 "Intra").
+    pub intra_per_part: f64,
+    /// Mean uncompressed inter-edges per partition (Table 1 "Inter").
+    pub inter_per_part: f64,
+}
+
+impl PartitionCensus {
+    /// Compression ratio achieved on inter-edges (≥ 1.0; 1.0 = nothing to
+    /// compress).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.inter_compressed_total == 0 {
+            1.0
+        } else {
+            self.inter_total as f64 / self.inter_compressed_total as f64
+        }
+    }
+}
+
+/// Log-binned degree histogram: bucket `i` counts vertices with degree in
+/// `[2^i, 2^(i+1))` (bucket 0 additionally holds degree-0 vertices at index
+/// 0 via the returned `zeros` field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    pub zeros: usize,
+    /// `buckets[i]` = vertices with degree in `[2^i, 2^(i+1))`.
+    pub buckets: Vec<usize>,
+}
+
+/// Builds the log-binned degree histogram for the stored direction.
+pub fn degree_histogram(csr: &Csr) -> DegreeHistogram {
+    let mut zeros = 0usize;
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in 0..csr.num_vertices() as u32 {
+        let d = csr.degree(v);
+        if d == 0 {
+            zeros += 1;
+            continue;
+        }
+        let b = (u32::BITS - 1 - d.leading_zeros()) as usize;
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    DegreeHistogram { zeros, buckets }
+}
+
+/// Hill estimator of the power-law exponent alpha of the degree
+/// distribution's tail (`p(k) ~ k^-alpha`), using all degrees `>= k_min`.
+/// Returns `None` if fewer than 10 vertices reach `k_min`. Natural graphs
+/// land around 2–3; the paper's skew narrative assumes this regime.
+pub fn powerlaw_exponent(csr: &Csr, k_min: u32) -> Option<f64> {
+    assert!(k_min >= 1);
+    let mut sum_log = 0.0f64;
+    let mut count = 0usize;
+    for v in 0..csr.num_vertices() as u32 {
+        let d = csr.degree(v);
+        if d >= k_min {
+            sum_log += (d as f64 / k_min as f64).ln();
+            count += 1;
+        }
+    }
+    if count < 10 || sum_log <= 0.0 {
+        return None;
+    }
+    Some(1.0 + count as f64 / sum_log)
+}
+
+/// Runs the census on an out-CSR for contiguous partitions of
+/// `verts_per_part` vertices (the last partition may be short).
+pub fn partition_census(csr: &Csr, verts_per_part: usize) -> PartitionCensus {
+    assert!(verts_per_part > 0, "partition must hold at least one vertex");
+    let n = csr.num_vertices();
+    let num_parts = n.div_ceil(verts_per_part).max(1);
+    let part_of = |v: VertexId| v as usize / verts_per_part;
+    let mut intra = 0u64;
+    let mut inter = 0u64;
+    let mut inter_compressed = 0u64;
+    for v in 0..n as u32 {
+        let pv = part_of(v);
+        // Neighbours are sorted, so destination partitions appear in runs;
+        // one compressed message per distinct destination partition.
+        let mut last_part = usize::MAX;
+        for &t in csr.neighbors(v) {
+            let pt = part_of(t);
+            if pt == pv {
+                intra += 1;
+            } else {
+                inter += 1;
+                if pt != last_part {
+                    inter_compressed += 1;
+                }
+            }
+            last_part = pt;
+        }
+    }
+    PartitionCensus {
+        verts_per_part,
+        num_parts,
+        intra_total: intra,
+        inter_total: inter,
+        inter_compressed_total: inter_compressed,
+        intra_per_part: intra as f64 / num_parts as f64,
+        inter_per_part: inter as f64 / num_parts as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, grid};
+    use crate::{Csr, EdgeList};
+
+    #[test]
+    fn census_counts_toy_graph() {
+        // Vertices 0..4, parts of 2: {0,1}, {2,3}.
+        let el = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 3)]);
+        let csr = Csr::from_edge_list(&el);
+        let c = partition_census(&csr, 2);
+        assert_eq!(c.num_parts, 2);
+        assert_eq!(c.intra_total, 2); // (0,1), (2,3)
+        assert_eq!(c.inter_total, 4); // (1,2), (3,0), (0,2), (0,3)
+        // Vertex 0 sends two inter-edges into partition 1 -> compressed to 1.
+        assert_eq!(c.inter_compressed_total, 3);
+        assert!((c.compression_ratio() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_is_intra_heavy_under_row_partitions() {
+        // Rows of the grid land in the same partition, so only the downward
+        // edges cross.
+        let el = grid(8, 16);
+        let csr = Csr::from_edge_list(&el);
+        let c = partition_census(&csr, 16);
+        assert!(c.intra_total > c.inter_total);
+    }
+
+    #[test]
+    fn cycle_census_single_partition() {
+        let csr = Csr::from_edge_list(&cycle(10));
+        let c = partition_census(&csr, 100);
+        assert_eq!(c.num_parts, 1);
+        assert_eq!(c.inter_total, 0);
+        assert_eq!(c.intra_total, 10);
+    }
+
+    #[test]
+    fn degree_summary_cycle_uniform() {
+        let csr = Csr::from_edge_list(&cycle(100));
+        let s = degree_summary(&csr);
+        assert_eq!((s.min, s.max, s.p50), (1, 1, 1));
+        assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_summary_detects_skew() {
+        let g = crate::datasets::small_test_graph(3);
+        let s = degree_summary(g.out_csr());
+        assert!(s.max as f64 > 5.0 * s.mean);
+        assert!(s.top10_edge_share > 0.3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        // Degrees: 0, 1, 2, 3, 4, 8.
+        let el = EdgeList::new(
+            6,
+            [
+                (1u32, 0u32),
+                (2, 0), (2, 1),
+                (3, 0), (3, 1), (3, 2),
+                (4, 0), (4, 1), (4, 2), (4, 3),
+                (5, 0), (5, 1), (5, 2), (5, 3), (5, 4), (5, 4), (5, 4), (5, 4),
+            ]
+            .into_iter()
+            .map(Into::into)
+            .collect(),
+        );
+        let h = degree_histogram(&Csr::from_edge_list(&el));
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.buckets, vec![1, 2, 1, 1]); // [1], [2,3], [4], [8]
+    }
+
+    #[test]
+    fn powerlaw_exponent_detects_heavy_tail() {
+        // In-degree tail of a preferential-attachment graph: alpha ~ 2-3.5.
+        let g = crate::gen::barabasi_albert(5000, 4, 2);
+        let in_csr = Csr::from_edge_list(&g).transposed();
+        let alpha = powerlaw_exponent(&in_csr, 8).expect("enough tail");
+        assert!((1.8..4.0).contains(&alpha), "alpha {alpha}");
+        // An ER graph's tail is much steeper (no heavy tail).
+        let er = crate::gen::erdos_renyi(5000, 40_000, 2);
+        let er_csr = Csr::from_edge_list(&er);
+        let alpha_er = powerlaw_exponent(&er_csr, 8).expect("enough mass");
+        assert!(alpha_er > alpha, "ER {alpha_er} should exceed BA {alpha}");
+    }
+
+    #[test]
+    fn powerlaw_exponent_none_when_tail_too_small() {
+        let csr = Csr::from_edge_list(&cycle(20));
+        assert_eq!(powerlaw_exponent(&csr, 5), None);
+    }
+
+    #[test]
+    fn smaller_partitions_mean_more_inter_edges() {
+        let g = crate::datasets::small_test_graph(4);
+        let c_small = partition_census(g.out_csr(), 32);
+        let c_large = partition_census(g.out_csr(), 512);
+        assert!(c_small.inter_total > c_large.inter_total);
+        assert_eq!(
+            c_small.inter_total + c_small.intra_total,
+            c_large.inter_total + c_large.intra_total
+        );
+    }
+}

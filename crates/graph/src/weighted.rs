@@ -1,0 +1,184 @@
+//! Edge-weighted graphs.
+//!
+//! The paper's PageRank is unweighted, but its §1 frames the computation as
+//! SpMV over the adjacency matrix — and a general sparse matrix has values.
+//! [`WeightedCsr`] pairs a [`Csr`] with one `f32` per edge, stored in CSR
+//! order (so `weights[k]` belongs to the k-th entry of the targets array),
+//! which is exactly what the weighted SpMV and personalized-PageRank
+//! extensions consume.
+
+use crate::{Csr, EdgeList, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed edge with a weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub weight: f32,
+}
+
+/// CSR adjacency plus per-edge weights in CSR order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCsr {
+    csr: Csr,
+    weights: Vec<f32>,
+}
+
+impl WeightedCsr {
+    /// Builds from weighted edges. Parallel edges are kept (their weights
+    /// both apply, as in a general sparse matrix); entries are ordered by
+    /// `(src, dst)` with ties keeping input order.
+    pub fn from_weighted_edges(num_vertices: usize, edges: &[WeightedEdge]) -> Self {
+        // Stable sort by (src, dst) mirrors Csr::from_edges' canonical order
+        // while keeping weights attached.
+        let mut order: Vec<usize> = (0..edges.len()).collect();
+        order.sort_by_key(|&i| (edges[i].src, edges[i].dst));
+        let plain: Vec<crate::Edge> = order
+            .iter()
+            .map(|&i| crate::Edge::new(edges[i].src, edges[i].dst))
+            .collect();
+        // The plain edges are already sorted; Csr::from_edges re-sorts runs
+        // stably (they are already in order), so weight k matches target k.
+        let csr = Csr::from_edges(num_vertices, &plain);
+        let weights = order.iter().map(|&i| edges[i].weight).collect();
+        WeightedCsr { csr, weights }
+    }
+
+    /// Attaches uniform weight 1.0 to every edge of an existing graph —
+    /// the embedding of the unweighted case.
+    pub fn unit_weights(csr: Csr) -> Self {
+        let weights = vec![1.0; csr.num_edges()];
+        WeightedCsr { csr, weights }
+    }
+
+    /// Attaches deterministic pseudo-random weights in `(lo, hi]` to an
+    /// edge list's graph.
+    pub fn random_weights(el: &EdgeList, lo: f32, hi: f32, seed: u64) -> Self {
+        assert!(hi > lo, "empty weight range");
+        let csr = Csr::from_edge_list(el);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = (0..csr.num_edges()).map(|_| rng.gen_range(lo..=hi).max(lo + f32::EPSILON)).collect();
+        WeightedCsr { csr, weights }
+    }
+
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Neighbours of `v` with their weights.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
+        let lo = self.csr.offset(v) as usize;
+        let hi = self.csr.offset(v + 1) as usize;
+        self.csr.neighbors(v).iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// The raw weight array, parallel to `csr().targets_raw()`.
+    #[inline]
+    pub fn weights_raw(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Sum of outgoing weights per vertex (the weighted out-degree that a
+    /// weighted PageRank divides by).
+    pub fn out_weight_sums(&self) -> Vec<f32> {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.neighbors(v).map(|(_, w)| w).sum())
+            .collect()
+    }
+
+    /// The transpose with weights carried along: entry `(v, u, w)` for every
+    /// `(u, v, w)` here.
+    pub fn transposed(&self) -> WeightedCsr {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for v in 0..self.num_vertices() as u32 {
+            for (t, w) in self.neighbors(v) {
+                edges.push(WeightedEdge { src: t, dst: v, weight: w });
+            }
+        }
+        WeightedCsr::from_weighted_edges(self.num_vertices(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedCsr {
+        WeightedCsr::from_weighted_edges(
+            4,
+            &[
+                WeightedEdge { src: 0, dst: 2, weight: 2.0 },
+                WeightedEdge { src: 0, dst: 1, weight: 1.0 },
+                WeightedEdge { src: 1, dst: 3, weight: 4.0 },
+                WeightedEdge { src: 3, dst: 0, weight: 8.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn weights_follow_sorted_targets() {
+        let w = sample();
+        let n0: Vec<_> = w.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 1.0), (2, 2.0)]);
+        assert_eq!(w.neighbors(1).collect::<Vec<_>>(), vec![(3, 4.0)]);
+    }
+
+    #[test]
+    fn out_weight_sums() {
+        let w = sample();
+        assert_eq!(w.out_weight_sums(), vec![3.0, 4.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn unit_weights_embed_unweighted() {
+        let el = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        let w = WeightedCsr::unit_weights(Csr::from_edge_list(&el));
+        assert!(w.weights_raw().iter().all(|&x| x == 1.0));
+        assert_eq!(w.out_weight_sums(), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let w = sample();
+        let t = w.transposed();
+        assert_eq!(t.neighbors(2).collect::<Vec<_>>(), vec![(0, 2.0)]);
+        assert_eq!(t.neighbors(0).collect::<Vec<_>>(), vec![(3, 8.0)]);
+        // Double transpose is the identity.
+        assert_eq!(t.transposed(), w);
+    }
+
+    #[test]
+    fn random_weights_deterministic_and_in_range() {
+        let el = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        let a = WeightedCsr::random_weights(&el, 0.5, 2.0, 9);
+        let b = WeightedCsr::random_weights(&el, 0.5, 2.0, 9);
+        assert_eq!(a, b);
+        assert!(a.weights_raw().iter().all(|&w| (0.5..=2.0).contains(&w)));
+    }
+
+    #[test]
+    fn parallel_edges_keep_both_weights() {
+        let w = WeightedCsr::from_weighted_edges(
+            2,
+            &[
+                WeightedEdge { src: 0, dst: 1, weight: 1.0 },
+                WeightedEdge { src: 0, dst: 1, weight: 3.0 },
+            ],
+        );
+        let ws: Vec<f32> = w.neighbors(0).map(|(_, x)| x).collect();
+        assert_eq!(ws, vec![1.0, 3.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests: both I/O formats round-trip arbitrary edge lists, and the
+//! readers reject corrupted input rather than mis-parsing it.
+
+use hipa_graph::{io, EdgeList};
+use proptest::prelude::*;
+
+fn edge_list_strategy() -> impl Strategy<Value = EdgeList> {
+    (1usize..300, prop::collection::vec((0u32..300, 0u32..300), 0..500)).prop_map(|(n, pairs)| {
+        let edges = pairs
+            .into_iter()
+            .map(|(s, d)| hipa_graph::Edge::new(s % n as u32, d % n as u32))
+            .collect();
+        EdgeList::new(n, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_round_trip(el in edge_list_strategy()) {
+        let mut buf = Vec::new();
+        io::write_text(&mut buf, &el).unwrap();
+        let back = io::read_text(&buf[..]).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_round_trip(el in edge_list_strategy()) {
+        let mut buf = Vec::new();
+        io::write_binary(&mut buf, &el).unwrap();
+        let back = io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn truncated_binary_always_errors(el in edge_list_strategy(), cut in 1usize..64) {
+        let mut buf = Vec::new();
+        io::write_binary(&mut buf, &el).unwrap();
+        if cut < buf.len() {
+            let truncated = &buf[..buf.len() - cut];
+            // Either the header or the payload is short — must error, never
+            // silently return a different graph.
+            prop_assert!(io::read_binary(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_text_reader(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = io::read_text(&bytes[..]); // may Err, must not panic
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_binary_reader(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = io::read_binary(&bytes[..]); // may Err, must not panic
+    }
+}

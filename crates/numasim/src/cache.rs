@@ -1,0 +1,292 @@
+//! Set-associative LRU cache model with write-back dirty tracking and
+//! optional way partitioning (used to model SMT siblings competing for a
+//! shared private cache).
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (64 on every machine modelled here).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    pub fn new(size_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1);
+        assert!(size_bytes >= line_bytes * assoc, "cache smaller than one set");
+        CacheConfig { size_bytes, line_bytes, assoc }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.assoc).max(1)
+    }
+
+    /// Returns the geometry with capacity divided by `divisor` (associativity
+    /// and line size kept). Used to scale the machine alongside the scaled
+    /// graph datasets (DESIGN.md §2).
+    pub fn scaled(&self, divisor: usize) -> CacheConfig {
+        assert!(divisor >= 1);
+        let size = (self.size_bytes / divisor).max(self.line_bytes * self.assoc);
+        CacheConfig { size_bytes: size, line_bytes: self.line_bytes, assoc: self.assoc }
+    }
+}
+
+/// Which ways of each set an access may use. Full range normally; half the
+/// ways when an SMT sibling is competing for the same private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayRange {
+    pub start: usize,
+    pub len: usize,
+}
+
+impl WayRange {
+    pub fn full(assoc: usize) -> Self {
+        WayRange { start: 0, len: assoc }
+    }
+}
+
+/// A line evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    pub line: u64,
+    pub dirty: bool,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// One set-associative LRU cache.
+///
+/// Lines are identified by their global line number (`addr >> line_bits`).
+/// LRU is stamp-based: each hit/insert records a monotonically increasing
+/// counter; the victim is the valid slot with the smallest stamp.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    tags: Vec<u64>,
+    dirty: Vec<bool>,
+    stamp: Vec<u64>,
+    tick: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let slots = sets * cfg.assoc;
+        Cache {
+            cfg,
+            sets,
+            tags: vec![INVALID; slots],
+            dirty: vec![false; slots],
+            stamp: vec![0; slots],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.sets
+    }
+
+    #[inline]
+    fn slot_range(&self, line: u64, ways: WayRange) -> (usize, usize) {
+        debug_assert!(ways.start + ways.len <= self.cfg.assoc, "way range exceeds associativity");
+        let base = self.set_of(line) * self.cfg.assoc + ways.start;
+        (base, base + ways.len)
+    }
+
+    /// Looks the line up; on hit, refreshes LRU and ORs in `mark_dirty`.
+    /// Returns whether it hit.
+    pub fn probe(&mut self, line: u64, ways: WayRange, mark_dirty: bool) -> bool {
+        let (lo, hi) = self.slot_range(line, ways);
+        for i in lo..hi {
+            if self.tags[i] == line {
+                self.tick += 1;
+                self.stamp[i] = self.tick;
+                if mark_dirty {
+                    self.dirty[i] = true;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts the line (which must not currently hit in `ways`), returning
+    /// the victim if a valid line had to be evicted.
+    pub fn insert(&mut self, line: u64, dirty: bool, ways: WayRange) -> Option<Evicted> {
+        let (lo, hi) = self.slot_range(line, ways);
+        self.tick += 1;
+        // Prefer an invalid slot; otherwise evict the LRU one.
+        let mut victim = lo;
+        let mut best = u64::MAX;
+        for i in lo..hi {
+            if self.tags[i] == INVALID {
+                victim = i;
+                break;
+            }
+            if self.stamp[i] < best {
+                best = self.stamp[i];
+                victim = i;
+            }
+        }
+        let out = if self.tags[victim] != INVALID {
+            Some(Evicted { line: self.tags[victim], dirty: self.dirty[victim] })
+        } else {
+            None
+        };
+        self.tags[victim] = line;
+        self.dirty[victim] = dirty;
+        self.stamp[victim] = self.tick;
+        out
+    }
+
+    /// Removes a line wherever it is in its set (all ways — back-invalidation
+    /// ignores way partitioning). Returns the line's dirty bit if present.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let (lo, hi) = self.slot_range(line, WayRange::full(self.cfg.assoc));
+        for i in lo..hi {
+            if self.tags[i] == line {
+                self.tags[i] = INVALID;
+                let d = self.dirty[i];
+                self.dirty[i] = false;
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Whether the line is resident (no LRU update). Test/diagnostic helper.
+    pub fn contains(&self, line: u64) -> bool {
+        let (lo, hi) = self.slot_range(line, WayRange::full(self.cfg.assoc));
+        self.tags[lo..hi].contains(&line)
+    }
+
+    /// Marks the resident line dirty (no-op if absent).
+    pub fn mark_dirty(&mut self, line: u64) {
+        let (lo, hi) = self.slot_range(line, WayRange::full(self.cfg.assoc));
+        for i in lo..hi {
+            if self.tags[i] == line {
+                self.dirty[i] = true;
+                return;
+            }
+        }
+    }
+
+    /// Drops all content (between independent experiment runs).
+    pub fn clear(&mut self) {
+        self.tags.fill(INVALID);
+        self.dirty.fill(false);
+        self.stamp.fill(0);
+        self.tick = 0;
+    }
+
+    /// Number of currently valid lines. Diagnostic.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(1 << 20, 64, 16);
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.scaled(64).size_bytes, 16 * 1024);
+        assert_eq!(c.scaled(1 << 30).size_bytes, 64 * 16); // floor at one set
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut c = tiny();
+        let w = WayRange::full(2);
+        assert!(!c.probe(100, w, false));
+        assert_eq!(c.insert(100, false, w), None);
+        assert!(c.probe(100, w, false));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        let w = WayRange::full(2);
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(0, false, w);
+        c.insert(4, false, w);
+        assert!(c.probe(0, w, false)); // refresh 0 -> 4 becomes LRU
+        let ev = c.insert(8, false, w).unwrap();
+        assert_eq!(ev.line, 4);
+        assert!(c.contains(0) && c.contains(8) && !c.contains(4));
+    }
+
+    #[test]
+    fn dirty_bit_travels_with_eviction() {
+        let mut c = tiny();
+        let w = WayRange::full(2);
+        c.insert(0, false, w);
+        assert!(c.probe(0, w, true)); // write marks dirty
+        c.insert(4, false, w);
+        let ev = c.insert(8, false, w).unwrap();
+        assert_eq!(ev, Evicted { line: 0, dirty: true });
+    }
+
+    #[test]
+    fn way_partitioning_isolates_halves() {
+        let mut c = tiny();
+        let left = WayRange { start: 0, len: 1 };
+        let right = WayRange { start: 1, len: 1 };
+        c.insert(0, false, left);
+        // The sibling's half does not see the line...
+        assert!(!c.probe(0, right, false));
+        // ...and inserting there evicts nothing.
+        assert_eq!(c.insert(4, false, right), None);
+        // Full-width probe sees both.
+        assert!(c.contains(0) && c.contains(4));
+    }
+
+    #[test]
+    fn invalidate_reports_dirty() {
+        let mut c = tiny();
+        let w = WayRange::full(2);
+        c.insert(7, true, w);
+        assert_eq!(c.invalidate(7), Some(true));
+        assert_eq!(c.invalidate(7), None);
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut c = tiny();
+        let w = WayRange::full(2);
+        for line in 0..100 {
+            c.probe(line, w, false);
+            c.insert(line, false, w);
+        }
+        assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny();
+        c.insert(3, true, WayRange::full(2));
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+    }
+}

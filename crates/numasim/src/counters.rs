@@ -1,0 +1,242 @@
+//! Event counters and the per-run report.
+//!
+//! These are the simulator's equivalents of the hardware counters the paper
+//! reads with VTune/perf: DRAM accesses split local/remote (Fig. 5's MApE),
+//! LLC hits (Fig. 7), thread creations and migrations (§3.3).
+
+/// Memory-hierarchy event totals. All DRAM counters are in 64-byte-line
+/// events; byte figures multiply by the line size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Line-granular load accesses issued.
+    pub reads: u64,
+    /// Line-granular store accesses issued.
+    pub writes: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub llc_hits: u64,
+    /// Demand lines served from the accessing core's own node DRAM.
+    pub dram_local: u64,
+    /// Demand lines served from a remote node's DRAM.
+    pub dram_remote: u64,
+    /// Dirty write-backs that landed in local DRAM.
+    pub wb_local: u64,
+    /// Dirty write-backs that landed in remote DRAM.
+    pub wb_remote: u64,
+    /// Atomic read-modify-write operations.
+    pub atomics: u64,
+    /// Arithmetic operations charged via `ThreadCtx::compute`.
+    pub compute_ops: u64,
+}
+
+impl MemCounters {
+    /// Total lines that reached DRAM (demand + write-back).
+    pub fn dram_lines(&self) -> u64 {
+        self.dram_local + self.dram_remote + self.wb_local + self.wb_remote
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self, line_bytes: usize) -> u64 {
+        self.dram_lines() * line_bytes as u64
+    }
+
+    /// DRAM traffic that crossed the socket interconnect, in bytes.
+    pub fn dram_remote_bytes(&self, line_bytes: usize) -> u64 {
+        (self.dram_remote + self.wb_remote) * line_bytes as u64
+    }
+
+    /// Fraction of DRAM traffic that was remote (the percentage annotated on
+    /// top of Fig. 5's bars).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.dram_lines();
+        if total == 0 {
+            0.0
+        } else {
+            (self.dram_remote + self.wb_remote) as f64 / total as f64
+        }
+    }
+
+    /// LLC hit ratio among accesses that reached the LLC.
+    pub fn llc_hit_ratio(&self) -> f64 {
+        let reached = self.llc_hits + self.dram_local + self.dram_remote;
+        if reached == 0 {
+            0.0
+        } else {
+            self.llc_hits as f64 / reached as f64
+        }
+    }
+
+    pub fn add(&mut self, o: &MemCounters) {
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.llc_hits += o.llc_hits;
+        self.dram_local += o.dram_local;
+        self.dram_remote += o.dram_remote;
+        self.wb_local += o.wb_local;
+        self.wb_remote += o.wb_remote;
+        self.atomics += o.atomics;
+        self.compute_ops += o.compute_ops;
+    }
+}
+
+/// Timing record of one parallel phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Cycles the phase occupied on the wall clock (after congestion).
+    pub cycles: f64,
+    /// Max single-thread clock in the phase (latency/compute component).
+    pub max_thread_cycles: f64,
+    /// Cycles implied by the busiest node's DRAM byte demand.
+    pub bandwidth_cycles: f64,
+    /// True when the roofline picked the bandwidth term — the phase was
+    /// memory-bandwidth-bound (the regime Fig. 6's p-PR/GPOP collapse into).
+    pub bandwidth_bound: bool,
+}
+
+/// Full result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Label supplied by the engine ("HiPa", "p-PR", ...).
+    pub label: String,
+    /// Machine preset name.
+    pub machine: String,
+    /// Total simulated cycles.
+    pub cycles: f64,
+    /// Processor frequency used to convert cycles to seconds.
+    pub ghz: f64,
+    /// Cache line size (for byte conversions).
+    pub line_bytes: usize,
+    pub mem: MemCounters,
+    pub threads_created: u64,
+    pub migrations: u64,
+    pub phases: u64,
+    /// Phases that ended bandwidth-bound.
+    pub bandwidth_bound_phases: u64,
+}
+
+impl SimReport {
+    /// Simulated wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles / (self.ghz * 1e9)
+    }
+
+    /// Memory accesses per edge in bytes — Fig. 5's y-axis. DRAM traffic
+    /// divided by the edge count of the processed graph.
+    pub fn mape(&self, num_edges: usize) -> f64 {
+        self.mem.dram_bytes(self.line_bytes) as f64 / num_edges.max(1) as f64
+    }
+
+    /// Remote component of [`Self::mape`].
+    pub fn remote_mape(&self, num_edges: usize) -> f64 {
+        self.mem.dram_remote_bytes(self.line_bytes) as f64 / num_edges.max(1) as f64
+    }
+
+    /// Multi-line human-readable summary (used by the CLI and examples).
+    pub fn render(&self) -> String {
+        let m = &self.mem;
+        format!(
+            "[{label} on {machine}]\n\
+             time:     {secs:.4}s ({cycles:.3e} cycles @ {ghz} GHz)\n\
+             accesses: {reads} reads, {writes} writes, {atomics} atomics\n\
+             hits:     L1 {l1}, L2 {l2}, LLC {llc} ({llcr:.1}% of LLC lookups)\n\
+             DRAM:     {dl} local + {dr} remote demand, {wl}+{wr} write-backs ({rem:.1}% remote)\n\
+             threads:  {tc} created, {mig} migrations, {ph} phases ({bw} bandwidth-bound)",
+            label = self.label,
+            machine = self.machine,
+            secs = self.seconds(),
+            cycles = self.cycles,
+            ghz = self.ghz,
+            reads = m.reads,
+            writes = m.writes,
+            atomics = m.atomics,
+            l1 = m.l1_hits,
+            l2 = m.l2_hits,
+            llc = m.llc_hits,
+            llcr = m.llc_hit_ratio() * 100.0,
+            dl = m.dram_local,
+            dr = m.dram_remote,
+            wl = m.wb_local,
+            wr = m.wb_remote,
+            rem = m.remote_fraction() * 100.0,
+            tc = self.threads_created,
+            mig = self.migrations,
+            ph = self.phases,
+            bw = self.bandwidth_bound_phases,
+        )
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fraction_and_bytes() {
+        let c = MemCounters { dram_local: 60, dram_remote: 30, wb_local: 5, wb_remote: 5, ..Default::default() };
+        assert!((c.remote_fraction() - 0.35).abs() < 1e-12);
+        assert_eq!(c.dram_bytes(64), 100 * 64);
+        assert_eq!(c.dram_remote_bytes(64), 35 * 64);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let c = MemCounters::default();
+        assert_eq!(c.remote_fraction(), 0.0);
+        assert_eq!(c.llc_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn report_units() {
+        let r = SimReport {
+            label: "x".into(),
+            machine: "m".into(),
+            cycles: 2.2e9,
+            ghz: 2.2,
+            line_bytes: 64,
+            mem: MemCounters { dram_local: 1000, ..Default::default() },
+            threads_created: 0,
+            migrations: 0,
+            phases: 0,
+            bandwidth_bound_phases: 0,
+        };
+        assert!((r.seconds() - 1.0).abs() < 1e-12);
+        assert!((r.mape(6400) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_key_fields() {
+        let r = SimReport {
+            label: "HiPa".into(),
+            machine: "skylake-4210".into(),
+            cycles: 1e9,
+            ghz: 2.2,
+            line_bytes: 64,
+            mem: MemCounters { dram_remote: 42, dram_local: 58, ..Default::default() },
+            threads_created: 40,
+            migrations: 3,
+            phases: 20,
+            bandwidth_bound_phases: 2,
+        };
+        let out = r.to_string();
+        assert!(out.contains("HiPa"));
+        assert!(out.contains("42 remote"));
+        assert!(out.contains("40 created, 3 migrations"));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = MemCounters { reads: 1, l2_hits: 2, ..Default::default() };
+        a.add(&MemCounters { reads: 3, atomics: 4, ..Default::default() });
+        assert_eq!(a.reads, 4);
+        assert_eq!(a.l2_hits, 2);
+        assert_eq!(a.atomics, 4);
+    }
+}

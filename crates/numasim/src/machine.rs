@@ -1,0 +1,840 @@
+//! The simulated machine: pools of simulated threads, barrier-synchronised
+//! parallel phases, the full cache/NUMA access path, and the roofline
+//! bandwidth-congestion model.
+//!
+//! # Execution model
+//!
+//! An engine expresses its computation as a sequence of *phases* over a
+//! thread *pool*. Within [`SimMachine::phase`] each simulated thread's work
+//! closure runs to completion (host-sequentially — the host has one core),
+//! accumulating cycles on the thread's private clock and driving the cache
+//! hierarchy of the logical CPU it is placed on. At the end of the phase the
+//! wall clock advances by
+//!
+//! ```text
+//! max(max_thread_cycles,                 // latency/compute bound
+//!     max_node DRAM bytes / node_bw,     // DRAM bandwidth bound
+//!     cross-socket bytes / interconnect_bw)
+//!   + barrier cost
+//! ```
+//!
+//! which is the standard roofline approximation: a phase is as slow as its
+//! slowest thread unless the threads collectively saturate a memory channel
+//! (the regime responsible for the partition-centric scalability collapse in
+//! the paper's Fig. 6).
+//!
+//! Two simulated threads sharing a physical core (SMT siblings) have the
+//! core's private L1/L2 *way-partitioned* between them — each sees half the
+//! associativity — modelling the §3.3 observation that hyper-threaded pairs
+//! compete for the private cache.
+
+use crate::cache::{Cache, WayRange};
+use crate::counters::{MemCounters, PhaseStat, SimReport};
+use crate::mem::{AddressSpace, Placement, RegionId};
+use crate::sched::{place, ThreadPlacement};
+use crate::spec::MachineSpec;
+use crate::topology::LogicalCpu;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Handle to a created thread pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolId(usize);
+
+/// How work inside a phase responds to slow threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseBalance {
+    /// Work is statically assigned (HiPa's thread-data pinning): the phase
+    /// lasts as long as its slowest thread.
+    Static,
+    /// Work is claimed dynamically (FCFS counters, OpenMP-dynamic chunks,
+    /// work stealing): threads on shared cores simply claim less, so the
+    /// phase cost is the throughput-weighted mean, floored by the slowest
+    /// single thread's *per-unit* share (one claim granule).
+    Dynamic,
+}
+
+#[derive(Debug, Clone)]
+struct Pool {
+    cpus: Vec<LogicalCpu>,
+}
+
+/// A simulated NUMA multicore machine.
+///
+/// ```
+/// use hipa_numasim::{MachineSpec, Placement, SimMachine, ThreadPlacement};
+/// let mut m = SimMachine::new(MachineSpec::tiny_test());
+/// let local = m.alloc("local", 4096, Placement::Node(0));
+/// let remote = m.alloc("remote", 4096, Placement::Node(1));
+/// // The sequential context runs on socket 0: one local, one remote miss.
+/// m.seq(|ctx| {
+///     ctx.read(local, 0, 4);
+///     ctx.read(remote, 0, 4);
+/// });
+/// assert_eq!(m.counters().dram_local, 1);
+/// assert_eq!(m.counters().dram_remote, 1);
+/// ```
+#[derive(Debug)]
+pub struct SimMachine {
+    spec: MachineSpec,
+    space: AddressSpace,
+    /// Private caches, one per *physical* core.
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    /// Shared LLC, one per socket.
+    llc: Vec<Cache>,
+    rng: StdRng,
+    pools: Vec<Pool>,
+    mem: MemCounters,
+    /// DRAM lines (demand + write-back) per region — the per-data-structure
+    /// traffic breakdown a VTune memory-access analysis would show.
+    region_dram: Vec<u64>,
+    threads_created: u64,
+    migrations: u64,
+    cycles: f64,
+    phases: Vec<PhaseStat>,
+}
+
+impl SimMachine {
+    pub fn new(spec: MachineSpec) -> Self {
+        let pc = spec.topology.physical_cores();
+        let sockets = spec.topology.sockets;
+        SimMachine {
+            space: AddressSpace::new(sockets),
+            l1: (0..pc).map(|_| Cache::new(spec.l1)).collect(),
+            l2: (0..pc).map(|_| Cache::new(spec.l2)).collect(),
+            llc: (0..sockets).map(|_| Cache::new(spec.llc)).collect(),
+            rng: StdRng::seed_from_u64(spec.seed),
+            pools: Vec::new(),
+            mem: MemCounters::default(),
+            region_dram: Vec::new(),
+            threads_created: 0,
+            migrations: 0,
+            cycles: 0.0,
+            phases: Vec::new(),
+            spec,
+        }
+    }
+
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Allocates a named data region with a NUMA placement policy.
+    pub fn alloc(&mut self, name: &str, bytes: usize, placement: Placement) -> RegionId {
+        self.region_dram.push(0);
+        self.space.alloc(name, bytes, placement)
+    }
+
+    /// DRAM lines (demand + write-back) per region, most-trafficked first —
+    /// the per-array breakdown used by diagnostics and the placement
+    /// examples.
+    pub fn dram_lines_by_region(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .region_dram
+            .iter()
+            .enumerate()
+            .map(|(i, &lines)| (self.space.region_name(RegionId::from_index(i)).to_string(), lines))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    pub(crate) fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Creates a pool of `n` simulated threads. Charges the spawn cost for
+    /// the parallel-region entry plus one migration cost per thread the
+    /// placement policy had to move (§3.3). Counts toward
+    /// `threads_created` — the quantity Algorithm 1 inflates and
+    /// Algorithm 2 minimises.
+    pub fn create_pool(&mut self, n: usize, policy: &ThreadPlacement) -> PoolId {
+        let pr = place(&self.spec.topology, &mut self.rng, n, policy);
+        self.threads_created += n as u64;
+        self.migrations += pr.migrations;
+        self.cycles += self.spec.cost.spawn + pr.migrations as f64 * self.spec.cost.migration;
+        self.pools.push(Pool { cpus: pr.cpus });
+        PoolId(self.pools.len() - 1)
+    }
+
+    /// The logical CPUs a pool's threads ended up on.
+    pub fn pool_cpus(&self, pool: PoolId) -> &[LogicalCpu] {
+        &self.pools[pool.0].cpus
+    }
+
+    /// Runs one barrier-synchronised parallel phase with static work
+    /// assignment: `f(i, ctx)` is invoked once per thread `i` in the pool.
+    pub fn phase<F>(&mut self, pool: PoolId, f: F)
+    where
+        F: FnMut(usize, &mut ThreadCtx),
+    {
+        self.phase_balanced(pool, PhaseBalance::Static, f)
+    }
+
+    /// [`Self::phase`] with an explicit load-balance model.
+    pub fn phase_balanced<F>(&mut self, pool: PoolId, balance: PhaseBalance, mut f: F)
+    where
+        F: FnMut(usize, &mut ThreadCtx),
+    {
+        let cpus = self.pools[pool.0].cpus.clone();
+        if cpus.is_empty() {
+            return;
+        }
+        let topo = self.spec.topology;
+        let mut active_per_core = vec![0u8; topo.physical_cores()];
+        for c in &cpus {
+            active_per_core[topo.core_of(*c)] += 1;
+        }
+        let sockets = topo.sockets;
+        let mut max_clock = 0f64;
+        let mut sum_clock = 0f64;
+        let mut node_bytes = vec![0f64; sockets];
+        let mut xsock_bytes = 0f64;
+        let smt_throughput = self.spec.cost.smt_throughput;
+        for (i, &cpu) in cpus.iter().enumerate() {
+            let core = topo.core_of(cpu);
+            let siblings = active_per_core[core] as usize;
+            let mut ctx = ThreadCtx::new(self, cpu, siblings);
+            f(i, &mut ctx);
+            // SMT siblings share the core's execution resources: each runs
+            // at smt_throughput / siblings of full speed.
+            let slow = if siblings > 1 { siblings as f64 / smt_throughput } else { 1.0 };
+            max_clock = max_clock.max(ctx.clock * slow);
+            sum_clock += ctx.clock * slow;
+            for (t, b) in node_bytes.iter_mut().zip(&ctx.stream_node_bytes) {
+                *t += b;
+            }
+            xsock_bytes += ctx.stream_xsock_bytes;
+        }
+        let latency_clock = match balance {
+            PhaseBalance::Static => max_clock,
+            // Dynamic claiming redistributes work away from slow threads;
+            // the mean is floored at half the slowest thread's static share
+            // (claim granularity / tail effects).
+            PhaseBalance::Dynamic => (sum_clock / cpus.len() as f64).max(max_clock * 0.5),
+        };
+        let max_clock = latency_clock;
+        let cost = &self.spec.cost;
+        let bw_node = node_bytes.iter().cloned().fold(0f64, f64::max) / cost.node_bw_bytes_per_cycle;
+        let bw_x = xsock_bytes / cost.interconnect_bw_bytes_per_cycle;
+        let bw = bw_node.max(bw_x);
+        // Past saturation, contention (queueing, row-buffer conflicts, bus
+        // arbitration) makes the channel *less* efficient, not just full —
+        // the §4.4 observation that extra threads "aggregate the contention
+        // on bus and cache resources". Model: the bandwidth term grows by
+        // 60 % of its oversubscription ratio.
+        let t = if bw > max_clock && max_clock > 0.0 {
+            let over = bw / max_clock - 1.0;
+            bw * (1.0 + 1.2 * over.min(3.0)) + cost.barrier
+        } else {
+            max_clock.max(bw) + cost.barrier
+        };
+        self.cycles += t;
+        self.phases.push(PhaseStat {
+            cycles: t,
+            max_thread_cycles: max_clock,
+            bandwidth_cycles: bw,
+            bandwidth_bound: bw > max_clock,
+        });
+    }
+
+    /// Runs sequential (single-thread) work on logical CPU 0 — preprocessing,
+    /// partitioning, result concatenation.
+    pub fn seq<R, F: FnOnce(&mut ThreadCtx) -> R>(&mut self, f: F) -> R {
+        let mut ctx = ThreadCtx::new(self, LogicalCpu(0), 1);
+        let r = f(&mut ctx);
+        let clock = ctx.clock;
+        self.cycles += clock;
+        r
+    }
+
+    /// Advances the wall clock by a fixed number of cycles (modelled fixed
+    /// costs outside the access path).
+    pub fn advance(&mut self, cycles: f64) {
+        self.cycles += cycles;
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Simulated wall time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.cycles / (self.spec.cost.ghz * 1e9)
+    }
+
+    pub fn counters(&self) -> &MemCounters {
+        &self.mem
+    }
+
+    pub fn threads_created(&self) -> u64 {
+        self.threads_created
+    }
+
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    pub fn phase_stats(&self) -> &[PhaseStat] {
+        &self.phases
+    }
+
+    /// Snapshots a [`SimReport`].
+    pub fn report(&self, label: &str) -> SimReport {
+        SimReport {
+            label: label.to_string(),
+            machine: self.spec.name.clone(),
+            cycles: self.cycles,
+            ghz: self.spec.cost.ghz,
+            line_bytes: self.spec.l1.line_bytes,
+            mem: self.mem,
+            threads_created: self.threads_created,
+            migrations: self.migrations,
+            phases: self.phases.len() as u64,
+            bandwidth_bound_phases: self.phases.iter().filter(|p| p.bandwidth_bound).count() as u64,
+        }
+    }
+
+    /// Clears counters and the wall clock (cache contents survive). Used by
+    /// harnesses that warm up before measuring, mirroring the paper's
+    /// averaging over repeated runs.
+    pub fn reset_measurement(&mut self) {
+        self.mem = MemCounters::default();
+        self.cycles = 0.0;
+        self.phases.clear();
+        self.threads_created = 0;
+        self.migrations = 0;
+    }
+}
+
+/// Per-thread access context handed to phase closures. Every simulated load
+/// and store flows through here.
+pub struct ThreadCtx<'m> {
+    m: &'m mut SimMachine,
+    cpu: LogicalCpu,
+    core: usize,
+    socket: usize,
+    l1w: WayRange,
+    l2w: WayRange,
+    clock: f64,
+    /// DRAM bytes from *streaming* accesses (and write-backs) per node —
+    /// the only traffic the bandwidth roofline constrains. Random-access
+    /// bytes are already latency-throttled by the per-access cost.
+    stream_node_bytes: Vec<f64>,
+    stream_xsock_bytes: f64,
+}
+
+impl<'m> ThreadCtx<'m> {
+    fn new(m: &'m mut SimMachine, cpu: LogicalCpu, active_on_core: usize) -> Self {
+        let topo = m.spec.topology;
+        let core = topo.core_of(cpu);
+        let socket = topo.socket_of(cpu);
+        let part = |assoc: usize| -> WayRange {
+            if active_on_core <= 1 {
+                WayRange::full(assoc)
+            } else {
+                // Way-partition the private cache between SMT siblings.
+                let share = (assoc / active_on_core).max(1);
+                let idx = topo.smt_index_of(cpu).min(active_on_core - 1);
+                let start = (share * idx).min(assoc - share);
+                WayRange { start, len: share }
+            }
+        };
+        let sockets = topo.sockets;
+        ThreadCtx {
+            l1w: part(m.spec.l1.assoc),
+            l2w: part(m.spec.l2.assoc),
+            m,
+            cpu,
+            core,
+            socket,
+            clock: 0.0,
+            stream_node_bytes: vec![0.0; sockets],
+            stream_xsock_bytes: 0.0,
+        }
+    }
+
+    /// The logical CPU this simulated thread runs on.
+    pub fn cpu(&self) -> LogicalCpu {
+        self.cpu
+    }
+
+    /// The NUMA node (socket) this thread runs on.
+    pub fn socket(&self) -> usize {
+        self.socket
+    }
+
+    /// This thread's clock within the current phase, in cycles.
+    pub fn thread_cycles(&self) -> f64 {
+        self.clock
+    }
+
+    /// Random-access read of `len` bytes at `offset` in `region`.
+    #[inline]
+    pub fn read(&mut self, region: RegionId, offset: usize, len: usize) {
+        self.access(region, offset, len, false, false);
+    }
+
+    /// Random-access write.
+    #[inline]
+    pub fn write(&mut self, region: RegionId, offset: usize, len: usize) {
+        self.access(region, offset, len, true, false);
+    }
+
+    /// Sequential (prefetch-friendly) read of a byte range.
+    #[inline]
+    pub fn stream_read(&mut self, region: RegionId, offset: usize, len: usize) {
+        self.access(region, offset, len, false, true);
+    }
+
+    /// Sequential write of a byte range.
+    #[inline]
+    pub fn stream_write(&mut self, region: RegionId, offset: usize, len: usize) {
+        self.access(region, offset, len, true, true);
+    }
+
+    /// Atomic read-modify-write (`fetch_add` and friends): a random write
+    /// access plus the atomic's extra latency.
+    pub fn atomic_rmw(&mut self, region: RegionId, offset: usize, len: usize) {
+        self.access(region, offset, len, true, false);
+        self.clock += self.m.spec.cost.atomic_extra;
+        self.m.mem.atomics += 1;
+    }
+
+    /// Charges `ops` arithmetic operations to this thread.
+    #[inline]
+    pub fn compute(&mut self, ops: u64) {
+        self.clock += ops as f64 * self.m.spec.cost.op;
+        self.m.mem.compute_ops += ops;
+    }
+
+    /// Charges raw cycles (fixed modelled costs).
+    #[inline]
+    pub fn charge(&mut self, cycles: f64) {
+        self.clock += cycles;
+    }
+
+    fn access(&mut self, region: RegionId, offset: usize, len: usize, write: bool, stream: bool) {
+        debug_assert!(len > 0);
+        let line_bytes = self.m.spec.l1.line_bytes as u64;
+        let base = self.m.space.addr(region, 0);
+        let addr = base + offset as u64;
+        let first = addr / line_bytes;
+        let last = (addr + len as u64 - 1) / line_bytes;
+        let max_off = self.m.space.region_len(region).saturating_sub(1);
+        for line in first..=last {
+            // Regions are page-aligned, so every line of the region starts at
+            // or after the base; its region offset locates the owning page.
+            let off = ((line * line_bytes).max(base) - base) as usize;
+            self.access_line(region, off.min(max_off), line, write, stream);
+        }
+    }
+
+    fn access_line(&mut self, region: RegionId, offset: usize, line: u64, write: bool, stream: bool) {
+        let m = &mut *self.m;
+        let cost = &m.spec.cost;
+        if write {
+            m.mem.writes += 1;
+        } else {
+            m.mem.reads += 1;
+        }
+        // L1.
+        if m.l1[self.core].probe(line, self.l1w, write) {
+            m.mem.l1_hits += 1;
+            self.clock += cost.l1_hit;
+            return;
+        }
+        // L2.
+        if m.l2[self.core].probe(line, self.l2w, false) {
+            m.mem.l2_hits += 1;
+            self.clock += cost.l2_hit;
+            self.fill_l1(line, write);
+            return;
+        }
+        // LLC (shared, full ways).
+        let llc_ways = WayRange::full(self.m.spec.llc.assoc);
+        if self.m.llc[self.socket].probe(line, llc_ways, false) {
+            self.m.mem.llc_hits += 1;
+            self.clock += self.m.spec.cost.llc_hit;
+            self.fill_l2(line, false);
+            self.fill_l1(line, write);
+            return;
+        }
+        // DRAM. A first-touch page is claimed by this thread's node.
+        let owner = self.m.space_mut().touch(region, offset, self.socket);
+        let local = owner == self.socket;
+        let cost = &self.m.spec.cost;
+        self.clock += match (stream, local) {
+            (true, true) => cost.dram_stream_local,
+            (true, false) => cost.dram_stream_remote,
+            (false, true) => cost.dram_random_local,
+            (false, false) => cost.dram_random_remote,
+        };
+        let lb = self.m.spec.l1.line_bytes as f64;
+        self.m.region_dram[region.index()] += 1;
+        if local {
+            self.m.mem.dram_local += 1;
+        } else {
+            self.m.mem.dram_remote += 1;
+            if stream {
+                self.stream_xsock_bytes += lb;
+            }
+        }
+        if stream {
+            self.stream_node_bytes[owner] += lb;
+        }
+        if self.m.spec.llc_inclusive {
+            self.fill_llc(line, false);
+        }
+        self.fill_l2(line, false);
+        self.fill_l1(line, write);
+    }
+
+    fn fill_l1(&mut self, line: u64, dirty: bool) {
+        if let Some(v) = self.m.l1[self.core].insert(line, dirty, self.l1w) {
+            if v.dirty {
+                // Write the dirty victim back into L2.
+                if self.m.l2[self.core].contains(v.line) {
+                    self.m.l2[self.core].mark_dirty(v.line);
+                } else {
+                    self.fill_l2(v.line, true);
+                }
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, line: u64, dirty: bool) {
+        if let Some(v) = self.m.l2[self.core].insert(line, dirty, self.l2w) {
+            if self.m.spec.llc_inclusive {
+                // Inclusive LLC already tracks the line; just propagate dirt.
+                if self.m.llc[self.socket].contains(v.line) {
+                    if v.dirty {
+                        self.m.llc[self.socket].mark_dirty(v.line);
+                    }
+                } else if v.dirty {
+                    self.writeback(v.line);
+                }
+            } else {
+                // Non-inclusive LLC acts as a victim cache for L2 evictions.
+                self.fill_llc(v.line, v.dirty);
+            }
+        }
+    }
+
+    fn fill_llc(&mut self, line: u64, dirty: bool) {
+        let ways = WayRange::full(self.m.spec.llc.assoc);
+        if self.m.llc[self.socket].contains(line) {
+            if dirty {
+                self.m.llc[self.socket].mark_dirty(line);
+            }
+            return;
+        }
+        if let Some(v) = self.m.llc[self.socket].insert(line, dirty, ways) {
+            let mut victim_dirty = v.dirty;
+            if self.m.spec.llc_inclusive {
+                // Inclusive LLC: evicted lines may not live in any private
+                // cache of this socket — back-invalidate them.
+                let topo = self.m.spec.topology;
+                let lo = self.socket * topo.cores_per_socket;
+                for core in lo..lo + topo.cores_per_socket {
+                    if let Some(d) = self.m.l1[core].invalidate(v.line) {
+                        victim_dirty |= d;
+                    }
+                    if let Some(d) = self.m.l2[core].invalidate(v.line) {
+                        victim_dirty |= d;
+                    }
+                }
+            }
+            if victim_dirty {
+                self.writeback(v.line);
+            }
+        }
+    }
+
+    fn writeback(&mut self, line: u64) {
+        let lb = self.m.spec.l1.line_bytes;
+        let region = self.m.space.region_of_addr(line * lb as u64);
+        self.m.region_dram[region.index()] += 1;
+        let owner = self.m.space.owner_of_addr(line * lb as u64);
+        // Write-backs are bursty DMA-like traffic: count them against the
+        // bandwidth roofline like streams.
+        if owner == self.socket {
+            self.m.mem.wb_local += 1;
+        } else {
+            self.m.mem.wb_remote += 1;
+            self.stream_xsock_bytes += lb as f64;
+        }
+        self.stream_node_bytes[owner] += lb as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    fn machine() -> SimMachine {
+        SimMachine::new(MachineSpec::tiny_test())
+    }
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let mut m = machine();
+        let r = m.alloc("a", 4096, Placement::Node(0));
+        m.seq(|ctx| {
+            ctx.read(r, 0, 4);
+            ctx.read(r, 0, 4);
+            ctx.read(r, 8, 4); // same line
+        });
+        let c = m.counters();
+        assert_eq!(c.dram_local + c.dram_remote, 1);
+        assert_eq!(c.l1_hits, 2);
+    }
+
+    #[test]
+    fn local_vs_remote_classification() {
+        let mut m = machine();
+        let r0 = m.alloc("n0", 4096, Placement::Node(0));
+        let r1 = m.alloc("n1", 4096, Placement::Node(1));
+        // Sequential context runs on logical CPU 0 = socket 0.
+        m.seq(|ctx| {
+            assert_eq!(ctx.socket(), 0);
+            ctx.read(r0, 0, 4);
+            ctx.read(r1, 0, 4);
+        });
+        let c = m.counters();
+        assert_eq!(c.dram_local, 1);
+        assert_eq!(c.dram_remote, 1);
+    }
+
+    #[test]
+    fn remote_access_costs_more() {
+        let mut m1 = machine();
+        let r = m1.alloc("n0", 4096, Placement::Node(0));
+        m1.seq(|ctx| ctx.read(r, 0, 4));
+        let local_cycles = m1.cycles();
+
+        let mut m2 = machine();
+        let r = m2.alloc("n1", 4096, Placement::Node(1));
+        m2.seq(|ctx| ctx.read(r, 0, 4));
+        let remote_cycles = m2.cycles();
+        assert!(remote_cycles > local_cycles);
+    }
+
+    #[test]
+    fn streaming_cheaper_than_random() {
+        let spec = MachineSpec::tiny_test();
+        let bytes = 64 * 1024;
+        let mut m1 = SimMachine::new(spec.clone());
+        let r = m1.alloc("a", bytes, Placement::Node(0));
+        m1.seq(|ctx| ctx.stream_read(r, 0, bytes));
+        let stream = m1.cycles();
+
+        let mut m2 = SimMachine::new(spec);
+        let r = m2.alloc("a", bytes, Placement::Node(0));
+        m2.seq(|ctx| {
+            // Touch the same lines in a cache-defeating stride order.
+            let lines = bytes / 64;
+            let mut i = 0;
+            for _ in 0..lines {
+                ctx.read(r, i * 64, 4);
+                i = (i + 97) % lines; // coprime stride
+            }
+        });
+        let random = m2.cycles();
+        assert!(stream * 2.0 < random, "stream {stream} vs random {random}");
+    }
+
+    #[test]
+    fn multi_line_access_touches_each_line() {
+        let mut m = machine();
+        let r = m.alloc("a", 4096, Placement::Node(0));
+        m.seq(|ctx| ctx.stream_read(r, 0, 256)); // 4 lines
+        assert_eq!(m.counters().reads, 4);
+    }
+
+    #[test]
+    fn phase_advances_wall_clock_by_max_thread() {
+        let mut m = machine();
+        let r = m.alloc("a", 1 << 16, Placement::Node(0));
+        let pool = m.create_pool(2, &ThreadPlacement::RoundRobin);
+        let before = m.cycles();
+        m.phase(pool, |i, ctx| {
+            // Thread 1 does twice the work.
+            let n = if i == 0 { 10 } else { 20 };
+            for k in 0..n {
+                ctx.read(r, (k * 64) % (1 << 16), 4);
+            }
+            ctx.compute(1000);
+        });
+        let stat = m.phase_stats().last().unwrap().clone();
+        assert!(m.cycles() > before);
+        assert!(stat.max_thread_cycles > 0.0);
+        // Phase time includes the barrier.
+        assert!(stat.cycles >= stat.max_thread_cycles);
+    }
+
+    #[test]
+    fn pool_binding_counts_migrations_and_costs_time() {
+        let mut m = machine();
+        let t0 = m.cycles();
+        let _ = m.create_pool(4, &ThreadPlacement::BindNode(vec![0, 0, 1, 1]));
+        assert_eq!(m.threads_created(), 4);
+        // tiny_test has 8 logical CPUs; a random 4-thread placement nearly
+        // always needs at least one move (verified deterministic via seed).
+        assert!(m.migrations() > 0);
+        assert!(m.cycles() > t0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut m = machine();
+            let r = m.alloc("a", 1 << 14, Placement::Interleaved);
+            let pool = m.create_pool(4, &ThreadPlacement::OsRandom);
+            m.phase(pool, |i, ctx| {
+                for k in 0..100 {
+                    ctx.read(r, ((i * 1000 + k * 67) % 256) * 64, 4);
+                }
+            });
+            (m.cycles(), *m.counters())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn capacity_eviction_reaches_dram_twice() {
+        let mut m = machine();
+        // Working set far beyond L1+L2+LLC of the tiny machine (20.5 KB).
+        let bytes = 256 * 1024;
+        let r = m.alloc("a", bytes, Placement::Node(0));
+        m.seq(|ctx| {
+            ctx.stream_read(r, 0, bytes);
+            ctx.stream_read(r, 0, bytes);
+        });
+        let c = m.counters();
+        // Second pass misses again: demand DRAM lines ~ 2 * lines.
+        let lines = (bytes / 64) as u64;
+        assert!(c.dram_local > 2 * lines - lines / 4, "dram {} vs lines {}", c.dram_local, lines);
+    }
+
+    #[test]
+    fn dirty_writebacks_counted() {
+        let mut m = machine();
+        let bytes = 256 * 1024;
+        let r = m.alloc("a", bytes, Placement::Node(0));
+        m.seq(|ctx| {
+            ctx.stream_write(r, 0, bytes);
+            // Force eviction of the dirty lines with a second big region.
+        });
+        let r2 = m.alloc("b", bytes, Placement::Node(0));
+        m.seq(|ctx| ctx.stream_read(r2, 0, bytes));
+        assert!(m.counters().wb_local > 0, "no write-backs recorded");
+    }
+
+    #[test]
+    fn smt_sharing_halves_effective_private_cache() {
+        // Two threads on the SAME physical core (way-partitioned) should
+        // miss more than two threads on different cores, for a working set
+        // that fits one full L2 but not half of it.
+        let spec = MachineSpec::tiny_test();
+        let bytes = 3 * 1024; // per-thread set: fits the 4 KB L2, not a 2 KB half
+        let run = |cpus: Vec<LogicalCpu>| {
+            let mut m = SimMachine::new(spec.clone());
+            let r = m.alloc("a", 16 * 1024, Placement::Node(0));
+            let pool = m.create_pool(2, &ThreadPlacement::Pinned(cpus));
+            // Warm then re-read: steady-state private-cache hits are what
+            // differ. Each thread has a disjoint working set.
+            for _ in 0..4 {
+                m.phase(pool, |i, ctx| {
+                    let lines = bytes / 64;
+                    let base = i * 8 * 1024;
+                    let mut k = 0;
+                    for _ in 0..lines {
+                        ctx.read(r, base + k * 64, 4);
+                        k = (k + 29) % lines;
+                    }
+                });
+            }
+            m.counters().l1_hits + m.counters().l2_hits
+        };
+        // tiny_test: 2 sockets x 2 cores x 2 smt; physical cores = 4.
+        // CPUs 0 and 4 are siblings on core 0; CPUs 0 and 1 are different cores.
+        let shared_hits = run(vec![LogicalCpu(0), LogicalCpu(4)]);
+        let split_hits = run(vec![LogicalCpu(0), LogicalCpu(1)]);
+        assert!(
+            shared_hits < split_hits,
+            "shared-core private hits {shared_hits} >= split {split_hits}"
+        );
+    }
+
+    #[test]
+    fn seq_work_accrues_time() {
+        let mut m = machine();
+        let before = m.cycles();
+        m.seq(|ctx| ctx.compute(10_000));
+        assert!(m.cycles() > before);
+        assert_eq!(m.counters().compute_ops, 10_000);
+    }
+
+    #[test]
+    fn first_touch_claims_pages_for_the_toucher() {
+        let mut m = machine();
+        let r = m.alloc("ft", 4 * 4096, Placement::FirstTouch);
+        // tiny_test: logical 0/1 are socket 0 cores; 2/3 are socket 1.
+        let pool = m.create_pool(2, &ThreadPlacement::Pinned(vec![LogicalCpu(0), LogicalCpu(2)]));
+        m.phase(pool, |i, ctx| {
+            // Thread 0 (socket 0) touches pages 0-1; thread 1 (socket 1)
+            // touches pages 2-3.
+            let base = i * 2 * 4096;
+            ctx.read(r, base, 4);
+            ctx.read(r, base + 4096, 4);
+        });
+        assert_eq!(m.space().owner_of(r, 0), 0);
+        assert_eq!(m.space().owner_of(r, 4096), 0);
+        assert_eq!(m.space().owner_of(r, 2 * 4096), 1);
+        assert_eq!(m.space().owner_of(r, 3 * 4096), 1);
+        // Re-reading from the other socket is now remote, not a re-claim.
+        let pool2 = m.create_pool(1, &ThreadPlacement::Pinned(vec![LogicalCpu(1)]));
+        let before = m.counters().dram_remote;
+        m.phase(pool2, |_, ctx| {
+            // Different line on a socket-1-owned page so it misses.
+            ctx.read(r, 2 * 4096 + 512, 4);
+        });
+        assert_eq!(m.counters().dram_remote, before + 1);
+    }
+
+    #[test]
+    fn region_traffic_breakdown_sums_to_dram_counters() {
+        let mut m = machine();
+        let a = m.alloc("hot", 1 << 16, Placement::Node(0));
+        let b = m.alloc("cold", 1 << 16, Placement::Node(1));
+        m.seq(|ctx| {
+            ctx.stream_read(a, 0, 1 << 16);
+            ctx.read(b, 0, 4);
+        });
+        let by_region = m.dram_lines_by_region();
+        let total: u64 = by_region.iter().map(|(_, l)| l).sum();
+        let c = m.counters();
+        assert_eq!(total, c.dram_lines());
+        assert_eq!(by_region[0].0, "hot");
+        assert!(by_region[0].1 > by_region[1].1);
+    }
+
+    #[test]
+    fn report_snapshot_consistent() {
+        let mut m = machine();
+        let r = m.alloc("a", 4096, Placement::Node(1));
+        m.seq(|ctx| ctx.read(r, 0, 4));
+        let rep = m.report("test");
+        assert_eq!(rep.mem.dram_remote, 1);
+        assert!(rep.seconds() > 0.0);
+        assert_eq!(rep.machine, "tiny-test");
+    }
+}

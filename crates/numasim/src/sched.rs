@@ -1,0 +1,228 @@
+//! OS thread-placement model.
+//!
+//! The paper's §3.3 argues that (a) a NUMA-oblivious runtime lets the OS
+//! place worker threads on arbitrary logical cores — possibly two on the
+//! same physical core even when half the machine is idle — and (b) binding
+//! threads after the fact (Algorithm 1) migrates them, paying a remote-
+//! memory context transfer each time. This module models exactly those two
+//! behaviours, deterministically from the machine seed.
+
+use crate::topology::{LogicalCpu, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// How an engine asks for its threads to be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadPlacement {
+    /// The OS picks distinct logical CPUs uniformly at random, ignoring
+    /// physical-core status (NUMA-oblivious engines: p-PR, v-PR, GPOP).
+    OsRandom,
+    /// Idealised OS: fills first hardware threads of every physical core
+    /// before any second thread (used by ablations).
+    RoundRobin,
+    /// Exact logical CPUs, one per thread — HiPa's thread-data pinning
+    /// (affinity is set before the thread first runs, so no migration).
+    Pinned(Vec<LogicalCpu>),
+    /// Thread `i` must end on NUMA node `nodes[i]`: the OS first places it
+    /// randomly, then the runtime binds it, migrating it if the random spot
+    /// was on the wrong node (Polymer / Algorithm 1 behaviour).
+    BindNode(Vec<usize>),
+}
+
+/// Result of placing one pool of threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementResult {
+    pub cpus: Vec<LogicalCpu>,
+    /// Threads that had to migrate to satisfy a node binding.
+    pub migrations: u64,
+}
+
+/// Places `n` threads according to the policy.
+///
+/// # Panics
+/// Panics if `n` exceeds the number of logical CPUs, or if a pinned/bound
+/// request is inconsistent with the topology.
+pub fn place(topo: &Topology, rng: &mut StdRng, n: usize, policy: &ThreadPlacement) -> PlacementResult {
+    let total = topo.logical_cpus();
+    assert!(n <= total, "{n} threads exceed {total} logical CPUs");
+    match policy {
+        ThreadPlacement::OsRandom => {
+            // A CFS-like scheduler balances load across physical cores
+            // before doubling up SMT siblings, but is oblivious to which
+            // *node* a thread's data lives on — that is the randomness the
+            // paper's §3.3 complains about. Model: a random permutation of
+            // physical cores (first hardware threads), then, if more
+            // threads than cores, a random permutation of the siblings.
+            let pc = topo.physical_cores();
+            let mut firsts: Vec<LogicalCpu> = (0..pc).map(LogicalCpu).collect();
+            firsts.shuffle(rng);
+            let mut cpus = firsts;
+            if n > pc {
+                let mut seconds: Vec<LogicalCpu> = (pc..total).map(LogicalCpu).collect();
+                seconds.shuffle(rng);
+                cpus.extend(seconds);
+            }
+            cpus.truncate(n);
+            PlacementResult { cpus, migrations: 0 }
+        }
+        ThreadPlacement::RoundRobin => {
+            PlacementResult { cpus: (0..n).map(LogicalCpu).collect(), migrations: 0 }
+        }
+        ThreadPlacement::Pinned(cpus) => {
+            assert_eq!(cpus.len(), n, "pinned list length mismatch");
+            let mut seen = vec![false; total];
+            for c in cpus {
+                assert!(c.0 < total, "pinned cpu {} out of range", c.0);
+                assert!(!seen[c.0], "cpu {} pinned twice", c.0);
+                seen[c.0] = true;
+            }
+            PlacementResult { cpus: cpus.clone(), migrations: 0 }
+        }
+        ThreadPlacement::BindNode(nodes) => {
+            assert_eq!(nodes.len(), n, "bind list length mismatch");
+            // OS-random initial placement...
+            let mut all: Vec<LogicalCpu> = (0..total).map(LogicalCpu).collect();
+            all.shuffle(rng);
+            let initial = &all[..n];
+            // CPUs held by threads that already sit on their requested node
+            // stay occupied; everything else (idle CPUs and the seats of
+            // threads about to migrate away) is free for migration targets.
+            let staying: Vec<LogicalCpu> = initial
+                .iter()
+                .zip(nodes)
+                .filter(|(c, &want)| topo.socket_of(**c) == want)
+                .map(|(c, _)| *c)
+                .collect();
+            let mut free: Vec<Vec<LogicalCpu>> = (0..topo.sockets)
+                .map(|s| {
+                    let mut v = topo.logicals_on_socket(s);
+                    v.retain(|c| !staying.contains(c));
+                    v
+                })
+                .collect();
+            // ...then bind: wrong-node threads migrate to a free CPU on the
+            // requested node.
+            let mut cpus = Vec::with_capacity(n);
+            let mut migrations = 0;
+            for (i, &want) in nodes.iter().enumerate() {
+                assert!(want < topo.sockets, "node {want} out of range");
+                let cur = initial[i];
+                if topo.socket_of(cur) == want {
+                    cpus.push(cur);
+                } else {
+                    let dest = free[want]
+                        .pop()
+                        .expect("binding demands more CPUs on a node than it has");
+                    cpus.push(dest);
+                    migrations += 1;
+                }
+            }
+            PlacementResult { cpus, migrations }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        Topology::new(2, 4, 2) // 8 physical, 16 logical
+    }
+
+    #[test]
+    fn os_random_distinct_and_deterministic() {
+        let t = topo();
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = place(&t, &mut r1, 8, &ThreadPlacement::OsRandom);
+        let b = place(&t, &mut r2, 8, &ThreadPlacement::OsRandom);
+        assert_eq!(a, b);
+        let mut cpus = a.cpus.clone();
+        cpus.sort();
+        cpus.dedup();
+        assert_eq!(cpus.len(), 8);
+        assert_eq!(a.migrations, 0);
+    }
+
+    #[test]
+    fn os_random_spreads_cores_but_ignores_nodes() {
+        let t = topo(); // 8 physical cores, 2 nodes
+        // Up to the physical core count, no core is doubled (CFS balances).
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = place(&t, &mut rng, 8, &ThreadPlacement::OsRandom);
+        let mut cores: Vec<_> = p.cpus.iter().map(|&c| t.core_of(c)).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 8, "no SMT doubling below core count");
+        // Beyond it, siblings get used.
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = place(&t, &mut rng, 12, &ThreadPlacement::OsRandom);
+        let mut cores: Vec<_> = p.cpus.iter().map(|&c| t.core_of(c)).collect();
+        cores.sort_unstable();
+        let before = cores.len();
+        cores.dedup();
+        assert!(cores.len() < before, "siblings must double up past core count");
+        // Node assignment of a *partial* placement is random: across seeds
+        // the first 4 threads land on node 0 in varying numbers.
+        let mut counts = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = place(&t, &mut rng, 4, &ThreadPlacement::OsRandom);
+            counts.insert(p.cpus.iter().filter(|&&c| t.socket_of(c) == 0).count());
+        }
+        assert!(counts.len() > 1, "node split should vary across seeds");
+    }
+
+    #[test]
+    fn round_robin_uses_physical_first() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = place(&t, &mut rng, 8, &ThreadPlacement::RoundRobin);
+        for (i, c) in p.cpus.iter().enumerate() {
+            assert_eq!(c.0, i);
+            assert_eq!(t.smt_index_of(*c), 0);
+        }
+    }
+
+    #[test]
+    fn bind_node_lands_on_requested_nodes() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(3);
+        let nodes = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let p = place(&t, &mut rng, 8, &ThreadPlacement::BindNode(nodes.clone()));
+        for (i, c) in p.cpus.iter().enumerate() {
+            assert_eq!(t.socket_of(*c), nodes[i]);
+        }
+        // Some of the random initial spots must have been wrong.
+        assert!(p.migrations > 0);
+        assert!(p.migrations <= 8);
+    }
+
+    #[test]
+    fn pinned_is_exact() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(0);
+        let want = vec![LogicalCpu(3), LogicalCpu(11)];
+        let p = place(&t, &mut rng, 2, &ThreadPlacement::Pinned(want.clone()));
+        assert_eq!(p.cpus, want);
+        assert_eq!(p.migrations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned twice")]
+    fn pinned_rejects_duplicates() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(0);
+        place(&t, &mut rng, 2, &ThreadPlacement::Pinned(vec![LogicalCpu(1), LogicalCpu(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_threads_rejected() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(0);
+        place(&t, &mut rng, 17, &ThreadPlacement::OsRandom);
+    }
+}

@@ -1,0 +1,128 @@
+//! Machine topology: sockets (NUMA nodes), physical cores, SMT siblings.
+//!
+//! Logical CPUs are enumerated the way Linux enumerates them on Intel
+//! two-way-SMT parts: logical ids `0 .. P-1` are the first hardware thread
+//! of each physical core (socket-major), ids `P .. 2P-1` are the second
+//! thread, so logical `L` sits on physical core `L % P`.
+
+/// A logical CPU (hardware thread) index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalCpu(pub usize);
+
+/// Sockets × cores × SMT description of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of sockets; each socket is one NUMA node (paper §2.2).
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per physical core (2 = Hyper-Threading).
+    pub smt: usize,
+}
+
+impl Topology {
+    pub fn new(sockets: usize, cores_per_socket: usize, smt: usize) -> Self {
+        assert!(sockets >= 1 && cores_per_socket >= 1 && smt >= 1);
+        Topology { sockets, cores_per_socket, smt }
+    }
+
+    /// Total physical cores.
+    #[inline]
+    pub fn physical_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total logical CPUs (the paper's "logic cores").
+    #[inline]
+    pub fn logical_cpus(&self) -> usize {
+        self.physical_cores() * self.smt
+    }
+
+    /// Physical core of a logical CPU.
+    #[inline]
+    pub fn core_of(&self, l: LogicalCpu) -> usize {
+        assert!(l.0 < self.logical_cpus(), "logical cpu {} out of range", l.0);
+        l.0 % self.physical_cores()
+    }
+
+    /// SMT sibling index (0 or 1 on two-way SMT) of a logical CPU.
+    #[inline]
+    pub fn smt_index_of(&self, l: LogicalCpu) -> usize {
+        assert!(l.0 < self.logical_cpus());
+        l.0 / self.physical_cores()
+    }
+
+    /// Socket (NUMA node) of a physical core.
+    #[inline]
+    pub fn socket_of_core(&self, core: usize) -> usize {
+        assert!(core < self.physical_cores());
+        core / self.cores_per_socket
+    }
+
+    /// Socket (NUMA node) of a logical CPU.
+    #[inline]
+    pub fn socket_of(&self, l: LogicalCpu) -> usize {
+        self.socket_of_core(self.core_of(l))
+    }
+
+    /// All logical CPUs on a given socket, first-threads first.
+    pub fn logicals_on_socket(&self, socket: usize) -> Vec<LogicalCpu> {
+        (0..self.logical_cpus())
+            .map(LogicalCpu)
+            .filter(|&l| self.socket_of(l) == socket)
+            .collect()
+    }
+
+    /// Restricts the machine to its first `sockets` sockets (the paper's
+    /// single-node experiment in §4.5).
+    pub fn with_sockets(mut self, sockets: usize) -> Self {
+        assert!(sockets >= 1 && sockets <= self.sockets);
+        self.sockets = sockets;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_like_enumeration() {
+        // 2 sockets x 10 cores x 2 SMT = 40 logical.
+        let t = Topology::new(2, 10, 2);
+        assert_eq!(t.physical_cores(), 20);
+        assert_eq!(t.logical_cpus(), 40);
+        // Logical 0 and 20 are siblings on core 0, socket 0.
+        assert_eq!(t.core_of(LogicalCpu(0)), 0);
+        assert_eq!(t.core_of(LogicalCpu(20)), 0);
+        assert_eq!(t.smt_index_of(LogicalCpu(0)), 0);
+        assert_eq!(t.smt_index_of(LogicalCpu(20)), 1);
+        // Logical 15 is core 15 which lives on socket 1.
+        assert_eq!(t.socket_of(LogicalCpu(15)), 1);
+        assert_eq!(t.socket_of(LogicalCpu(5)), 0);
+    }
+
+    #[test]
+    fn logicals_on_socket_complete_and_disjoint() {
+        let t = Topology::new(2, 4, 2);
+        let s0 = t.logicals_on_socket(0);
+        let s1 = t.logicals_on_socket(1);
+        assert_eq!(s0.len() + s1.len(), t.logical_cpus());
+        for l in &s0 {
+            assert_eq!(t.socket_of(*l), 0);
+        }
+        assert_eq!(s0, vec![LogicalCpu(0), LogicalCpu(1), LogicalCpu(2), LogicalCpu(3), LogicalCpu(8), LogicalCpu(9), LogicalCpu(10), LogicalCpu(11)]);
+    }
+
+    #[test]
+    fn with_sockets_shrinks() {
+        let t = Topology::new(2, 10, 2).with_sockets(1);
+        assert_eq!(t.logical_cpus(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn core_of_checks_range() {
+        Topology::new(1, 2, 2).core_of(LogicalCpu(4));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: the optimised set-associative cache model agrees with a
+//! naive, obviously-correct LRU oracle on arbitrary access traces.
+
+use hipa_numasim::cache::{Cache, CacheConfig, WayRange};
+use proptest::prelude::*;
+
+/// Naive per-set LRU: a vector of (line, dirty) in recency order (most
+/// recent last).
+struct OracleCache {
+    sets: usize,
+    assoc: usize,
+    data: Vec<Vec<(u64, bool)>>,
+}
+
+impl OracleCache {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        OracleCache { sets, assoc: cfg.assoc, data: vec![Vec::new(); sets] }
+    }
+
+    /// Returns (hit, evicted) emulating probe-then-insert-on-miss.
+    fn access(&mut self, line: u64, write: bool) -> (bool, Option<(u64, bool)>) {
+        let set = &mut self.data[(line as usize) % self.sets];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.push((l, d || write));
+            return (true, None);
+        }
+        let evicted = if set.len() == self.assoc { Some(set.remove(0)) } else { None };
+        set.push((line, write));
+        (false, evicted)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_lru_oracle(
+        accesses in prop::collection::vec((0u64..256, any::<bool>()), 1..600),
+        sets_pow in 0u32..4,
+        assoc in 1usize..6,
+    ) {
+        let cfg = CacheConfig::new(64 * (1 << sets_pow) * assoc, 64, assoc);
+        let mut cache = Cache::new(cfg);
+        let mut oracle = OracleCache::new(cfg);
+        let ways = WayRange::full(assoc);
+        for &(line, write) in &accesses {
+            let oracle_hit;
+            let oracle_evict;
+            {
+                let (h, e) = oracle.access(line, write);
+                oracle_hit = h;
+                oracle_evict = e;
+            }
+            let hit = cache.probe(line, ways, write);
+            prop_assert_eq!(hit, oracle_hit, "hit mismatch on line {}", line);
+            if !hit {
+                let evicted = cache.insert(line, write, ways);
+                let got = evicted.map(|e| (e.line, e.dirty));
+                prop_assert_eq!(got, oracle_evict, "eviction mismatch on line {}", line);
+            }
+        }
+        // Final occupancy agrees too.
+        let oracle_occ: usize = oracle.data.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(cache.occupancy(), oracle_occ);
+    }
+
+    #[test]
+    fn invalidate_matches_oracle_semantics(
+        lines in prop::collection::vec(0u64..64, 1..100),
+    ) {
+        let cfg = CacheConfig::new(64 * 4 * 2, 64, 2);
+        let mut cache = Cache::new(cfg);
+        let ways = WayRange::full(2);
+        for &l in &lines {
+            if !cache.probe(l, ways, l % 3 == 0) {
+                cache.insert(l, l % 3 == 0, ways);
+            }
+        }
+        for &l in &lines {
+            let was_in = cache.contains(l);
+            let inv = cache.invalidate(l);
+            prop_assert_eq!(inv.is_some(), was_in);
+            prop_assert!(!cache.contains(l));
+        }
+        prop_assert_eq!(cache.occupancy(), 0usize.max(cache.occupancy().min(8)));
+    }
+}

@@ -1,0 +1,166 @@
+//! The 2-level hierarchical lookup table of Fig. 3.
+//!
+//! Level 1 maps every global thread id to its permitted range of cache
+//! partitions; level 2 maps every partition to its vertex range. The table
+//! is what lets a pinned thread identify its coverage of the graph data in
+//! O(1) without consulting any shared scheduler state — it is read-only and
+//! globally shared once built (paper §3.4).
+
+use crate::plan::HiPaPlan;
+use std::ops::Range;
+
+/// Flattened, read-only form of the hierarchical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupTable {
+    /// Level 1: global thread id -> global partition index range.
+    thread_parts: Vec<Range<usize>>,
+    /// Level 2: global partition index -> vertex range.
+    part_verts: Vec<Range<u32>>,
+    /// Which NUMA node each thread belongs to.
+    thread_node: Vec<usize>,
+}
+
+impl LookupTable {
+    /// Builds the table from a hierarchical plan. Threads are numbered
+    /// node-major (node 0's threads first), matching the order engines
+    /// create their pools in.
+    pub fn from_plan(plan: &HiPaPlan) -> Self {
+        let mut thread_parts = Vec::with_capacity(plan.total_threads());
+        let mut thread_node = Vec::with_capacity(plan.total_threads());
+        for (ni, _ti, t) in plan.threads() {
+            thread_parts.push(t.part_range.clone());
+            thread_node.push(ni);
+        }
+        let part_verts = (0..plan.num_partitions)
+            .map(|p| plan.partition_vertices(p))
+            .collect();
+        LookupTable { thread_parts, part_verts, thread_node }
+    }
+
+    /// Number of threads in level 1.
+    pub fn num_threads(&self) -> usize {
+        self.thread_parts.len()
+    }
+
+    /// Number of partitions in level 2.
+    pub fn num_partitions(&self) -> usize {
+        self.part_verts.len()
+    }
+
+    /// Level-1 lookup: partitions permitted for a thread.
+    #[inline]
+    pub fn partitions_of(&self, thread: usize) -> Range<usize> {
+        self.thread_parts[thread].clone()
+    }
+
+    /// Level-2 lookup: vertex range of a partition.
+    #[inline]
+    pub fn vertices_of(&self, part: usize) -> Range<u32> {
+        self.part_verts[part].clone()
+    }
+
+    /// NUMA node a thread is bound to.
+    #[inline]
+    pub fn node_of_thread(&self, thread: usize) -> usize {
+        self.thread_node[thread]
+    }
+
+    /// Full vertex coverage of a thread (first partition's start to last
+    /// partition's end).
+    pub fn thread_vertices(&self, thread: usize) -> Range<u32> {
+        let parts = self.partitions_of(thread);
+        if parts.is_empty() {
+            return 0..0;
+        }
+        self.part_verts[parts.start].start..self.part_verts[parts.end - 1].end
+    }
+
+    /// The owning thread of a partition, if any (reverse lookup — used by
+    /// diagnostics and tests; O(threads)).
+    pub fn owner_of_partition(&self, part: usize) -> Option<usize> {
+        self.thread_parts.iter().position(|r| r.contains(&part))
+    }
+
+    /// Memory footprint of the table in bytes (it must stay negligible next
+    /// to the graph itself).
+    pub fn footprint_bytes(&self) -> usize {
+        self.thread_parts.len() * std::mem::size_of::<Range<usize>>()
+            + self.part_verts.len() * std::mem::size_of::<Range<u32>>()
+            + self.thread_node.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::hipa_plan;
+
+    fn table() -> (HiPaPlan, LookupTable) {
+        let degs: Vec<u32> = (0..256).map(|i| 1 + (i % 5) as u32).collect();
+        let plan = hipa_plan(&degs, 2, 4, 16);
+        let lt = LookupTable::from_plan(&plan);
+        (plan, lt)
+    }
+
+    #[test]
+    fn dimensions_match_plan() {
+        let (plan, lt) = table();
+        assert_eq!(lt.num_threads(), plan.total_threads());
+        assert_eq!(lt.num_partitions(), plan.num_partitions);
+    }
+
+    #[test]
+    fn every_partition_has_exactly_one_owner() {
+        let (_, lt) = table();
+        for p in 0..lt.num_partitions() {
+            let owner = lt.owner_of_partition(p).expect("orphan partition");
+            assert!(lt.partitions_of(owner).contains(&p));
+            // No other thread owns it.
+            for t in 0..lt.num_threads() {
+                if t != owner {
+                    assert!(!lt.partitions_of(t).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_vertices_concatenate_partitions() {
+        let (_, lt) = table();
+        for t in 0..lt.num_threads() {
+            let vr = lt.thread_vertices(t);
+            let parts = lt.partitions_of(t);
+            if parts.is_empty() {
+                assert!(vr.is_empty());
+                continue;
+            }
+            let mut expect = lt.vertices_of(parts.start).start;
+            for p in parts {
+                let pv = lt.vertices_of(p);
+                assert_eq!(pv.start, expect, "partitions of thread {t} not contiguous");
+                expect = pv.end;
+            }
+            assert_eq!(vr.end, expect);
+        }
+    }
+
+    #[test]
+    fn node_assignment_follows_plan() {
+        let (plan, lt) = table();
+        for (expected_node, (ni, _, _)) in plan.threads().enumerate().map(|(g, x)| (g, x)) {
+            let _ = expected_node;
+            let _ = ni;
+        }
+        let mut g = 0;
+        for (ni, _ti, _t) in plan.threads() {
+            assert_eq!(lt.node_of_thread(g), ni);
+            g += 1;
+        }
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        let (_, lt) = table();
+        assert!(lt.footprint_bytes() < 4096);
+    }
+}

@@ -1,0 +1,97 @@
+//! Plan-quality metrics: how well a hierarchical plan realises the paper's
+//! balance goals (Eq. 2–4). Used by diagnostics, tests and the partitioning
+//! example.
+
+use crate::plan::HiPaPlan;
+
+/// Balance metrics of a [`HiPaPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanQuality {
+    /// max node edge count / ideal (|E|/N); 1.0 = perfect balance.
+    pub node_edge_imbalance: f64,
+    /// max thread edge count / ideal (|E|/threads), over non-empty threads.
+    pub thread_edge_imbalance: f64,
+    /// Smallest and largest per-thread partition-group sizes (`mⱼ`).
+    pub min_partitions_per_thread: usize,
+    pub max_partitions_per_thread: usize,
+    /// Threads that received no partitions (possible when partitions are
+    /// fewer than threads).
+    pub idle_threads: usize,
+}
+
+/// Computes balance metrics for a plan.
+pub fn plan_quality(plan: &HiPaPlan) -> PlanQuality {
+    let nodes = plan.nodes.len().max(1);
+    let threads = plan.total_threads().max(1);
+    let ideal_node = plan.num_edges as f64 / nodes as f64;
+    let ideal_thread = plan.num_edges as f64 / threads as f64;
+
+    let max_node = plan.nodes.iter().map(|n| n.edges).max().unwrap_or(0) as f64;
+    let mut max_thread = 0u64;
+    let mut min_m = usize::MAX;
+    let mut max_m = 0usize;
+    let mut idle = 0usize;
+    for (_, _, t) in plan.threads() {
+        max_thread = max_thread.max(t.edges);
+        let m = t.part_range.len();
+        min_m = min_m.min(m);
+        max_m = max_m.max(m);
+        if m == 0 {
+            idle += 1;
+        }
+    }
+    PlanQuality {
+        node_edge_imbalance: if ideal_node > 0.0 { max_node / ideal_node } else { 1.0 },
+        thread_edge_imbalance: if ideal_thread > 0.0 { max_thread as f64 / ideal_thread } else { 1.0 },
+        min_partitions_per_thread: if min_m == usize::MAX { 0 } else { min_m },
+        max_partitions_per_thread: max_m,
+        idle_threads: idle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::hipa_plan;
+
+    #[test]
+    fn uniform_degrees_balance_perfectly() {
+        let degs = vec![4u32; 256];
+        let plan = hipa_plan(&degs, 2, 4, 16);
+        let q = plan_quality(&plan);
+        assert!((q.node_edge_imbalance - 1.0).abs() < 1e-9);
+        assert!((q.thread_edge_imbalance - 1.0).abs() < 1e-9);
+        assert_eq!(q.idle_threads, 0);
+        assert_eq!(q.min_partitions_per_thread, 2);
+        assert_eq!(q.max_partitions_per_thread, 2);
+    }
+
+    #[test]
+    fn hot_vertex_shows_up_as_imbalance() {
+        let mut degs = vec![1u32; 64];
+        degs[0] = 1000;
+        let plan = hipa_plan(&degs, 2, 2, 8);
+        let q = plan_quality(&plan);
+        // The hot partition cannot be split below one partition, so the
+        // owning thread is overloaded.
+        assert!(q.thread_edge_imbalance > 1.5, "{q:?}");
+    }
+
+    #[test]
+    fn skewed_dataset_plans_are_reasonably_balanced() {
+        let g = hipa_graph::datasets::small_test_graph(66);
+        let plan = hipa_plan(g.out_degrees(), 2, 10, 64);
+        let q = plan_quality(&plan);
+        assert!(q.node_edge_imbalance < 1.6, "{q:?}");
+        // Cache-partition granularity bounds how evenly threads can split.
+        assert!(q.thread_edge_imbalance < 3.0, "{q:?}");
+    }
+
+    #[test]
+    fn more_threads_than_partitions_idles_threads() {
+        let degs = vec![1u32; 16];
+        let plan = hipa_plan(&degs, 1, 8, 8); // 2 partitions, 8 threads
+        let q = plan_quality(&plan);
+        assert!(q.idle_threads >= 6);
+    }
+}

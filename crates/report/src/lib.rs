@@ -1,0 +1,84 @@
+//! Experiment plumbing: aligned text tables and CSV emission for the
+//! benchmark harnesses that regenerate the paper's tables and figures.
+
+pub mod table;
+
+pub use table::Table;
+
+/// Formats seconds with sensible precision (the paper prints 2 decimals).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Formats a ratio as the paper does ("1.45x").
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a fraction as a percentage ("13.8%").
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Formats a large count with K/M/B suffixes as in the paper's Table 1.
+pub fn fmt_count(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a byte size ("256KB", "1MB").
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 && b % (1 << 20) == 0 {
+        format!("{}MB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_precision_tiers() {
+        assert_eq!(fmt_secs(123.456), "123.5");
+        assert_eq!(fmt_secs(7.2), "7.20");
+        assert_eq!(fmt_secs(0.31), "0.310");
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(fmt_count(4_800_000), "4.8M");
+        assert_eq!(fmt_count(2_100_000_000), "2.1B");
+        assert_eq!(fmt_count(30_800), "30.8K");
+        assert_eq!(fmt_count(42), "42");
+    }
+
+    #[test]
+    fn bytes() {
+        assert_eq!(fmt_bytes(256 * 1024), "256KB");
+        assert_eq!(fmt_bytes(1 << 20), "1MB");
+        assert_eq!(fmt_bytes(12), "12B");
+    }
+
+    #[test]
+    fn pct_and_ratio() {
+        assert_eq!(fmt_pct(0.138), "13.8%");
+        assert_eq!(fmt_ratio(1.4499), "1.45x");
+    }
+}

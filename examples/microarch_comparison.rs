@@ -1,0 +1,53 @@
+//! Micro-architecture comparison (paper §4.5): the optimal partition size
+//! differs between Haswell (inclusive LLC, 256 KB L2 → best at L2/2) and
+//! Skylake (non-inclusive LLC, 1 MB L2 → best at L2/4). This example sweeps
+//! HiPa's partition size on both simulated machines.
+//!
+//! ```text
+//! cargo run --release --example microarch_comparison
+//! ```
+
+use hipa::prelude::*;
+
+fn main() {
+    let g = Dataset::Journal.build();
+    let cfg = PageRankConfig::default().with_iterations(10);
+    const SCALE: usize = 64;
+
+    for machine in [MachineSpec::haswell_e5_2667(), MachineSpec::skylake_4210()] {
+        let l2 = machine.l2.size_bytes;
+        let llc_kind = if machine.llc_inclusive { "inclusive" } else { "non-inclusive" };
+        println!(
+            "\n{} — {} KB L2 per core, {} LLC:",
+            machine.name,
+            l2 >> 10,
+            llc_kind
+        );
+        let scaled = machine.scaled(SCALE);
+        let threads = scaled.topology.logical_cpus();
+        let mut best: Option<(usize, f64)> = None;
+        for paper_bytes in [32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20] {
+            let opts = SimOpts::new(scaled.clone())
+                .with_threads(threads)
+                .with_partition_bytes((paper_bytes / SCALE).max(64));
+            let run = HiPa.run_sim(&g, &cfg, &opts);
+            let secs = run.compute_seconds();
+            let marker = match paper_bytes {
+                b if b == l2 / 4 => "  <- L2/4",
+                b if b == l2 / 2 => "  <- L2/2",
+                b if b == l2 => "  <- L2",
+                _ => "",
+            };
+            println!("  partition {:>5} KB: {:.4}s{}", paper_bytes >> 10, secs, marker);
+            if best.is_none() || secs < best.unwrap().1 {
+                best = Some((paper_bytes, secs));
+            }
+        }
+        let (b, _) = best.unwrap();
+        println!(
+            "  optimum: {} KB = L2/{}",
+            b >> 10,
+            (l2 as f64 / b as f64).round()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! NUMA placement study on the simulated machine: how much of HiPa's win
+//! comes from each design choice? Runs the engine on the simulated 2-socket
+//! Skylake with individual §3 mechanisms disabled and prints the memory-
+//! system consequences.
+//!
+//! ```text
+//! cargo run --release --example numa_placement_study
+//! ```
+
+use hipa::core::hipa::sim::{run_variant, HiPaVariant};
+use hipa::prelude::*;
+
+fn main() {
+    let g = Dataset::Journal.build();
+    let machine = MachineSpec::skylake_4210().scaled(64);
+    let cfg = PageRankConfig::default().with_iterations(10);
+    let opts = SimOpts::new(machine).with_threads(40).with_partition_bytes(4096);
+
+    println!(
+        "journal stand-in on simulated 2x Xeon 4210 (caches scaled 64x with the dataset)\n"
+    );
+    println!(
+        "{:<28} {:>9} {:>9} {:>10} {:>11} {:>11}",
+        "variant", "sim time", "vs full", "remote %", "migrations", "threads"
+    );
+
+    let variants: Vec<(&str, HiPaVariant)> = vec![
+        ("full HiPa", HiPaVariant::default()),
+        ("no edge compression", HiPaVariant { compress_inter: false, ..Default::default() }),
+        ("no thread pinning", HiPaVariant { thread_pinning: false, ..Default::default() }),
+        ("no persistent threads", HiPaVariant { persistent_threads: false, ..Default::default() }),
+        ("interleaved placement", HiPaVariant { partitioned_placement: false, ..Default::default() }),
+    ];
+    let mut full = 0.0f64;
+    for (name, v) in &variants {
+        let run = run_variant(&g, &cfg, &opts, v);
+        let secs = run.compute_seconds();
+        if *name == "full HiPa" {
+            full = secs;
+        }
+        println!(
+            "{:<28} {:>8.4}s {:>8.2}x {:>9.1}% {:>11} {:>11}",
+            name,
+            secs,
+            secs / full,
+            run.report.mem.remote_fraction() * 100.0,
+            run.report.migrations,
+            run.report.threads_created,
+        );
+    }
+
+    println!(
+        "\nReading: every disabled mechanism costs time; interleaved placement\n\
+         pushes the remote-access share toward ~50%, and dropping Algorithm 2's\n\
+         persistent threads multiplies thread creations and migrations (§3.3)."
+    );
+}

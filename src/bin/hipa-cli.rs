@@ -1,0 +1,364 @@
+//! `hipa-cli` — command-line front end for the HiPa reproduction.
+//!
+//! ```text
+//! hipa-cli generate rmat --scale 14 --edge-factor 16 --seed 1 -o g.bin
+//! hipa-cli stats dataset:journal --partition 256K
+//! hipa-cli pagerank g.bin --engine hipa --threads 8 --iterations 20 --top 10
+//! hipa-cli simulate dataset:journal --machine skylake --cache-scale 64 --threads 40
+//! hipa-cli bfs dataset:wiki --source 0
+//! ```
+//!
+//! Graphs are referenced either as a file path (`.bin` = the binary format,
+//! anything else = SNAP-style text) or as `dataset:<name>` for the six
+//! built-in scaled stand-ins.
+
+use hipa::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  hipa-cli generate <rmat|zipf|er> [--scale N] [--vertices N] [--edges N]
+           [--edge-factor N] [--mean-degree X] [--seed N] -o FILE
+  hipa-cli stats <GRAPH> [--partition SIZE]
+  hipa-cli pagerank <GRAPH> [--engine NAME] [--threads N] [--iterations N]
+           [--partition SIZE] [--top K]
+  hipa-cli simulate <GRAPH> [--machine skylake|haswell|tiny] [--cache-scale N]
+           [--engine NAME] [--threads N] [--iterations N] [--partition SIZE]
+  hipa-cli bfs <GRAPH> [--source V]
+  hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--partition SIZE]
+  hipa-cli convert <IN> -o <OUT>
+
+GRAPH = path (.bin or edge-list text) or dataset:<journal|pld|wiki|kron|twitter|mpi>
+SIZE  = bytes, with optional K/M suffix (e.g. 256K, 1M)
+NAME  = hipa | ppr | vpr | gpop | polymer";
+
+type Result<T> = std::result::Result<T, String>;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                flags.push((key.to_string(), val.clone()));
+            } else if a == "-o" {
+                let val = it.next().ok_or("-o needs a value")?;
+                flags.push(("out".into(), val.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+/// Parses a byte size with optional K/M suffix.
+fn parse_size(s: &str) -> Result<usize> {
+    let s = s.trim();
+    let (num, mult) = if let Some(n) = s.strip_suffix(['K', 'k']) {
+        (n, 1024)
+    } else if let Some(n) = s.strip_suffix(['M', 'm']) {
+        (n, 1024 * 1024)
+    } else {
+        (s, 1)
+    };
+    num.parse::<usize>().map(|v| v * mult).map_err(|e| format!("bad size '{s}': {e}"))
+}
+
+fn load_graph(spec: &str) -> Result<DiGraph> {
+    if let Some(name) = spec.strip_prefix("dataset:") {
+        let ds = Dataset::ALL
+            .iter()
+            .find(|d| d.name() == name)
+            .ok_or_else(|| format!("unknown dataset '{name}'"))?;
+        eprintln!("generating dataset stand-in '{name}'...");
+        return Ok(ds.build());
+    }
+    let el = hipa::graph::io::load_path(spec).map_err(|e| format!("loading {spec}: {e}"))?;
+    Ok(DiGraph::from_edge_list(&el))
+}
+
+fn engine_by_name(name: &str) -> Result<Box<dyn Engine>> {
+    Ok(match name {
+        "hipa" => Box::new(HiPa),
+        "ppr" | "p-pr" => Box::new(Ppr),
+        "vpr" | "v-pr" => Box::new(Vpr),
+        "gpop" => Box::new(Gpop),
+        "polymer" => Box::new(Polymer),
+        other => return Err(format!("unknown engine '{other}'")),
+    })
+}
+
+fn run(args: &[String]) -> Result<()> {
+    let cmd = args.first().ok_or("missing command")?.clone();
+    let rest = Args::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&rest),
+        "stats" => stats(&rest),
+        "pagerank" => pagerank(&rest),
+        "simulate" => simulate(&rest),
+        "bfs" => bfs(&rest),
+        "compare" => compare(&rest),
+        "convert" => convert(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn generate(a: &Args) -> Result<()> {
+    let kind = a.positional.first().ok_or("generate: need rmat|zipf|er")?;
+    let seed = a.get_u64("seed", 1)?;
+    let out = a.get("out").ok_or("generate: need -o FILE")?;
+    let el = match kind.as_str() {
+        "rmat" => {
+            let scale = a.get_usize("scale", 14)? as u32;
+            let ef = a.get_usize("edge-factor", 16)?;
+            hipa::graph::gen::rmat(&hipa::graph::gen::RmatParams::graph500(scale, ef), seed)
+        }
+        "zipf" => {
+            let n = a.get_usize("vertices", 1 << 14)?;
+            let mean: f64 = a
+                .get("mean-degree")
+                .map(|v| v.parse().map_err(|e| format!("--mean-degree: {e}")))
+                .transpose()?
+                .unwrap_or(12.0);
+            hipa::graph::gen::zipf_graph(
+                &hipa::graph::gen::ZipfParams {
+                    num_vertices: n,
+                    mean_degree: mean,
+                    ..Default::default()
+                },
+                seed,
+            )
+        }
+        "er" => {
+            let n = a.get_usize("vertices", 1 << 14)?;
+            let m = a.get_usize("edges", n * 8)?;
+            hipa::graph::gen::erdos_renyi(n, m, seed)
+        }
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    hipa::graph::io::save_path(out, &el).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} vertices, {} edges to {out}", el.num_vertices(), el.num_edges());
+    Ok(())
+}
+
+fn stats(a: &Args) -> Result<()> {
+    let g = load_graph(a.positional.first().ok_or("stats: need a graph")?)?;
+    let part = parse_size(a.get("partition").unwrap_or("256K"))?;
+    let sum = hipa::graph::stats::degree_summary(g.out_csr());
+    let census = hipa::graph::stats::partition_census(g.out_csr(), part / 4);
+    let comp = hipa::graph::components::weakly_connected_components(g.out_csr());
+    println!("vertices:        {}", g.num_vertices());
+    println!("edges:           {}", g.num_edges());
+    println!("dangling:        {}", g.dangling_vertices().len());
+    println!("out-degree:      mean {:.2}, max {}, p99 {}", sum.mean, sum.max, sum.p99);
+    println!("top-10% share:   {:.1}%", sum.top10_edge_share * 100.0);
+    println!("wcc:             {} components, largest {}", comp.num_components, comp.largest);
+    println!(
+        "census @{}B:     {} partitions, intra {} / inter {} (compress {:.2}x)",
+        part,
+        census.num_parts,
+        census.intra_total,
+        census.inter_total,
+        census.compression_ratio()
+    );
+    Ok(())
+}
+
+fn pagerank(a: &Args) -> Result<()> {
+    let g = load_graph(a.positional.first().ok_or("pagerank: need a graph")?)?;
+    let engine = engine_by_name(a.get("engine").unwrap_or("hipa"))?;
+    let threads = a.get_usize("threads", 4)?;
+    let iters = a.get_usize("iterations", 20)?;
+    let part = parse_size(a.get("partition").unwrap_or("256K"))?;
+    let top = a.get_usize("top", 10)?;
+    let cfg = PageRankConfig::default().with_iterations(iters);
+    let run = engine.run_native(&g, &cfg, &NativeOpts { threads, partition_bytes: part });
+    println!(
+        "{}: preprocess {:.2?}, compute {:.2?} for {iters} iterations x {} edges",
+        engine.name(),
+        run.preprocess,
+        run.compute,
+        g.num_edges()
+    );
+    for (v, r) in hipa::top_k(&run.ranks, top) {
+        println!("  v{v:<9} {r:.6}");
+    }
+    Ok(())
+}
+
+fn simulate(a: &Args) -> Result<()> {
+    let g = load_graph(a.positional.first().ok_or("simulate: need a graph")?)?;
+    let machine = match a.get("machine").unwrap_or("skylake") {
+        "skylake" => MachineSpec::skylake_4210(),
+        "haswell" => MachineSpec::haswell_e5_2667(),
+        "tiny" => MachineSpec::tiny_test(),
+        other => return Err(format!("unknown machine '{other}'")),
+    };
+    let scale = a.get_usize("cache-scale", 64)?;
+    let machine = machine.scaled(scale.max(1));
+    let engine = engine_by_name(a.get("engine").unwrap_or("hipa"))?;
+    let threads = a.get_usize("threads", machine.topology.logical_cpus())?;
+    let iters = a.get_usize("iterations", 20)?;
+    let part = parse_size(a.get("partition").unwrap_or("256K"))? / scale.max(1);
+    let cfg = PageRankConfig::default().with_iterations(iters);
+    let opts = SimOpts::new(machine).with_threads(threads).with_partition_bytes(part.max(64));
+    let run = engine.run_sim(&g, &cfg, &opts);
+    println!("machine:        {}", run.report.machine);
+    println!("engine:         {}", engine.name());
+    println!("sim compute:    {:.4}s ({} iterations)", run.compute_seconds(), iters);
+    println!("sim preprocess: {:.4}s", run.preprocess_seconds());
+    println!("MApE/iter:      {:.1} B/edge", run.report.mape(g.num_edges()) / iters as f64);
+    println!("remote traffic: {:.1}%", run.report.mem.remote_fraction() * 100.0);
+    println!("LLC hit ratio:  {:.1}%", run.report.mem.llc_hit_ratio() * 100.0);
+    println!(
+        "threads:        {} created, {} migrations",
+        run.report.threads_created, run.report.migrations
+    );
+    Ok(())
+}
+
+fn compare(a: &Args) -> Result<()> {
+    let g = load_graph(a.positional.first().ok_or("compare: need a graph")?)?;
+    let threads = a.get_usize("threads", 4)?;
+    let iters = a.get_usize("iterations", 10)?;
+    let part = parse_size(a.get("partition").unwrap_or("256K"))?;
+    let cfg = PageRankConfig::default().with_iterations(iters);
+    println!("{:<10} {:>12} {:>12} {:>14}", "engine", "preprocess", "compute", "max vs HiPa");
+    let mut hipa_ranks: Option<Vec<f32>> = None;
+    for e in hipa::baselines::all_engines() {
+        let run = e.run_native(&g, &cfg, &NativeOpts { threads, partition_bytes: part });
+        let dev = match &hipa_ranks {
+            None => {
+                hipa_ranks = Some(run.ranks.clone());
+                0.0
+            }
+            Some(base) => run
+                .ranks
+                .iter()
+                .zip(base)
+                .map(|(x, y)| ((x - y).abs() / y.abs().max(1e-12)) as f64)
+                .fold(0.0, f64::max),
+        };
+        println!(
+            "{:<10} {:>12} {:>12} {:>13.2e}",
+            e.name(),
+            format!("{:.2?}", run.preprocess),
+            format!("{:.2?}", run.compute),
+            dev
+        );
+    }
+    Ok(())
+}
+
+fn convert(a: &Args) -> Result<()> {
+    let input = a.positional.first().ok_or("convert: need an input graph")?;
+    let out = a.get("out").ok_or("convert: need -o FILE")?;
+    let el = hipa::graph::io::load_path(input).map_err(|e| format!("loading {input}: {e}"))?;
+    hipa::graph::io::save_path(out, &el).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("converted {input} -> {out} ({} vertices, {} edges)", el.num_vertices(), el.num_edges());
+    Ok(())
+}
+
+fn bfs(a: &Args) -> Result<()> {
+    let g = load_graph(a.positional.first().ok_or("bfs: need a graph")?)?;
+    let source = a.get_usize("source", 0)? as u32;
+    let levels = hipa::algos::bfs_partition_centric(&g, source, 64 * 1024 / 4);
+    let reached = levels.iter().filter(|&&l| l != hipa::algos::bfs::UNREACHED).count();
+    let max = levels.iter().filter(|&&l| l != hipa::algos::bfs::UNREACHED).max().unwrap_or(&0);
+    println!(
+        "bfs from v{source}: reached {reached}/{} vertices, max level {max}",
+        g.num_vertices()
+    );
+    let mut hist = vec![0usize; *max as usize + 1];
+    for &l in &levels {
+        if l != hipa::algos::bfs::UNREACHED {
+            hist[l as usize] += 1;
+        }
+    }
+    for (l, c) in hist.iter().enumerate() {
+        println!("  level {l:<3} {c}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_size_suffixes() {
+        assert_eq!(parse_size("256K").unwrap(), 256 * 1024);
+        assert_eq!(parse_size("1M").unwrap(), 1 << 20);
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert!(parse_size("x").is_err());
+    }
+
+    #[test]
+    fn args_parser_mixes_flags_and_positionals() {
+        let raw: Vec<String> =
+            ["g.bin", "--threads", "8", "-o", "out.bin"].iter().map(|s| s.to_string()).collect();
+        let a = Args::parse(&raw).unwrap();
+        assert_eq!(a.positional, vec!["g.bin"]);
+        assert_eq!(a.get("threads"), Some("8"));
+        assert_eq!(a.get("out"), Some("out.bin"));
+        assert_eq!(a.get_usize("threads", 1).unwrap(), 8);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn engine_names_resolve() {
+        for n in ["hipa", "ppr", "vpr", "gpop", "polymer"] {
+            assert!(engine_by_name(n).is_ok());
+        }
+        assert!(engine_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let raw: Vec<String> = ["--threads"].iter().map(|s| s.to_string()).collect();
+        assert!(Args::parse(&raw).is_err());
+    }
+}

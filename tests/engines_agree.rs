@@ -1,0 +1,186 @@
+//! Cross-crate integration: every engine (HiPa + four baselines), on both
+//! execution paths (native threads and simulated machine), agrees with the
+//! sequential f64 oracle on a spread of graph shapes and both dangling
+//! policies — and each engine's sim path is bit-identical to its native
+//! path.
+
+use hipa::core::reference::{max_rel_error, reference_pagerank};
+use hipa::prelude::*;
+use hipa_baselines::all_engines;
+
+fn graphs() -> Vec<(&'static str, DiGraph)> {
+    use hipa::graph::gen::*;
+    vec![
+        ("cycle", DiGraph::from_edge_list(&cycle(64))),
+        ("star", DiGraph::from_edge_list(&star(40))),
+        ("path-dangling", DiGraph::from_edge_list(&path(50))),
+        ("grid", DiGraph::from_edge_list(&grid(8, 9))),
+        ("rmat", hipa::graph::datasets::small_test_graph(7)),
+        (
+            "zipf-local",
+            DiGraph::from_edge_list(&zipf_graph(
+                &ZipfParams {
+                    num_vertices: 900,
+                    mean_degree: 9.0,
+                    locality: 0.4,
+                    block_size: 128,
+                    ..Default::default()
+                },
+                11,
+            )),
+        ),
+        ("er", DiGraph::from_edge_list(&erdos_renyi(300, 2400, 5))),
+    ]
+}
+
+#[test]
+fn every_engine_native_matches_oracle() {
+    for (gname, g) in graphs() {
+        for policy in [DanglingPolicy::Ignore, DanglingPolicy::Redistribute] {
+            let cfg = PageRankConfig::default().with_iterations(10).with_dangling(policy);
+            let oracle = reference_pagerank(&g, &cfg);
+            for e in all_engines() {
+                let run = e.run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: 512 });
+                let err = max_rel_error(&run.ranks, &oracle);
+                assert!(
+                    err < 5e-3,
+                    "{} native on {gname} ({policy:?}): max rel err {err}",
+                    e.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_engine_sim_is_bitwise_identical_to_native() {
+    let machine = MachineSpec::tiny_test();
+    for (gname, g) in graphs() {
+        let cfg = PageRankConfig::default().with_iterations(6);
+        for e in all_engines() {
+            let threads = 4;
+            let sim = e.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(machine.clone()).with_threads(threads).with_partition_bytes(512),
+            );
+            let nat = e.run_native(&g, &cfg, &NativeOpts { threads, partition_bytes: 512 });
+            assert_eq!(sim.ranks, nat.ranks, "{} on {gname}: sim != native", e.name());
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_each_other_to_float_tolerance() {
+    let g = hipa::graph::datasets::small_test_graph(13);
+    let cfg = PageRankConfig::default().with_iterations(12);
+    let runs: Vec<(String, Vec<f32>)> = all_engines()
+        .iter()
+        .map(|e| {
+            (
+                e.name().to_string(),
+                e.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 1024 }).ranks,
+            )
+        })
+        .collect();
+    let (base_name, base) = &runs[0];
+    for (name, ranks) in &runs[1..] {
+        for (v, (a, b)) in ranks.iter().zip(base).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-4 * b.abs().max(1e-6),
+                "{name} vs {base_name} differ at v{v}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hipa_and_ppr_share_exact_arithmetic() {
+    // Same layout, same accumulation order: bit-equal, not just close.
+    let g = hipa::graph::datasets::small_test_graph(14);
+    let cfg = PageRankConfig::default().with_iterations(9);
+    let opts = NativeOpts { threads: 5, partition_bytes: 2048 };
+    let a = HiPa.run_native(&g, &cfg, &opts);
+    let b = Ppr.run_native(&g, &cfg, &opts);
+    assert_eq!(a.ranks, b.ranks);
+}
+
+#[test]
+fn thread_count_does_not_change_any_engine_result() {
+    let g = hipa::graph::datasets::small_test_graph(15);
+    let cfg = PageRankConfig::default().with_iterations(7);
+    for e in all_engines() {
+        let one = e.run_native(&g, &cfg, &NativeOpts { threads: 1, partition_bytes: 1024 });
+        let many = e.run_native(&g, &cfg, &NativeOpts { threads: 6, partition_bytes: 1024 });
+        assert_eq!(one.ranks, many.ranks, "{} not thread-count invariant", e.name());
+    }
+}
+
+#[test]
+fn partition_size_changes_layout_not_results_much() {
+    // Partition size changes accumulation order (different intra/inter
+    // splits), so results may differ in low bits — but must stay within
+    // float tolerance of the oracle for every size.
+    let g = hipa::graph::datasets::small_test_graph(16);
+    let cfg = PageRankConfig::default().with_iterations(10);
+    let oracle = reference_pagerank(&g, &cfg);
+    for pbytes in [64usize, 256, 1024, 8192, 1 << 20] {
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: pbytes });
+        let err = max_rel_error(&run.ranks, &oracle);
+        assert!(err < 5e-3, "partition {pbytes}: err {err}");
+    }
+}
+
+#[test]
+fn zero_iterations_returns_uniform() {
+    let g = hipa::graph::datasets::small_test_graph(17);
+    let cfg = PageRankConfig::default().with_iterations(0);
+    let n = g.num_vertices() as f32;
+    for e in all_engines() {
+        let run = e.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 1024 });
+        assert!(run.ranks.iter().all(|&r| (r - 1.0 / n).abs() < 1e-9), "{}", e.name());
+    }
+}
+
+#[test]
+fn hipa_tolerance_stops_early_and_matches_long_run() {
+    let g = hipa::graph::datasets::small_test_graph(18);
+    let cap = 200;
+    let cfg_tol = PageRankConfig::default().with_iterations(cap).with_tolerance(1e-7);
+    let run = HiPa.run_native(&g, &cfg_tol, &NativeOpts { threads: 3, partition_bytes: 1024 });
+    assert!(run.iterations_run < cap, "should converge early, ran {}", run.iterations_run);
+    assert!(run.iterations_run > 3, "suspiciously fast: {}", run.iterations_run);
+    // The converged result matches a long fixed run closely.
+    let long = HiPa.run_native(
+        &g,
+        &PageRankConfig::default().with_iterations(cap),
+        &NativeOpts { threads: 3, partition_bytes: 1024 },
+    );
+    for (a, b) in run.ranks.iter().zip(&long.ranks) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn hipa_tolerance_sim_agrees_with_native() {
+    let g = hipa::graph::datasets::small_test_graph(19);
+    let cfg = PageRankConfig::default().with_iterations(100).with_tolerance(1e-6);
+    let nat = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 512 });
+    let sim = HiPa.run_sim(
+        &g,
+        &cfg,
+        &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512),
+    );
+    assert_eq!(nat.iterations_run, sim.iterations_run, "same stop iteration");
+    assert_eq!(nat.ranks, sim.ranks, "bitwise-equal converged ranks");
+}
+
+#[test]
+fn cycle_converges_immediately_under_tolerance() {
+    // The uniform start IS the fixed point of a cycle: one iteration's delta
+    // is already ~0.
+    let g = DiGraph::from_edge_list(&hipa::graph::gen::cycle(32));
+    let cfg = PageRankConfig::default().with_iterations(50).with_tolerance(1e-6);
+    let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 64 });
+    assert_eq!(run.iterations_run, 1);
+}

@@ -1,0 +1,86 @@
+//! Cross-crate tests for the §6 extensions: SpMV, PageRank-Delta and BFS
+//! interacting with the PageRank machinery.
+
+use hipa::algos::{bfs_levels, bfs_partition_centric, pagerank_delta, PrDeltaConfig};
+use hipa::algos::{spmv_partition_centric, spmv_reference};
+use hipa::core::reference_pagerank;
+use hipa::prelude::*;
+
+/// One PageRank iteration *is* an SpMV plus an affine map: feed the scaled
+/// contribution vector through SpMV and compare against the oracle's next
+/// iterate. This ties the SpMV extension to Eq. 1 exactly as §1 claims.
+#[test]
+fn pagerank_step_equals_spmv_plus_affine() {
+    let g = hipa::graph::datasets::small_test_graph(30);
+    let n = g.num_vertices();
+    let d = 0.85f64;
+    let one = reference_pagerank(&g, &PageRankConfig::default().with_iterations(1));
+    // x[u] = rank0[u] / outdeg(u), rank0 uniform.
+    let x: Vec<f32> = (0..n)
+        .map(|v| {
+            let deg = g.out_degree(v as u32);
+            if deg == 0 { 0.0 } else { (1.0 / n as f32) / deg as f32 }
+        })
+        .collect();
+    let y = spmv_partition_centric(&g, &x, 4, 256);
+    for v in 0..n {
+        let expect = (1.0 - d) / n as f64 + d * y[v] as f64;
+        assert!(
+            (expect - one[v]).abs() < 1e-6,
+            "v{v}: spmv-derived {expect} vs oracle {}",
+            one[v]
+        );
+    }
+}
+
+#[test]
+fn spmv_parallel_matches_reference_on_datasets() {
+    let g = hipa::graph::datasets::small_test_graph(31);
+    let x: Vec<f32> = (0..g.num_vertices()).map(|i| ((i * 37) % 11) as f32 / 11.0).collect();
+    let want = spmv_reference(&g, &x);
+    let got = spmv_partition_centric(&g, &x, 6, 128);
+    for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+        assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "v{v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn pagerank_delta_matches_engine_at_convergence() {
+    let g = hipa::graph::datasets::small_test_graph(32);
+    let res = pagerank_delta(&g, &PrDeltaConfig { threshold: 1e-10, ..Default::default() });
+    assert!(res.converged);
+    // Compare against a long power iteration from the full engine.
+    let run = HiPa.run_native(
+        &g,
+        &PageRankConfig::default().with_iterations(100),
+        &NativeOpts { threads: 3, partition_bytes: 1024 },
+    );
+    for (v, (a, b)) in res.ranks.iter().zip(&run.ranks).enumerate() {
+        assert!((a - b).abs() < 1e-4, "v{v}: delta {a} vs engine {b}");
+    }
+}
+
+#[test]
+fn bfs_levels_respect_edges() {
+    // Structural invariant: along any edge, levels differ by at most 1
+    // downward (level[dst] <= level[src] + 1 when src is reached).
+    let g = hipa::graph::datasets::small_test_graph(33);
+    let levels = bfs_partition_centric(&g, 0, 64);
+    assert_eq!(levels, bfs_levels(&g, 0));
+    for (src, dst) in g.out_csr().iter_edges() {
+        let ls = levels[src as usize];
+        if ls != hipa::algos::bfs::UNREACHED {
+            let ld = levels[dst as usize];
+            assert!(ld <= ls + 1, "edge ({src},{dst}): levels {ls} -> {ld}");
+        }
+    }
+}
+
+#[test]
+fn bfs_on_paper_dataset_standin() {
+    // A heavier cross-check on a real stand-in (journal).
+    let g = Dataset::Journal.build();
+    let a = bfs_partition_centric(&g, 1, 4096);
+    let b = bfs_levels(&g, 1);
+    assert_eq!(a, b);
+}

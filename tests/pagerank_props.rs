@@ -1,0 +1,73 @@
+//! Property-based tests on PageRank invariants, run through the full HiPa
+//! engine (not just the oracle).
+
+use hipa::core::reference::{max_rel_error, reference_pagerank};
+use hipa::prelude::*;
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = DiGraph> {
+    (2usize..120, prop::collection::vec((0u32..120, 0u32..120), 1..600)).prop_map(|(n, pairs)| {
+        let edges: Vec<(u32, u32)> =
+            pairs.into_iter().map(|(s, d)| (s % n as u32, d % n as u32)).collect();
+        let mut el = EdgeList::new(
+            n,
+            edges.into_iter().map(Into::into).collect(),
+        );
+        el.dedup_simplify();
+        DiGraph::from_edge_list(&EdgeList::new(n, el.into_edges()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under the Redistribute policy the rank vector stays a probability
+    /// distribution (non-negative, sums to 1) at any iteration count.
+    #[test]
+    fn redistribute_preserves_simplex(g in graph_strategy(), iters in 0usize..15) {
+        let cfg = PageRankConfig::default()
+            .with_iterations(iters)
+            .with_dangling(DanglingPolicy::Redistribute);
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: 256 });
+        let sum: f64 = run.ranks.iter().map(|&r| r as f64).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3, "sum {}", sum);
+        prop_assert!(run.ranks.iter().all(|&r| r >= 0.0));
+    }
+
+    /// Under Ignore the total mass is non-increasing and bounded by 1.
+    #[test]
+    fn ignore_mass_bounded(g in graph_strategy(), iters in 1usize..12) {
+        let cfg = PageRankConfig::default().with_iterations(iters);
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 256 });
+        let sum: f64 = run.ranks.iter().map(|&r| r as f64).sum();
+        prop_assert!(sum <= 1.0 + 1e-4, "sum {}", sum);
+        prop_assert!(run.ranks.iter().all(|&r| r >= 0.0));
+    }
+
+    /// Damping 0 collapses to the uniform vector after one iteration.
+    #[test]
+    fn zero_damping_is_uniform(g in graph_strategy()) {
+        let cfg = PageRankConfig::new(0.0, 3);
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 256 });
+        let n = g.num_vertices() as f32;
+        prop_assert!(run.ranks.iter().all(|&r| (r - 1.0 / n).abs() < 1e-6));
+    }
+
+    /// Every vertex retains at least the teleport floor (1-d)/n.
+    #[test]
+    fn teleport_floor_holds(g in graph_strategy(), iters in 1usize..10) {
+        let cfg = PageRankConfig::default().with_iterations(iters);
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 256 });
+        let floor = 0.15 / g.num_vertices() as f32;
+        prop_assert!(run.ranks.iter().all(|&r| r >= floor * 0.999), "floor violated");
+    }
+
+    /// The engine tracks the oracle on arbitrary graphs.
+    #[test]
+    fn engine_matches_oracle(g in graph_strategy()) {
+        let cfg = PageRankConfig::default().with_iterations(8);
+        let oracle = reference_pagerank(&g, &cfg);
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 128 });
+        prop_assert!(max_rel_error(&run.ranks, &oracle) < 5e-3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property test: PageRank is equivariant under vertex relabelling —
+//! running the full HiPa engine on a permuted graph permutes the ranks.
+//! This exercises generators, reordering, partitioning and the engine in
+//! one property.
+
+use hipa::graph::reorder::random_permutation;
+use hipa::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pagerank_is_relabel_equivariant(
+        n in 8usize..150,
+        edges in prop::collection::vec((0u32..150, 0u32..150), 1..500),
+        seed in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let pairs: Vec<(u32, u32)> =
+            edges.into_iter().map(|(s, d)| (s % n as u32, d % n as u32)).collect();
+        let mut el = EdgeList::new(n, pairs.into_iter().map(Into::into).collect());
+        el.dedup_simplify();
+        let el = EdgeList::new(n, el.into_edges());
+        let perm = random_permutation(n, seed);
+        let permuted = perm.apply(&el);
+
+        let cfg = PageRankConfig::default().with_iterations(8);
+        let opts = NativeOpts { threads, partition_bytes: 256 };
+        let r1 = HiPa.run_native(&DiGraph::from_edge_list(&el), &cfg, &opts).ranks;
+        let r2 = HiPa.run_native(&DiGraph::from_edge_list(&permuted), &cfg, &opts).ranks;
+        for v in 0..n as u32 {
+            let a = r1[v as usize];
+            let b = r2[perm.map(v) as usize];
+            // Partition boundaries differ after relabelling, so summation
+            // order differs: compare with float tolerance.
+            prop_assert!(
+                (a - b).abs() <= 2e-4 * a.abs().max(1e-6),
+                "v{} -> {}: {} vs {}", v, perm.map(v), a, b
+            );
+        }
+    }
+
+    #[test]
+    fn census_totals_are_relabel_invariant_under_full_shuffle(
+        n in 4usize..200,
+        edges in prop::collection::vec((0u32..200, 0u32..200), 0..400),
+        seed in 0u64..1000,
+    ) {
+        let pairs: Vec<(u32, u32)> =
+            edges.into_iter().map(|(s, d)| (s % n as u32, d % n as u32)).collect();
+        let el = EdgeList::new(n, pairs.into_iter().map(Into::into).collect());
+        let perm = random_permutation(n, seed);
+        let permuted = perm.apply(&el);
+        // Edge and degree multisets are preserved.
+        prop_assert_eq!(el.num_edges(), permuted.num_edges());
+        let g1 = DiGraph::from_edge_list(&el);
+        let g2 = DiGraph::from_edge_list(&permuted);
+        let mut d1: Vec<u32> = (0..n as u32).map(|v| g1.out_degree(v)).collect();
+        let mut d2: Vec<u32> = (0..n as u32).map(|v| g2.out_degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Integration tests of the NUMA machine simulator through the engines'
+//! public API: determinism, counter consistency, and the architectural
+//! effects the paper's evaluation leans on.
+
+use hipa::prelude::*;
+use hipa_baselines::all_engines;
+
+fn journal_small() -> DiGraph {
+    hipa::graph::datasets::small_test_graph(3)
+}
+
+#[test]
+fn simulation_is_deterministic_for_every_engine() {
+    let g = journal_small();
+    let cfg = PageRankConfig::default().with_iterations(5);
+    for e in all_engines() {
+        let run = || {
+            let r = e.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(MachineSpec::tiny_test()).with_threads(6).with_partition_bytes(512),
+            );
+            (r.ranks, r.report.cycles.to_bits(), r.report.mem)
+        };
+        assert_eq!(run(), run(), "{} simulation not deterministic", e.name());
+    }
+}
+
+#[test]
+fn counters_are_internally_consistent() {
+    let g = journal_small();
+    let cfg = PageRankConfig::default().with_iterations(4);
+    for e in all_engines() {
+        let run = e.run_sim(
+            &g,
+            &cfg,
+            &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512),
+        );
+        let m = &run.report.mem;
+        let accesses = m.reads + m.writes;
+        let served = m.l1_hits + m.l2_hits + m.llc_hits + m.dram_local + m.dram_remote;
+        assert_eq!(accesses, served, "{}: every access must be served at exactly one level", e.name());
+        assert!(run.report.cycles > 0.0);
+        assert!(run.compute_cycles > 0.0);
+        assert!(run.preprocess_cycles > 0.0);
+    }
+}
+
+#[test]
+fn numa_aware_engines_have_lower_remote_fraction() {
+    let g = journal_small();
+    let cfg = PageRankConfig::default().with_iterations(6);
+    let mut aware = Vec::new();
+    let mut oblivious = Vec::new();
+    for e in all_engines() {
+        let run = e.run_sim(
+            &g,
+            &cfg,
+            &SimOpts::new(MachineSpec::tiny_test()).with_threads(8).with_partition_bytes(512),
+        );
+        let frac = run.report.mem.remote_fraction();
+        if e.numa_aware() {
+            aware.push((e.name(), frac));
+        } else {
+            oblivious.push((e.name(), frac));
+        }
+    }
+    let max_aware = aware.iter().map(|(_, f)| *f).fold(0.0, f64::max);
+    let min_obliv = oblivious.iter().map(|(_, f)| *f).fold(1.0, f64::min);
+    assert!(
+        max_aware < min_obliv,
+        "NUMA-aware {aware:?} should all be below NUMA-oblivious {oblivious:?}"
+    );
+}
+
+#[test]
+fn more_iterations_mean_more_traffic_and_time() {
+    let g = journal_small();
+    let opts = SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512);
+    let short = HiPa.run_sim(&g, &PageRankConfig::default().with_iterations(3), &opts);
+    let long = HiPa.run_sim(&g, &PageRankConfig::default().with_iterations(9), &opts);
+    assert!(long.compute_cycles > 2.0 * short.compute_cycles);
+    assert!(long.report.mem.dram_bytes(64) > short.report.mem.dram_bytes(64));
+    // Preprocessing is iteration-independent.
+    assert!((long.preprocess_cycles - short.preprocess_cycles).abs() < 1.0);
+}
+
+#[test]
+fn algorithm1_engines_create_threads_per_region() {
+    let g = journal_small();
+    let iters = 5;
+    let cfg = PageRankConfig::default().with_iterations(iters);
+    let opts = SimOpts::new(MachineSpec::tiny_test()).with_threads(8).with_partition_bytes(512);
+    // HiPa (Algorithm 2): one pool for the whole run.
+    let hipa = HiPa.run_sim(&g, &cfg, &opts);
+    assert_eq!(hipa.report.threads_created, 8);
+    assert_eq!(hipa.report.migrations, 0);
+    // p-PR (Algorithm 1): two regions per iteration.
+    let ppr = Ppr.run_sim(&g, &cfg, &opts);
+    assert_eq!(ppr.report.threads_created, (2 * iters as u64) * 8);
+    // Polymer: three bound regions per iteration, with migrations.
+    let poly = Polymer.run_sim(&g, &cfg, &opts);
+    assert_eq!(poly.report.threads_created, (3 * iters as u64) * 8);
+    assert!(poly.report.migrations > 0);
+}
+
+#[test]
+fn single_node_machine_has_no_remote_traffic() {
+    let g = journal_small();
+    let cfg = PageRankConfig::default().with_iterations(4);
+    let machine = MachineSpec::tiny_test().with_sockets(1);
+    let run = HiPa.run_sim(&g, &cfg, &SimOpts::new(machine).with_threads(4).with_partition_bytes(512));
+    assert_eq!(run.report.mem.dram_remote, 0);
+    assert_eq!(run.report.mem.wb_remote, 0);
+}
+
+#[test]
+fn smaller_caches_mean_more_dram_traffic() {
+    let g = journal_small();
+    let cfg = PageRankConfig::default().with_iterations(4);
+    let big = MachineSpec::skylake_4210();
+    let small = MachineSpec::skylake_4210().scaled(512);
+    let run_big = HiPa.run_sim(&g, &cfg, &SimOpts::new(big).with_threads(8).with_partition_bytes(4096));
+    let run_small =
+        HiPa.run_sim(&g, &cfg, &SimOpts::new(small).with_threads(8).with_partition_bytes(4096));
+    assert!(
+        run_small.report.mem.dram_bytes(64) > run_big.report.mem.dram_bytes(64),
+        "scaled-down caches must increase DRAM traffic"
+    );
+}
+
+#[test]
+fn ablation_variants_change_performance_not_results() {
+    use hipa::core::hipa::sim::{run_variant, HiPaVariant};
+    let g = hipa::graph::datasets::small_test_graph(120);
+    let cfg = PageRankConfig::default().with_iterations(5);
+    let opts = SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512);
+    let base = run_variant(&g, &cfg, &opts, &HiPaVariant::default());
+    let variants = [
+        HiPaVariant { compress_inter: false, ..Default::default() },
+        HiPaVariant { thread_pinning: false, ..Default::default() },
+        HiPaVariant { persistent_threads: false, ..Default::default() },
+        HiPaVariant { partitioned_placement: false, ..Default::default() },
+    ];
+    for v in variants {
+        let run = run_variant(&g, &cfg, &opts, &v);
+        // Compression changes accumulation granularity but not per-element
+        // order, pinning/placement/threading change nothing numerical: all
+        // variants must return bit-identical ranks.
+        assert_eq!(run.ranks, base.ranks, "variant {v:?} altered results");
+        assert!(run.compute_cycles > 0.0);
+    }
+}
+
+#[test]
+fn uncompressed_variant_moves_more_bytes() {
+    use hipa::core::hipa::sim::{run_variant, HiPaVariant};
+    let g = hipa::graph::datasets::small_test_graph(121);
+    let cfg = PageRankConfig::default().with_iterations(6);
+    let opts = SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(256);
+    let on = run_variant(&g, &cfg, &opts, &HiPaVariant::default());
+    let off = run_variant(
+        &g,
+        &cfg,
+        &opts,
+        &HiPaVariant { compress_inter: false, ..Default::default() },
+    );
+    assert!(
+        off.report.mem.dram_bytes(64) > on.report.mem.dram_bytes(64),
+        "compression must reduce DRAM traffic"
+    );
+}
