@@ -17,7 +17,9 @@ pub mod wspmv;
 
 pub use bfs::{bfs_levels, bfs_partition_centric};
 pub use cc::{label_propagation, wcc_by_propagation, LabelPropagation};
-pub use ppr::{personalized_from_seed, personalized_pagerank, PersonalizedConfig, PersonalizedResult};
+pub use ppr::{
+    personalized_from_seed, personalized_pagerank, PersonalizedConfig, PersonalizedResult,
+};
 pub use prdelta::{pagerank_delta, PrDeltaConfig, PrDeltaResult};
 pub use spmv::{spmv_partition_centric, spmv_reference};
 pub use spmv_sim::{spmv_sim, SpmvSimRun};

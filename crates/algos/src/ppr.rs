@@ -57,10 +57,13 @@ pub fn personalized_pagerank(
 ) -> PersonalizedResult {
     let n = g.num_vertices();
     assert_eq!(teleport.len(), n, "teleport length mismatch");
-    let mass: f64 = teleport.iter().map(|&x| {
-        assert!(x >= 0.0, "teleport entries must be non-negative");
-        x as f64
-    }).sum();
+    let mass: f64 = teleport
+        .iter()
+        .map(|&x| {
+            assert!(x >= 0.0, "teleport entries must be non-negative");
+            x as f64
+        })
+        .sum();
     assert!(mass > 0.0, "teleport distribution must have positive mass");
     if n == 0 {
         return PersonalizedResult { ranks: Vec::new(), iterations_run: 0, converged: true };
@@ -70,7 +73,11 @@ pub fn personalized_pagerank(
     let inv_deg: Vec<f32> = (0..n)
         .map(|v| {
             let deg = g.out_degree(v as u32);
-            if deg == 0 { 0.0 } else { 1.0 / deg as f32 }
+            if deg == 0 {
+                0.0
+            } else {
+                1.0 / deg as f32
+            }
         })
         .collect();
 
@@ -105,7 +112,11 @@ pub fn personalized_pagerank(
 }
 
 /// Convenience: personalization concentrated on a single seed vertex.
-pub fn personalized_from_seed(g: &DiGraph, seed: u32, cfg: &PersonalizedConfig) -> PersonalizedResult {
+pub fn personalized_from_seed(
+    g: &DiGraph,
+    seed: u32,
+    cfg: &PersonalizedConfig,
+) -> PersonalizedResult {
     let mut p = vec![0.0f32; g.num_vertices()];
     p[seed as usize] = 1.0;
     personalized_pagerank(g, &p, cfg)

@@ -26,12 +26,7 @@ pub struct PrDeltaConfig {
 
 impl Default for PrDeltaConfig {
     fn default() -> Self {
-        PrDeltaConfig {
-            damping: 0.85,
-            threshold: 1e-9,
-            max_rounds: 200,
-            verts_per_partition: 1024,
-        }
+        PrDeltaConfig { damping: 0.85, threshold: 1e-9, max_rounds: 200, verts_per_partition: 1024 }
     }
 }
 
@@ -122,10 +117,7 @@ mod tests {
         let oracle =
             reference_pagerank(g, &PageRankConfig::default().with_iterations(rounds_for_oracle));
         for (v, (a, b)) in res.ranks.iter().zip(&oracle).enumerate() {
-            assert!(
-                (*a as f64 - b).abs() < 1e-4,
-                "vertex {v}: delta {a} vs oracle {b}"
-            );
+            assert!((*a as f64 - b).abs() < 1e-4, "vertex {v}: delta {a} vs oracle {b}");
         }
     }
 

@@ -15,9 +15,7 @@
 use hipa_core::hipa::placement::{blocked_by_index, vertex_ends};
 use hipa_core::PcpmLayout;
 use hipa_graph::{DiGraph, VERTEX_BYTES};
-use hipa_numasim::{
-    PhaseBalance, Placement, SimMachine, SimReport, ThreadPlacement,
-};
+use hipa_numasim::{PhaseBalance, Placement, SimMachine, SimReport, ThreadPlacement};
 use hipa_partition::hipa_plan;
 
 /// Result of a simulated SpMV run.
@@ -191,7 +189,11 @@ pub fn spmv_sim(
         }
     }
     let compute_cycles = m.cycles() - preprocess;
-    SpmvSimRun { y, report: m.report(if numa_aware { "spmv-hipa" } else { "spmv-oblivious" }), compute_cycles }
+    SpmvSimRun {
+        y,
+        report: m.report(if numa_aware { "spmv-hipa" } else { "spmv-oblivious" }),
+        compute_cycles,
+    }
 }
 
 #[cfg(test)]

@@ -126,8 +126,7 @@ mod tests {
     use hipa_graph::{EdgeList, WeightedEdge};
 
     fn close(a: &[f32], b: &[f32]) -> bool {
-        a.len() == b.len()
-            && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0))
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0))
     }
 
     #[test]
@@ -186,12 +185,8 @@ mod tests {
         let total_carried = wl.intra_weights.len() + wl.dest_weights.len();
         assert_eq!(total_carried, w.num_edges());
         let sum_src: f64 = w.weights_raw().iter().map(|&x| x as f64).sum();
-        let sum_dst: f64 = wl
-            .intra_weights
-            .iter()
-            .chain(wl.dest_weights.iter())
-            .map(|&x| x as f64)
-            .sum();
+        let sum_dst: f64 =
+            wl.intra_weights.iter().chain(wl.dest_weights.iter()).map(|&x| x as f64).sum();
         assert!((sum_src - sum_dst).abs() < 1e-3);
     }
 }

@@ -6,12 +6,12 @@ use hipa_graph::DiGraph;
 /// `1/outdeg` per vertex (0 for dangling vertices, whose contribution is
 /// handled by the dangling policy).
 pub fn inv_deg_array(g: &DiGraph) -> Vec<f32> {
-    (0..g.num_vertices())
-        .map(|v| {
-            let d = g.out_degree(v as u32);
-            if d == 0 { 0.0 } else { 1.0 / d as f32 }
-        })
-        .collect()
+    inv_deg_array_par(g, 1)
+}
+
+/// [`inv_deg_array`] on `threads` workers; bit-identical for any count.
+pub fn inv_deg_array_par(g: &DiGraph, threads: usize) -> Vec<f32> {
+    hipa_core::par::inv_deg_parallel(g, threads)
 }
 
 /// Dangling rank mass of the current vector under the configured policy.

@@ -57,7 +57,7 @@ mod tests {
     fn gpop_native_matches_reference() {
         let g = hipa_graph::datasets::small_test_graph(60);
         let cfg = PageRankConfig::default().with_iterations(8);
-        let run = Gpop.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 2048 });
+        let run = Gpop.run_native(&g, &cfg, &NativeOpts::new(4, 2048));
         let oracle = reference_pagerank(&g, &cfg);
         assert!(max_rel_error(&run.ranks, &oracle) < 1e-3);
     }
@@ -71,7 +71,7 @@ mod tests {
             &cfg,
             &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(2048),
         );
-        let nat = Gpop.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 2048 });
+        let nat = Gpop.run_native(&g, &cfg, &NativeOpts::new(4, 2048));
         assert_eq!(sim.ranks, nat.ranks);
     }
 

@@ -42,11 +42,5 @@ use hipa_core::Engine;
 /// All five engines in the paper's column order (Table 2): HiPa, p-PR,
 /// v-PR, GPOP, Polymer.
 pub fn all_engines() -> Vec<Box<dyn Engine>> {
-    vec![
-        Box::new(hipa_core::HiPa),
-        Box::new(Ppr),
-        Box::new(Vpr),
-        Box::new(Gpop),
-        Box::new(Polymer),
-    ]
+    vec![Box::new(hipa_core::HiPa), Box::new(Ppr), Box::new(Vpr), Box::new(Gpop), Box::new(Polymer)]
 }

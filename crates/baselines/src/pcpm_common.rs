@@ -17,9 +17,11 @@
 //! bins every edge, with no direct intra-edge application) and by touching
 //! per-partition framework metadata (Flags/State) in every phase.
 
-use crate::common::{base_value, dangling_mass, inv_deg_array};
+use crate::common::{base_value, dangling_mass, inv_deg_array_par};
 use hipa_core::disjoint::SharedSlice;
-use hipa_core::{DanglingPolicy, NativeOpts, NativeRun, PageRankConfig, PcpmLayout, SimOpts, SimRun};
+use hipa_core::{
+    DanglingPolicy, NativeOpts, NativeRun, PageRankConfig, PcpmLayout, SimOpts, SimRun,
+};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,17 +44,35 @@ pub struct PcpmParams {
     pub extra_ops_per_edge: u64,
 }
 
-pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts, params: &PcpmParams) -> NativeRun {
+pub fn run_native(
+    g: &DiGraph,
+    cfg: &PageRankConfig,
+    opts: &NativeOpts,
+    params: &PcpmParams,
+) -> NativeRun {
     let n = g.num_vertices();
     if n == 0 {
-        return NativeRun { ranks: Vec::new(), preprocess: Default::default(), compute: Default::default(), iterations_run: 0 };
+        return NativeRun {
+            ranks: Vec::new(),
+            preprocess: Default::default(),
+            compute: Default::default(),
+            iterations_run: 0,
+        };
     }
     let threads = opts.threads.max(1);
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
+    let build_threads = opts.effective_build_threads();
+
     let t0 = Instant::now();
-    let layout = PcpmLayout::build(g.out_csr(), vpp, params.include_intra_in_bins);
-    let inv_deg = inv_deg_array(g);
+    let layout = PcpmLayout::build_par_ext(
+        g.out_csr(),
+        vpp,
+        params.include_intra_in_bins,
+        true,
+        build_threads,
+    );
+    let inv_deg = inv_deg_array_par(g, build_threads);
     let preprocess = t0.elapsed();
 
     let d = cfg.damping;
@@ -147,7 +167,9 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts, params: 
                                     rank_s.write(v, new);
                                     acc_s.write(v, 0.0);
                                 }
-                                if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
+                                if matches!(cfg.dangling, DanglingPolicy::Redistribute)
+                                    && degs[v] == 0
+                                {
                                     dpart += new as f64;
                                 }
                             }
@@ -170,13 +192,27 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     if n == 0 {
-        return SimRun { ranks: Vec::new(), iterations_run: 0, report: machine.report(params.label), preprocess_cycles: 0.0, compute_cycles: 0.0 };
+        return SimRun {
+            ranks: Vec::new(),
+            iterations_run: 0,
+            report: machine.report(params.label),
+            preprocess_cycles: 0.0,
+            compute_cycles: 0.0,
+        };
     }
     let threads = opts.threads.clamp(1, machine.spec().topology.logical_cpus());
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
     let m = g.num_edges();
 
-    let layout = PcpmLayout::build(g.out_csr(), vpp, params.include_intra_in_bins);
+    // Host-side build on `build_threads` workers; the simulated preprocessing
+    // cost charged below is unchanged (same passes, same bytes).
+    let layout = PcpmLayout::build_par_ext(
+        g.out_csr(),
+        vpp,
+        params.include_intra_in_bins,
+        true,
+        opts.effective_build_threads(),
+    );
     let msgs = layout.total_msgs as usize;
     let n_intra = layout.intra_dst.len();
     let n_dest = layout.dest_verts.len();
@@ -234,7 +270,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
     });
     let preprocess_cycles = machine.cycles();
 
-    let inv_deg = inv_deg_array(g);
+    let inv_deg = inv_deg_array_par(g, opts.effective_build_threads());
     let d = cfg.damping;
     let inv_n = 1.0f32 / n as f32;
     let mut rank = vec![inv_n; n];
@@ -298,7 +334,11 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                         for pair in pairs {
                             let srcs = layout.png_sources(pair);
                             ctx.stream_read(png_src_r, 4 * pair.src_start as usize, 4 * srcs.len());
-                            ctx.stream_write(vals_r, payload * pair.slot_start as usize, payload * srcs.len());
+                            ctx.stream_write(
+                                vals_r,
+                                payload * pair.slot_start as usize,
+                                payload * srcs.len(),
+                            );
                             for (k, &src) in srcs.iter().enumerate() {
                                 ctx.read(contrib_r, 4 * src as usize, 4);
                                 vals[pair.slot_start as usize + k] = contrib[src as usize];
@@ -373,7 +413,8 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                             if last_iter {
                                 rank[v] = new;
                             }
-                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
+                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0
+                            {
                                 dpart += new as f64;
                             }
                         }

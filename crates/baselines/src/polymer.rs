@@ -66,9 +66,8 @@ fn decompose(g: &DiGraph, nodes: usize, threads: usize) -> Decomp {
             continue;
         }
         // Pull ranges: edge-balance the node's vertices across its threads.
-        let sub_prefix: Vec<u64> = (nr.start..=nr.end)
-            .map(|v| prefix[v as usize] - prefix[nr.start as usize])
-            .collect();
+        let sub_prefix: Vec<u64> =
+            (nr.start..=nr.end).map(|v| prefix[v as usize] - prefix[nr.start as usize]).collect();
         let sub = edge_balanced_with_prefix(&sub_prefix, tpn);
         // Replication ranges: each of the node's threads copies an equal
         // slice of the FULL contribution array into the node's mirror.
@@ -84,7 +83,12 @@ fn decompose(g: &DiGraph, nodes: usize, threads: usize) -> Decomp {
 pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let n = g.num_vertices();
     if n == 0 {
-        return NativeRun { ranks: Vec::new(), preprocess: Default::default(), compute: Default::default(), iterations_run: 0 };
+        return NativeRun {
+            ranks: Vec::new(),
+            preprocess: Default::default(),
+            compute: Default::default(),
+            iterations_run: 0,
+        };
     }
     let threads = opts.threads.max(1);
     // The host has no NUMA topology; model two virtual nodes as on the
@@ -168,7 +172,8 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                             let new = base + d * acc;
                             // SAFETY: disjoint pull ranges.
                             unsafe { rank_s.write(v, new) };
-                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
+                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0
+                            {
                                 dpart += new as f64;
                             }
                         }
@@ -190,7 +195,13 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     if n == 0 {
-        return SimRun { ranks: Vec::new(), iterations_run: 0, report: machine.report("Polymer"), preprocess_cycles: 0.0, compute_cycles: 0.0 };
+        return SimRun {
+            ranks: Vec::new(),
+            iterations_run: 0,
+            report: machine.report("Polymer"),
+            preprocess_cycles: 0.0,
+            compute_cycles: 0.0,
+        };
     }
     let topo = machine.spec().topology;
     let nodes = topo.sockets;
@@ -384,7 +395,7 @@ mod tests {
     fn polymer_native_matches_reference() {
         let g = hipa_graph::datasets::small_test_graph(70);
         let cfg = PageRankConfig::default().with_iterations(8);
-        let run = run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 0 });
+        let run = run_native(&g, &cfg, &NativeOpts::new(4, 0));
         let oracle = reference_pagerank(&g, &cfg);
         assert!(max_rel_error(&run.ranks, &oracle) < 1e-3);
     }
@@ -394,7 +405,7 @@ mod tests {
         let g = hipa_graph::datasets::small_test_graph(71);
         let cfg = PageRankConfig::default().with_iterations(4);
         let sim = run_sim(&g, &cfg, &SimOpts::new(MachineSpec::tiny_test()).with_threads(4));
-        let nat = run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 0 });
+        let nat = run_native(&g, &cfg, &NativeOpts::new(4, 0));
         assert_eq!(sim.ranks, nat.ranks);
     }
 

@@ -51,7 +51,7 @@ mod tests {
     fn ppr_native_matches_reference() {
         let g = hipa_graph::datasets::small_test_graph(50);
         let cfg = PageRankConfig::default().with_iterations(8);
-        let run = Ppr.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 512 });
+        let run = Ppr.run_native(&g, &cfg, &NativeOpts::new(4, 512));
         let oracle = reference_pagerank(&g, &cfg);
         assert!(max_rel_error(&run.ranks, &oracle) < 1e-3);
     }
@@ -65,7 +65,7 @@ mod tests {
             &cfg,
             &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512),
         );
-        let nat = Ppr.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 512 });
+        let nat = Ppr.run_native(&g, &cfg, &NativeOpts::new(4, 512));
         assert_eq!(sim.ranks, nat.ranks);
     }
 
@@ -74,8 +74,8 @@ mod tests {
         // Same layout, same arithmetic order — p-PR and HiPa agree exactly.
         let g = hipa_graph::datasets::small_test_graph(52);
         let cfg = PageRankConfig::default().with_iterations(4);
-        let a = Ppr.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 512 });
-        let b = hipa_core::HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 512 });
+        let a = Ppr.run_native(&g, &cfg, &NativeOpts::new(2, 512));
+        let b = hipa_core::HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 512));
         assert_eq!(a.ranks, b.ranks);
     }
 

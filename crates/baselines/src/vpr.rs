@@ -50,7 +50,12 @@ fn in_degrees(g: &DiGraph) -> Vec<u32> {
 pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let n = g.num_vertices();
     if n == 0 {
-        return NativeRun { ranks: Vec::new(), preprocess: Default::default(), compute: Default::default(), iterations_run: 0 };
+        return NativeRun {
+            ranks: Vec::new(),
+            preprocess: Default::default(),
+            compute: Default::default(),
+            iterations_run: 0,
+        };
     }
     let threads = opts.threads.max(1);
 
@@ -65,10 +70,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let degs = g.out_degrees();
     let in_csr = g.in_csr();
 
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("rayon pool");
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
     let t1 = Instant::now();
     for _it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
@@ -83,7 +85,6 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                 for (j, r) in ranges.iter().enumerate() {
                     let next_s = &next_s;
                     let partials_s = &partials_s;
-                    let degs = degs;
                     let r = r.clone();
                     scope.spawn(move |_| {
                         let mut dpart = 0.0f64;
@@ -97,7 +98,8 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                             let new = base + d * acc;
                             // SAFETY: vertex ranges are disjoint per thread.
                             unsafe { next_s.write(v, new) };
-                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
+                            if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0
+                            {
                                 dpart += new as f64;
                             }
                         }
@@ -120,7 +122,13 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     if n == 0 {
-        return SimRun { ranks: Vec::new(), iterations_run: 0, report: machine.report("v-PR"), preprocess_cycles: 0.0, compute_cycles: 0.0 };
+        return SimRun {
+            ranks: Vec::new(),
+            iterations_run: 0,
+            report: machine.report("v-PR"),
+            preprocess_cycles: 0.0,
+            compute_cycles: 0.0,
+        };
     }
     let threads = opts.threads.clamp(1, machine.spec().topology.logical_cpus());
     let m = g.num_edges();
@@ -232,7 +240,7 @@ mod tests {
     fn vpr_native_matches_reference() {
         let g = hipa_graph::datasets::small_test_graph(40);
         let cfg = PageRankConfig::default().with_iterations(8);
-        let run = run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: 1024 });
+        let run = run_native(&g, &cfg, &NativeOpts::new(3, 1024));
         let oracle = reference_pagerank(&g, &cfg);
         assert!(max_rel_error(&run.ranks, &oracle) < 1e-3);
     }
@@ -242,7 +250,7 @@ mod tests {
         let g = hipa_graph::datasets::small_test_graph(41);
         let cfg = PageRankConfig::default().with_iterations(5);
         let sim = run_sim(&g, &cfg, &SimOpts::new(MachineSpec::tiny_test()).with_threads(8));
-        let nat = run_native(&g, &cfg, &NativeOpts { threads: 8, partition_bytes: 1024 });
+        let nat = run_native(&g, &cfg, &NativeOpts::new(8, 1024));
         assert_eq!(sim.ranks, nat.ranks);
     }
 

@@ -11,12 +11,10 @@ use std::time::Duration;
 fn bench_engines(c: &mut Criterion) {
     let g = hipa_graph::datasets::small_test_graph(1);
     let cfg = PageRankConfig::default().with_iterations(5);
-    let opts = NativeOpts { threads: 2, partition_bytes: 1024 };
+    let opts = NativeOpts::new(2, 1024);
     let mut group = c.benchmark_group("native_pagerank");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.throughput(criterion::Throughput::Elements(
-        (g.num_edges() * cfg.iterations) as u64,
-    ));
+    group.throughput(criterion::Throughput::Elements((g.num_edges() * cfg.iterations) as u64));
     for e in all_engines() {
         group.bench_function(BenchmarkId::from_parameter(e.name()), |b| {
             b.iter(|| e.run_native(&g, &cfg, &opts).ranks)
@@ -32,7 +30,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let opts = NativeOpts { threads: t, partition_bytes: 1024 };
+            let opts = NativeOpts::new(t, 1024);
             b.iter(|| hipa_core::HiPa.run_native(&g, &cfg, &opts).ranks)
         });
     }

@@ -17,9 +17,7 @@ fn bench_extensions(c: &mut Criterion) {
     group.bench_function("pagerank_delta", |b| {
         b.iter(|| pagerank_delta(&g, &PrDeltaConfig { threshold: 1e-6, ..Default::default() }))
     });
-    group.bench_function("bfs_partition_centric", |b| {
-        b.iter(|| bfs_partition_centric(&g, 0, 256))
-    });
+    group.bench_function("bfs_partition_centric", |b| b.iter(|| bfs_partition_centric(&g, 0, 256)));
     group.finish();
 }
 

@@ -17,9 +17,7 @@ fn bench_layout(c: &mut Criterion) {
             b.iter(|| PcpmLayout::build(g.out_csr(), vpp, false))
         });
     }
-    group.bench_function("hipa_plan", |b| {
-        b.iter(|| hipa_plan(g.out_degrees(), 2, 8, 64))
-    });
+    group.bench_function("hipa_plan", |b| b.iter(|| hipa_plan(g.out_degrees(), 2, 8, 64)));
     group.bench_function("lookup_table", |b| {
         let plan = hipa_plan(g.out_degrees(), 2, 8, 64);
         b.iter(|| LookupTable::from_plan(&plan))
@@ -31,5 +29,35 @@ fn bench_layout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layout);
+/// Sequential vs parallel PCPM layout build at several worker counts.
+/// The graph is big enough (~50k vertices) that the default chunk
+/// decomposition produces a dozen chunks per pass, so the parallel path is
+/// genuinely exercised rather than degenerating to one chunk.
+fn bench_parallel_build(c: &mut Criterion) {
+    use hipa_graph::gen::{zipf_graph, ZipfParams};
+    let g = hipa_graph::DiGraph::from_edge_list(&zipf_graph(
+        &ZipfParams {
+            num_vertices: 50_000,
+            mean_degree: 12.0,
+            locality: 0.3,
+            block_size: 256,
+            ..Default::default()
+        },
+        29,
+    ));
+    let csr = g.out_csr();
+    let vpp = 512usize;
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("seq", |b| b.iter(|| PcpmLayout::build_seq_ext(csr, vpp, false, true)));
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("par", threads), &threads, |b, &t| {
+            b.iter(|| PcpmLayout::build_par_ext(csr, vpp, false, true, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout, bench_parallel_build);
 criterion_main!(benches);

@@ -27,7 +27,8 @@ fn main() {
         ("- persistent threads", HiPaVariant { persistent_threads: false, ..Default::default() }),
         ("- NUMA placement", HiPaVariant { partitioned_placement: false, ..Default::default() }),
     ];
-    let graphs = if args.fast { vec![Dataset::Journal] } else { vec![Dataset::Journal, Dataset::Kron] };
+    let graphs =
+        if args.fast { vec![Dataset::Journal] } else { vec![Dataset::Journal, Dataset::Kron] };
     let mut table = Table::new(
         &format!("Ablations: HiPa minus one design choice ({iters} iterations)"),
         &["graph", "variant", "time", "vs full", "MApE/iter", "remote %", "migrations"],

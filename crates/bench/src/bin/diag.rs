@@ -18,7 +18,9 @@ fn main() {
         l.dest_verts.len(),
         l.compression_ratio()
     );
-    for (threads, pbytes) in [(40, 256 << 10), (20, 256 << 10), (10, 256 << 10), (20, 64 << 10), (20, 1 << 20)] {
+    for (threads, pbytes) in
+        [(40, 256 << 10), (20, 256 << 10), (10, 256 << 10), (20, 64 << 10), (20, 1 << 20)]
+    {
         let opts = SimOpts::new(skylake())
             .with_threads(threads)
             .with_partition_bytes(scaled_partition(pbytes));

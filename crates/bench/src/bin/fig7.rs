@@ -42,7 +42,9 @@ fn main() {
     }
     let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
-        &format!("Fig. 7: partition-size sensitivity on journal ({iters} iterations, paper-unit sizes)"),
+        &format!(
+            "Fig. 7: partition-size sensitivity on journal ({iters} iterations, paper-unit sizes)"
+        ),
         &hdr,
     );
     for &size in sizes {

@@ -14,7 +14,9 @@
 
 use hipa_bench::{scaled_partition, skylake, BinArgs};
 use hipa_core::{Engine, HiPa, PageRankConfig, SimOpts};
-use hipa_graph::reorder::{by_cluster_growth, by_degree_desc, by_partition_locality, random_permutation, Permutation};
+use hipa_graph::reorder::{
+    by_cluster_growth, by_degree_desc, by_partition_locality, random_permutation, Permutation,
+};
 use hipa_graph::stats::partition_census;
 use hipa_graph::{Csr, DiGraph};
 use hipa_report::{fmt_pct, fmt_secs, Table};
@@ -49,7 +51,9 @@ fn main() {
         let run = HiPa.run_sim(&g, &cfg, &opts);
         table.row(vec![
             name.to_string(),
-            fmt_pct(census.intra_total as f64 / (census.intra_total + census.inter_total).max(1) as f64),
+            fmt_pct(
+                census.intra_total as f64 / (census.intra_total + census.inter_total).max(1) as f64,
+            ),
             format!("{:.2}x", census.compression_ratio()),
             fmt_secs(run.compute_seconds()),
             fmt_pct(run.report.mem.remote_fraction()),

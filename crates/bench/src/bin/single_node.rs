@@ -34,7 +34,9 @@ fn main() {
             hipa_core::HiPa.run_sim(
                 &g,
                 &cfg,
-                &SimOpts::new(skylake().with_sockets(1)).with_threads(20).with_partition_bytes(part),
+                &SimOpts::new(skylake().with_sockets(1))
+                    .with_threads(20)
+                    .with_partition_bytes(part),
             ),
         ),
         (

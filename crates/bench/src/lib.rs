@@ -79,10 +79,26 @@ impl Method {
 pub fn paper_methods() -> Vec<Method> {
     vec![
         Method { engine: Box::new(hipa_core::HiPa), threads: 40, partition_paper_bytes: 256 << 10 },
-        Method { engine: Box::new(hipa_baselines::Ppr), threads: 20, partition_paper_bytes: 256 << 10 },
-        Method { engine: Box::new(hipa_baselines::Vpr), threads: 40, partition_paper_bytes: 256 << 10 },
-        Method { engine: Box::new(hipa_baselines::Gpop), threads: 20, partition_paper_bytes: 1 << 20 },
-        Method { engine: Box::new(hipa_baselines::Polymer), threads: 40, partition_paper_bytes: 256 << 10 },
+        Method {
+            engine: Box::new(hipa_baselines::Ppr),
+            threads: 20,
+            partition_paper_bytes: 256 << 10,
+        },
+        Method {
+            engine: Box::new(hipa_baselines::Vpr),
+            threads: 40,
+            partition_paper_bytes: 256 << 10,
+        },
+        Method {
+            engine: Box::new(hipa_baselines::Gpop),
+            threads: 20,
+            partition_paper_bytes: 1 << 20,
+        },
+        Method {
+            engine: Box::new(hipa_baselines::Polymer),
+            threads: 40,
+            partition_paper_bytes: 256 << 10,
+        },
     ]
 }
 
@@ -101,15 +117,16 @@ pub struct BinArgs {
 impl BinArgs {
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        BinArgs {
-            fast: args.iter().any(|a| a == "--fast"),
-            csv: args.iter().any(|a| a == "--csv"),
-        }
+        BinArgs { fast: args.iter().any(|a| a == "--fast"), csv: args.iter().any(|a| a == "--csv") }
     }
 
     /// Iteration count honouring `--fast`.
     pub fn iterations(&self) -> usize {
-        if self.fast { 5 } else { PAPER_ITERATIONS }
+        if self.fast {
+            5
+        } else {
+            PAPER_ITERATIONS
+        }
     }
 
     /// Dataset list honouring `--fast` (journal + wiki only).

@@ -17,7 +17,7 @@ use crate::disjoint::SharedSlice;
 use crate::pcpm::PcpmLayout;
 use crate::runs::{NativeOpts, NativeRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
-use hipa_partition::hipa_plan;
+use hipa_partition::hipa_plan_with_prefix;
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -34,17 +34,17 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let threads = opts.threads.max(1);
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
+    let build_threads = opts.effective_build_threads();
+
     let t0 = Instant::now();
     // On the host there is no NUMA topology to honour; the hierarchical plan
-    // degenerates to its cache level (one node, `threads` groups).
-    let plan = hipa_plan(g.out_degrees(), 1, threads, vpp);
-    let layout = PcpmLayout::build(g.out_csr(), vpp, false);
-    let inv_deg: Vec<f32> = (0..n)
-        .map(|v| {
-            let deg = g.out_degree(v as u32);
-            if deg == 0 { 0.0 } else { 1.0 / deg as f32 }
-        })
-        .collect();
+    // degenerates to its cache level (one node, `threads` groups). The whole
+    // preprocessing pipeline runs on `build_threads` workers and is
+    // bit-identical to the sequential build.
+    let prefix = crate::par::degree_prefix_parallel(g.out_degrees(), build_threads);
+    let plan = hipa_plan_with_prefix(&prefix, 1, threads, vpp);
+    let layout = PcpmLayout::build_par_ext(g.out_csr(), vpp, false, true, build_threads);
+    let inv_deg = crate::par::inv_deg_parallel(g, build_threads);
     let preprocess = t0.elapsed();
 
     let d = cfg.damping;
@@ -55,10 +55,9 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let mut partials = vec![0.0f64; threads];
     let init_dangling: f64 = match cfg.dangling {
         DanglingPolicy::Ignore => 0.0,
-        DanglingPolicy::Redistribute => (0..n)
-            .filter(|&v| g.out_degree(v as u32) == 0)
-            .map(|v| rank[v] as f64)
-            .sum(),
+        DanglingPolicy::Redistribute => {
+            (0..n).filter(|&v| g.out_degree(v as u32) == 0).map(|v| rank[v] as f64).sum()
+        }
     };
     let mut base_box = vec![(1.0 - d) * inv_n + d * (init_dangling as f32) * inv_n];
     let mut delta_partials = vec![0.0f64; threads];
@@ -121,7 +120,8 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                 for (k, &src) in layout.png_sources(pair).iter().enumerate() {
                                     // SAFETY: src is in this thread's range;
                                     // each slot has exactly one writer.
-                                    let val = unsafe { rank_s.get(src as usize) } * inv_deg[src as usize];
+                                    let val =
+                                        unsafe { rank_s.get(src as usize) } * inv_deg[src as usize];
                                     unsafe { vals_s.write(pair.slot_start as usize + k, val) };
                                 }
                             }
@@ -220,7 +220,7 @@ mod tests {
     fn native_matches_reference_on_cycle() {
         let g = DiGraph::from_edge_list(&cycle(64));
         let cfg = PageRankConfig::default().with_iterations(15);
-        let run = run(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 64 });
+        let run = run(&g, &cfg, &NativeOpts::new(4, 64));
         let oracle = reference_pagerank(&g, &cfg);
         assert!(max_rel_error(&run.ranks, &oracle) < 1e-4);
     }
@@ -229,8 +229,8 @@ mod tests {
     fn native_thread_count_does_not_change_result() {
         let g = hipa_graph::datasets::small_test_graph(21);
         let cfg = PageRankConfig::default().with_iterations(8);
-        let r1 = run(&g, &cfg, &NativeOpts { threads: 1, partition_bytes: 1024 });
-        let r4 = run(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 1024 });
+        let r1 = run(&g, &cfg, &NativeOpts::new(1, 1024));
+        let r4 = run(&g, &cfg, &NativeOpts::new(4, 1024));
         assert_eq!(r1.ranks, r4.ranks, "bitwise determinism across thread counts");
     }
 }

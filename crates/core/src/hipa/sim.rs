@@ -13,7 +13,7 @@ use crate::pcpm::PcpmLayout;
 use crate::runs::{SimOpts, SimRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_numasim::{PhaseBalance, Placement, PoolId, SimMachine, ThreadPlacement};
-use hipa_partition::hipa_plan;
+use hipa_partition::hipa_plan_with_prefix;
 
 /// Design-choice switches for the ablation experiments (DESIGN.md §7). The
 /// default is the full HiPa design; each ablation bin flips one switch.
@@ -86,9 +86,14 @@ pub fn run_variant(
     let tpn = threads / sockets;
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
-    // ---- Preprocessing (host work; its simulated cost is charged below) ----
-    let plan = hipa_plan(g.out_degrees(), sockets, tpn, vpp);
-    let layout = PcpmLayout::build_ext(g.out_csr(), vpp, false, variant.compress_inter);
+    // ---- Preprocessing (host work; its simulated cost is charged below).
+    // Runs on `build_threads` host workers; the structures are bit-identical
+    // to the sequential build, so the simulated run is unaffected. ----
+    let build_threads = opts.effective_build_threads();
+    let prefix = crate::par::degree_prefix_parallel(g.out_degrees(), build_threads);
+    let plan = hipa_plan_with_prefix(&prefix, sockets, tpn, vpp);
+    let layout =
+        PcpmLayout::build_par_ext(g.out_csr(), vpp, false, variant.compress_inter, build_threads);
     let msgs = layout.total_msgs as usize;
     let n_intra = layout.intra_dst.len();
     let n_dest = layout.dest_verts.len();
@@ -221,20 +226,14 @@ pub fn run_variant(
     } else {
         None
     };
-    let balance =
-        if variant.thread_pinning { PhaseBalance::Static } else { PhaseBalance::Dynamic };
-    let pool = persistent_pool
-        .unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
+    let balance = if variant.thread_pinning { PhaseBalance::Static } else { PhaseBalance::Dynamic };
+    let pool =
+        persistent_pool.unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
 
     // ---- Host-side working state (actual computation data) ----
     let d = cfg.damping;
     let inv_n = 1.0f32 / n as f32;
-    let inv_deg: Vec<f32> = (0..n)
-        .map(|v| {
-            let deg = g.out_degree(v as u32);
-            if deg == 0 { 0.0 } else { 1.0 / deg as f32 }
-        })
-        .collect();
+    let inv_deg = crate::par::inv_deg_parallel(g, build_threads);
     let mut rank = vec![inv_n; n];
     let mut contrib: Vec<f32> = (0..n).map(|v| inv_n * inv_deg[v]).collect();
     let mut acc = vec![0.0f32; n];
@@ -263,10 +262,9 @@ pub fn run_variant(
 
     let mut dangling_mass: f64 = match cfg.dangling {
         DanglingPolicy::Ignore => 0.0,
-        DanglingPolicy::Redistribute => (0..n)
-            .filter(|&v| g.out_degree(v as u32) == 0)
-            .map(|v| rank[v] as f64)
-            .sum(),
+        DanglingPolicy::Redistribute => {
+            (0..n).filter(|&v| g.out_degree(v as u32) == 0).map(|v| rank[v] as f64).sum()
+        }
     };
 
     // ---- Iterations: scatter; barrier; gather+finalize; barrier ----
@@ -280,8 +278,8 @@ pub fn run_variant(
 
         // Scatter: stream own partitions, apply intra edges in-cache, write
         // compressed messages into destination bins.
-        let pool = persistent_pool
-            .unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
+        let pool =
+            persistent_pool.unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
         {
             let contrib = &contrib;
             let acc = &mut acc;
@@ -340,8 +338,8 @@ pub fn run_variant(
 
         // Gather: stream the partition's inbox, propagate each message to
         // its destination vertices, then finalise the partition's new ranks.
-        let pool = persistent_pool
-            .unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
+        let pool =
+            persistent_pool.unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
         let mut partials = vec![0.0f64; threads];
         let mut delta_partials = vec![0.0f64; threads];
         {
@@ -459,12 +457,12 @@ mod tests {
         let opts = SimOpts::new(MachineSpec::tiny_test()).with_partition_bytes(512);
         let sim = run(&g, &cfg, &opts);
         let oracle = reference_pagerank(&g, &cfg);
-        assert!(max_rel_error(&sim.ranks, &oracle) < 1e-3, "err {}", max_rel_error(&sim.ranks, &oracle));
-        let native = crate::hipa::native::run(
-            &g,
-            &cfg,
-            &NativeOpts { threads: 3, partition_bytes: 512 },
+        assert!(
+            max_rel_error(&sim.ranks, &oracle) < 1e-3,
+            "err {}",
+            max_rel_error(&sim.ranks, &oracle)
         );
+        let native = crate::hipa::native::run(&g, &cfg, &NativeOpts::new(3, 512));
         assert_eq!(sim.ranks, native.ranks, "sim and native must be bit-identical");
     }
 
@@ -480,7 +478,10 @@ mod tests {
         assert!(sim.report.mem.dram_local + sim.report.mem.dram_remote > 0);
         // Pinned persistent threads: one pool, no migrations.
         assert_eq!(sim.report.migrations, 0);
-        assert_eq!(sim.report.threads_created as usize, MachineSpec::tiny_test().topology.logical_cpus());
+        assert_eq!(
+            sim.report.threads_created as usize,
+            MachineSpec::tiny_test().topology.logical_cpus()
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod config;
 pub mod disjoint;
 pub mod hipa;
+pub mod par;
 pub mod pcpm;
 pub mod reference;
 pub mod runs;

@@ -20,8 +20,14 @@
 //! as one stream. Sizes are static because PageRank sends every message in
 //! every iteration.
 
+use crate::par::run_indexed;
 use hipa_graph::Csr;
 use std::ops::Range;
+
+/// Vertices per parallel build chunk. Fixed (not thread-derived) so the
+/// chunk decomposition is deterministic; the built layout is identical for
+/// any chunking regardless (see [`PcpmLayout::build_par_ext`]).
+const CHUNK_VERTS: usize = 4096;
 
 /// The built layout. All index arrays are `u64`-offset CSR-style.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +92,28 @@ impl PcpmLayout {
     /// [`Self::build`] with inter-edge compression switchable — the
     /// `ablation_compression` experiment disables it, giving every
     /// inter-edge its own single-destination message (Fig. 4 "before").
+    ///
+    /// Uses all available host parallelism; the result is bit-identical to
+    /// [`Self::build_seq_ext`] for any thread count.
     pub fn build_ext(
+        csr: &Csr,
+        verts_per_partition: usize,
+        include_intra_in_bins: bool,
+        compress_inter: bool,
+    ) -> Self {
+        Self::build_par_ext(
+            csr,
+            verts_per_partition,
+            include_intra_in_bins,
+            compress_inter,
+            rayon::current_num_threads(),
+        )
+    }
+
+    /// The reference single-threaded builder. [`Self::build_par_ext`] must
+    /// produce exactly this layout; the bit-equality tests compare against
+    /// it.
+    pub fn build_seq_ext(
         csr: &Csr,
         verts_per_partition: usize,
         include_intra_in_bins: bool,
@@ -108,7 +135,10 @@ impl PcpmLayout {
             let mut last = usize::MAX;
             let mut intra = 0u64;
             let mut msgs = 0u64;
-            debug_assert!(csr.neighbors(v).windows(2).all(|w| w[0] <= w[1]), "adjacency must be sorted");
+            debug_assert!(
+                csr.neighbors(v).windows(2).all(|w| w[0] <= w[1]),
+                "adjacency must be sorted"
+            );
             for &t in csr.neighbors(v) {
                 let pt = part_of(t);
                 if pt == pv && !include_intra_in_bins {
@@ -242,6 +272,333 @@ impl PcpmLayout {
             png_index.push(pairs_start..png_pairs.len() as u32);
         }
         debug_assert_eq!(src_cur, total_msgs);
+
+        PcpmLayout {
+            verts_per_partition,
+            num_partitions,
+            num_vertices: n,
+            intra_offsets,
+            intra_dst,
+            msg_offsets,
+            msg_dst_part,
+            msg_slot,
+            part_slot_ranges,
+            dest_offsets,
+            dest_verts,
+            total_msgs,
+            include_intra_in_bins,
+            png_index,
+            png_pairs,
+            png_src,
+        }
+    }
+
+    /// Multi-threaded layout construction, bit-identical to
+    /// [`Self::build_seq_ext`] for every `build_threads` value.
+    ///
+    /// The sequential builder's only cross-vertex state is the per-destination
+    /// slot cursor, which advances in source-vertex order. Splitting the
+    /// vertex range into fixed chunks and exclusive-scanning the per-chunk ×
+    /// per-partition message counts reproduces the exact cursor value at
+    /// every chunk boundary, so each chunk can assign its slots — and fill
+    /// every downstream array — independently, writing structurally disjoint
+    /// ranges through [`SharedSlice`](crate::disjoint::SharedSlice). The
+    /// output therefore does not depend on the chunking or on thread
+    /// scheduling.
+    pub fn build_par_ext(
+        csr: &Csr,
+        verts_per_partition: usize,
+        include_intra_in_bins: bool,
+        compress_inter: bool,
+        build_threads: usize,
+    ) -> Self {
+        Self::build_par_chunked(
+            csr,
+            verts_per_partition,
+            include_intra_in_bins,
+            compress_inter,
+            build_threads,
+            CHUNK_VERTS,
+        )
+    }
+
+    /// [`Self::build_par_ext`] with an explicit chunk size. Exposed so the
+    /// bit-equality tests can force multi-chunk execution on small graphs;
+    /// production callers use the tuned [`CHUNK_VERTS`] default.
+    #[doc(hidden)]
+    pub fn build_par_chunked(
+        csr: &Csr,
+        verts_per_partition: usize,
+        include_intra_in_bins: bool,
+        compress_inter: bool,
+        build_threads: usize,
+        chunk_verts: usize,
+    ) -> Self {
+        use crate::disjoint::SharedSlice;
+
+        let threads = build_threads.max(1);
+        let chunk_verts = chunk_verts.max(1);
+        let n = csr.num_vertices();
+        if threads == 1 || n == 0 {
+            return Self::build_seq_ext(
+                csr,
+                verts_per_partition,
+                include_intra_in_bins,
+                compress_inter,
+            );
+        }
+        assert!(verts_per_partition >= 1);
+        let num_partitions = n.div_ceil(verts_per_partition).max(1);
+        let part_of = |v: u32| v as usize / verts_per_partition;
+
+        let num_chunks = n.div_ceil(chunk_verts);
+        let chunk_range = |c: usize| (c * chunk_verts)..((c + 1) * chunk_verts).min(n);
+
+        // Pass 1 (parallel): per-vertex intra/message counts into the
+        // offset arrays' `v + 1` slots, and a chunks × partitions message
+        // count matrix.
+        let mut intra_offsets = vec![0u64; n + 1];
+        let mut msg_offsets = vec![0u64; n + 1];
+        let mut chunk_part_msgs = vec![0u64; num_chunks * num_partitions];
+        {
+            let intra_s = SharedSlice::new(&mut intra_offsets);
+            let msg_s = SharedSlice::new(&mut msg_offsets);
+            let counts_s = SharedSlice::new(&mut chunk_part_msgs);
+            run_indexed(num_chunks, threads, |c| {
+                let row = c * num_partitions;
+                for v in chunk_range(c) {
+                    let v = v as u32;
+                    let pv = part_of(v);
+                    let mut last = usize::MAX;
+                    let mut intra = 0u64;
+                    let mut msgs = 0u64;
+                    debug_assert!(
+                        csr.neighbors(v).windows(2).all(|w| w[0] <= w[1]),
+                        "adjacency must be sorted"
+                    );
+                    for &t in csr.neighbors(v) {
+                        let pt = part_of(t);
+                        if pt == pv && !include_intra_in_bins {
+                            intra += 1;
+                            continue;
+                        }
+                        if pt != last || !compress_inter {
+                            msgs += 1;
+                            // SAFETY: row `c` of the count matrix is this
+                            // chunk's alone.
+                            unsafe { counts_s.update(row + pt, |x| *x += 1) };
+                            last = pt;
+                        }
+                    }
+                    // SAFETY: `v + 1` slots of distinct chunks are disjoint.
+                    unsafe {
+                        intra_s.write(v as usize + 1, intra);
+                        msg_s.write(v as usize + 1, msgs);
+                    }
+                }
+            });
+        }
+        // Sequential scans: per-vertex counts → offsets; count-matrix columns
+        // → per-destination slot ranges plus each chunk's starting cursor
+        // (the sequential cursor state at that chunk's first vertex).
+        for v in 0..n {
+            intra_offsets[v + 1] += intra_offsets[v];
+            msg_offsets[v + 1] += msg_offsets[v];
+        }
+        let total_intra = intra_offsets[n];
+        let total_msgs = msg_offsets[n];
+        let mut msgs_per_part = vec![0u64; num_partitions];
+        for c in 0..num_chunks {
+            for q in 0..num_partitions {
+                msgs_per_part[q] += chunk_part_msgs[c * num_partitions + q];
+            }
+        }
+        let mut part_slot_ranges = Vec::with_capacity(num_partitions);
+        let mut acc = 0u64;
+        for q in 0..num_partitions {
+            part_slot_ranges.push(acc..acc + msgs_per_part[q]);
+            acc += msgs_per_part[q];
+        }
+        debug_assert_eq!(acc, total_msgs);
+        // Exclusive scan down each column, in place: entry (c, q) becomes the
+        // cursor for destination q at chunk c's start.
+        let mut col_cursor = msgs_per_part; // reuse; overwritten below
+        for (q, r) in part_slot_ranges.iter().enumerate() {
+            col_cursor[q] = r.start;
+        }
+        for c in 0..num_chunks {
+            for q in 0..num_partitions {
+                let cell = &mut chunk_part_msgs[c * num_partitions + q];
+                let count = *cell;
+                *cell = col_cursor[q];
+                col_cursor[q] += count;
+            }
+        }
+        let chunk_cursors = chunk_part_msgs;
+
+        // Pass 2 (parallel): slot assignment and per-slot destination
+        // counts. Each chunk's writes are confined to its own vertex range
+        // (intra_dst, msg_dst_part, msg_slot) and its own slot blocks
+        // (slot_dest_count).
+        let mut intra_dst = vec![0u32; total_intra as usize];
+        let mut msg_dst_part = vec![0u32; total_msgs as usize];
+        let mut msg_slot = vec![0u64; total_msgs as usize];
+        let mut slot_dest_count = vec![0u64; total_msgs as usize];
+        {
+            let intra_dst_s = SharedSlice::new(&mut intra_dst);
+            let msg_dst_part_s = SharedSlice::new(&mut msg_dst_part);
+            let msg_slot_s = SharedSlice::new(&mut msg_slot);
+            let sdc_s = SharedSlice::new(&mut slot_dest_count);
+            let intra_offsets = &intra_offsets;
+            let msg_offsets = &msg_offsets;
+            let chunk_cursors = &chunk_cursors;
+            run_indexed(num_chunks, threads, |c| {
+                let vr = chunk_range(c);
+                let mut cursors =
+                    chunk_cursors[c * num_partitions..(c + 1) * num_partitions].to_vec();
+                let mut intra_cur = intra_offsets[vr.start] as usize;
+                let mut msg_cur = msg_offsets[vr.start] as usize;
+                for v in vr {
+                    let v = v as u32;
+                    let pv = part_of(v);
+                    let mut run_part = usize::MAX;
+                    let mut run_slot = 0u64;
+                    for &t in csr.neighbors(v) {
+                        let pt = part_of(t);
+                        if pt == pv && !include_intra_in_bins {
+                            // SAFETY: intra_cur stays inside this chunk's
+                            // intra_offsets range.
+                            unsafe { intra_dst_s.write(intra_cur, t) };
+                            intra_cur += 1;
+                            continue;
+                        }
+                        if pt != run_part || !compress_inter {
+                            run_part = pt;
+                            run_slot = cursors[pt];
+                            cursors[pt] += 1;
+                            // SAFETY: msg_cur stays inside this chunk's
+                            // msg_offsets range.
+                            unsafe {
+                                msg_dst_part_s.write(msg_cur, pt as u32);
+                                msg_slot_s.write(msg_cur, run_slot);
+                            }
+                            msg_cur += 1;
+                        }
+                        // SAFETY: run_slot came from this chunk's cursor
+                        // block — no other chunk touches it.
+                        unsafe { sdc_s.update(run_slot as usize, |x| *x += 1) };
+                    }
+                }
+                debug_assert_eq!(intra_cur as u64, intra_offsets[chunk_range(c).end]);
+                debug_assert_eq!(msg_cur as u64, msg_offsets[chunk_range(c).end]);
+            });
+        }
+
+        let mut dest_offsets = vec![0u64; total_msgs as usize + 1];
+        for k in 0..total_msgs as usize {
+            dest_offsets[k + 1] = dest_offsets[k] + slot_dest_count[k];
+        }
+        let total_dests = dest_offsets[total_msgs as usize];
+
+        // Pass 3 (parallel): destination lists. A slot's whole destination
+        // run comes from a single (vertex, partition) neighbour run — sorted
+        // adjacency makes partition runs contiguous — so a run-local fill
+        // cursor suffices and every dest_verts index is written by exactly
+        // one chunk.
+        let mut dest_verts = vec![0u32; total_dests as usize];
+        {
+            let dest_verts_s = SharedSlice::new(&mut dest_verts);
+            let msg_offsets = &msg_offsets;
+            let msg_slot = &msg_slot;
+            let dest_offsets = &dest_offsets;
+            run_indexed(num_chunks, threads, |c| {
+                let vr = chunk_range(c);
+                let mut msg_cur = msg_offsets[vr.start] as usize;
+                for v in vr {
+                    let v = v as u32;
+                    let pv = part_of(v);
+                    let mut run_part = usize::MAX;
+                    let mut fill = 0u64;
+                    for &t in csr.neighbors(v) {
+                        let pt = part_of(t);
+                        if pt == pv && !include_intra_in_bins {
+                            continue;
+                        }
+                        if pt != run_part || !compress_inter {
+                            run_part = pt;
+                            fill = dest_offsets[msg_slot[msg_cur] as usize];
+                            msg_cur += 1;
+                        }
+                        // SAFETY: this slot's dest range belongs to this
+                        // run alone.
+                        unsafe { dest_verts_s.write(fill as usize, t) };
+                        fill += 1;
+                    }
+                }
+            });
+        }
+
+        // Pass 4 (parallel over source partitions): the PNG scatter view.
+        // Partition p's messages occupy png_src[msg_offsets[v_lo(p)]..
+        // msg_offsets[v_hi(p))] — the sequential writer's src_cur equals
+        // msg_offsets[v_lo] when it reaches p — so partitions write disjoint
+        // png_src ranges; the per-partition pair lists are concatenated
+        // sequentially afterwards.
+        let mut png_src = vec![0u32; total_msgs as usize];
+        let mut per_part_pairs: Vec<Vec<PngPair>> = vec![Vec::new(); num_partitions];
+        {
+            let png_src_s = SharedSlice::new(&mut png_src);
+            let pairs_s = SharedSlice::new(&mut per_part_pairs);
+            let msg_offsets = &msg_offsets;
+            let msg_dst_part = &msg_dst_part;
+            let msg_slot = &msg_slot;
+            run_indexed(num_partitions, threads, |p| {
+                let v_lo = (p * verts_per_partition).min(n);
+                let v_hi = ((p + 1) * verts_per_partition).min(n);
+                let mut triples: Vec<(u32, u64, u32)> = Vec::new(); // (q, slot, v)
+                for v in v_lo as u32..v_hi as u32 {
+                    let lo = msg_offsets[v as usize] as usize;
+                    let hi = msg_offsets[v as usize + 1] as usize;
+                    for k in lo..hi {
+                        triples.push((msg_dst_part[k], msg_slot[k], v));
+                    }
+                }
+                triples.sort_unstable();
+                let mut pairs = Vec::new();
+                let mut src_cur = msg_offsets[v_lo];
+                let mut i = 0usize;
+                while i < triples.len() {
+                    let q = triples[i].0;
+                    let slot_start = triples[i].1;
+                    let src_start = src_cur;
+                    let mut len = 0u32;
+                    while i < triples.len() && triples[i].0 == q {
+                        debug_assert_eq!(
+                            triples[i].1,
+                            slot_start + len as u64,
+                            "slots not contiguous"
+                        );
+                        // SAFETY: src_cur stays inside partition p's
+                        // msg_offsets range.
+                        unsafe { png_src_s.write(src_cur as usize, triples[i].2) };
+                        src_cur += 1;
+                        len += 1;
+                        i += 1;
+                    }
+                    pairs.push(PngPair { dst_part: q, slot_start, src_start, len });
+                }
+                debug_assert_eq!(src_cur, msg_offsets[v_hi]);
+                // SAFETY: element p is this partition's alone.
+                unsafe { pairs_s.write(p, pairs) };
+            });
+        }
+        let mut png_index = Vec::with_capacity(num_partitions);
+        let mut png_pairs: Vec<PngPair> = Vec::new();
+        for pairs in per_part_pairs {
+            let start = png_pairs.len() as u32;
+            png_pairs.extend_from_slice(&pairs);
+            png_index.push(start..png_pairs.len() as u32);
+        }
 
         PcpmLayout {
             verts_per_partition,

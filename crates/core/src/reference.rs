@@ -20,10 +20,9 @@ pub fn reference_pagerank(g: &DiGraph, cfg: &PageRankConfig) -> Vec<f64> {
     for _ in 0..cfg.iterations {
         let dangling_sum: f64 = match cfg.dangling {
             DanglingPolicy::Ignore => 0.0,
-            DanglingPolicy::Redistribute => (0..n)
-                .filter(|&v| g.out_degree(v as u32) == 0)
-                .map(|v| rank[v])
-                .sum(),
+            DanglingPolicy::Redistribute => {
+                (0..n).filter(|&v| g.out_degree(v as u32) == 0).map(|v| rank[v]).sum()
+            }
         };
         let base = (1.0 - d) * inv_n + d * dangling_sum * inv_n;
         for v in 0..n {

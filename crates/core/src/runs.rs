@@ -25,11 +25,36 @@ pub struct NativeOpts {
     /// Cache-partition size in bytes (|P| = bytes / 4). Ignored by
     /// vertex-centric engines.
     pub partition_bytes: usize,
+    /// Threads used for preprocessing (plan, PCPM layout, inverse-degree
+    /// array). `0` inherits `threads`. Preprocessing output is bit-identical
+    /// for every value.
+    pub build_threads: usize,
+}
+
+impl NativeOpts {
+    pub fn new(threads: usize, partition_bytes: usize) -> Self {
+        NativeOpts { threads, partition_bytes, build_threads: 0 }
+    }
+
+    pub fn with_build_threads(mut self, build_threads: usize) -> Self {
+        self.build_threads = build_threads;
+        self
+    }
+
+    /// Resolved preprocessing thread count: `build_threads`, or `threads`
+    /// when unset.
+    pub fn effective_build_threads(&self) -> usize {
+        if self.build_threads == 0 {
+            self.threads.max(1)
+        } else {
+            self.build_threads
+        }
+    }
 }
 
 impl Default for NativeOpts {
     fn default() -> Self {
-        NativeOpts { threads: 4, partition_bytes: 256 * 1024 }
+        NativeOpts::new(4, 256 * 1024)
     }
 }
 
@@ -42,12 +67,17 @@ pub struct SimOpts {
     /// Cache-partition size in bytes *on the simulated machine* — pass the
     /// scaled value when using a scaled machine.
     pub partition_bytes: usize,
+    /// Host threads used to *construct* the layout and auxiliary arrays
+    /// (the simulated preprocessing cost model is unaffected — the built
+    /// structures are bit-identical for every value). `0` inherits
+    /// `threads`.
+    pub build_threads: usize,
 }
 
 impl SimOpts {
     pub fn new(machine: MachineSpec) -> Self {
         let threads = machine.topology.logical_cpus();
-        SimOpts { machine, threads, partition_bytes: 256 * 1024 }
+        SimOpts { machine, threads, partition_bytes: 256 * 1024, build_threads: 0 }
     }
 
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -58,6 +88,21 @@ impl SimOpts {
     pub fn with_partition_bytes(mut self, bytes: usize) -> Self {
         self.partition_bytes = bytes;
         self
+    }
+
+    pub fn with_build_threads(mut self, build_threads: usize) -> Self {
+        self.build_threads = build_threads;
+        self
+    }
+
+    /// Resolved preprocessing thread count: `build_threads`, or `threads`
+    /// when unset.
+    pub fn effective_build_threads(&self) -> usize {
+        if self.build_threads == 0 {
+            self.threads.max(1)
+        } else {
+            self.build_threads
+        }
     }
 }
 

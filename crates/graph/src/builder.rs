@@ -18,12 +18,7 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// New builder for a graph with `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        CsrBuilder {
-            num_vertices,
-            edges: Vec::new(),
-            drop_self_loops: false,
-            dedup: false,
-        }
+        CsrBuilder { num_vertices, edges: Vec::new(), drop_self_loops: false, dedup: false }
     }
 
     /// Drop `v -> v` edges during [`Self::build`].

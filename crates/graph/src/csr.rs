@@ -152,9 +152,7 @@ impl Csr {
     /// Iterates all edges `(src, dst)` in CSR order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices()).flat_map(move |v| {
-            self.neighbors(v as VertexId)
-                .iter()
-                .map(move |&t| (v as VertexId, t))
+            self.neighbors(v as VertexId).iter().map(move |&t| (v as VertexId, t))
         })
     }
 }
@@ -181,9 +179,7 @@ impl DiGraph {
     /// Builds from an out-CSR, deriving the transpose and degrees.
     pub fn from_out_csr(out: Csr) -> Self {
         let in_ = out.transposed();
-        let out_degree = (0..out.num_vertices())
-            .map(|v| out.degree(v as VertexId))
-            .collect();
+        let out_degree = (0..out.num_vertices()).map(|v| out.degree(v as VertexId)).collect();
         DiGraph { out, in_, out_degree }
     }
 
@@ -226,9 +222,7 @@ impl DiGraph {
 
     /// Vertices with no outgoing edges (PageRank "dangling" vertices).
     pub fn dangling_vertices(&self) -> Vec<VertexId> {
-        (0..self.num_vertices() as u32)
-            .filter(|&v| self.out_degree[v as usize] == 0)
-            .collect()
+        (0..self.num_vertices() as u32).filter(|&v| self.out_degree[v as usize] == 0).collect()
     }
 }
 
@@ -311,10 +305,7 @@ mod tests {
 
     #[test]
     fn parallel_builder_empty_and_tiny() {
-        assert_eq!(
-            Csr::from_edges_parallel(0, &[]),
-            Csr::from_edges(0, &[])
-        );
+        assert_eq!(Csr::from_edges_parallel(0, &[]), Csr::from_edges(0, &[]));
         let e = [crate::Edge::new(0, 2), crate::Edge::new(0, 1)];
         assert_eq!(Csr::from_edges_parallel(3, &e).neighbors(0), &[1, 2]);
     }

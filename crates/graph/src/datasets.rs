@@ -82,7 +82,7 @@ impl Dataset {
                     simplify: true,
                     shuffle_ids: true,
                 },
-                0xC0FFEE_01,
+                0xC0FF_EE01,
             ),
             // Web PLD graph: strong hub skew (popular domains), mild crawl
             // locality.
@@ -97,7 +97,7 @@ impl Dataset {
                     block_size: 4096,
                     simplify: true,
                 },
-                0xC0FFEE_02,
+                0xC0FF_EE02,
             ),
             // Wiki links: article ids cluster by topic → intra-heavy.
             Dataset::Wiki => zipf_graph(
@@ -111,7 +111,7 @@ impl Dataset {
                     block_size: 4096,
                     simplify: true,
                 },
-                0xC0FFEE_03,
+                0xC0FF_EE03,
             ),
             // Graph500 Kronecker, reference parameters and id shuffle.
             Dataset::Kron => rmat(
@@ -124,7 +124,7 @@ impl Dataset {
                     simplify: true,
                     shuffle_ids: true,
                 },
-                0xC0FFEE_04,
+                0xC0FF_EE04,
             ),
             // Twitter follower: extreme skew; crawl ids are uncorrelated
             // with degree (Table 1 shows twitter is as intra-poor as
@@ -139,7 +139,7 @@ impl Dataset {
                     simplify: true,
                     shuffle_ids: true,
                 },
-                0xC0FFEE_05,
+                0xC0FF_EE05,
             ),
             // Twitter influence (MPI crawl): densest, highest intra count in
             // Table 1 → strong community locality.
@@ -154,7 +154,7 @@ impl Dataset {
                     block_size: 8192,
                     simplify: true,
                 },
-                0xC0FFEE_06,
+                0xC0FF_EE06,
             ),
         }
     }

@@ -61,11 +61,7 @@ impl EdgeList {
     /// count as `max endpoint + 1` (0 for an empty list).
     pub fn from_pairs<I: IntoIterator<Item = (u32, u32)>>(pairs: I) -> Self {
         let edges: Vec<Edge> = pairs.into_iter().map(Edge::from).collect();
-        let num_vertices = edges
-            .iter()
-            .map(|e| e.src.max(e.dst) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let num_vertices = edges.iter().map(|e| e.src.max(e.dst) as usize + 1).max().unwrap_or(0);
         EdgeList { num_vertices, edges }
     }
 

@@ -153,9 +153,6 @@ mod tests {
         let n = csr.num_vertices();
         let mean = csr.num_edges() as f64 / n as f64;
         let max = (0..n).map(|v| csr.degree(v as u32)).max().unwrap();
-        assert!(
-            (max as f64) > 6.0 * mean,
-            "expected skew: max degree {max} vs mean {mean:.1}"
-        );
+        assert!((max as f64) > 6.0 * mean, "expected skew: max degree {max} vs mean {mean:.1}");
     }
 }

@@ -85,9 +85,8 @@ pub fn zipf_graph(params: &ZipfParams, seed: u64) -> EdgeList {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Sample raw out-degrees, then rescale to hit the requested mean.
-    let mut degs: Vec<f64> = (0..n)
-        .map(|_| zipf_sample(&mut rng, params.degree_exponent, max_deg))
-        .collect();
+    let mut degs: Vec<f64> =
+        (0..n).map(|_| zipf_sample(&mut rng, params.degree_exponent, max_deg)).collect();
     let raw_mean = degs.iter().sum::<f64>() / n as f64;
     let scale = params.mean_degree / raw_mean;
     for d in &mut degs {
@@ -143,7 +142,12 @@ mod tests {
 
     #[test]
     fn zipf_mean_degree_roughly_met() {
-        let p = ZipfParams { num_vertices: 4000, mean_degree: 10.0, simplify: false, ..Default::default() };
+        let p = ZipfParams {
+            num_vertices: 4000,
+            mean_degree: 10.0,
+            simplify: false,
+            ..Default::default()
+        };
         let g = zipf_graph(&p, 1);
         let mean = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!((5.0..20.0).contains(&mean), "mean degree {mean}");

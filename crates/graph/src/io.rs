@@ -28,15 +28,22 @@ pub fn read_text<R: Read>(r: R) -> io::Result<EdgeList> {
         }
         if let Some(rest) = trimmed.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("Nodes:") {
-                declared_nodes = n.trim().split_whitespace().next().and_then(|t| t.parse().ok());
+                declared_nodes = n.split_whitespace().next().and_then(|t| t.parse().ok());
             }
             continue;
         }
         let mut it = trimmed.split_whitespace();
         let parse = |tok: Option<&str>| -> io::Result<u32> {
-            tok.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: missing field", lineno + 1)))?
-                .parse()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing field", lineno + 1),
+                )
+            })?
+            .parse()
+            .map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            })
         };
         let src = parse(it.next())?;
         let dst = parse(it.next())?;
@@ -67,7 +74,10 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<EdgeList> {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
     if word(1) != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unsupported version {}", word(1))));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {}", word(1)),
+        ));
     }
     let n = word(2) as usize;
     let m = word(3) as usize;
@@ -161,7 +171,7 @@ mod tests {
 
     #[test]
     fn binary_rejects_bad_magic() {
-        let buf = vec![0u8; 16];
+        let buf = [0u8; 16];
         assert!(read_binary(&buf[..]).is_err());
     }
 

@@ -70,10 +70,7 @@ impl Permutation {
         assert_eq!(el.num_vertices(), self.forward.len(), "size mismatch");
         EdgeList::new(
             el.num_vertices(),
-            el.edges()
-                .iter()
-                .map(|e| crate::Edge::new(self.map(e.src), self.map(e.dst)))
-                .collect(),
+            el.edges().iter().map(|e| crate::Edge::new(self.map(e.src), self.map(e.dst))).collect(),
         )
     }
 }
@@ -234,9 +231,10 @@ mod tests {
     fn degree_desc_puts_hubs_first() {
         let g = crate::datasets::small_test_graph(44);
         let p = by_degree_desc(g.out_csr());
-        let re = DiGraph::from_edge_list(&p.apply(
-            &EdgeList::new(g.num_vertices(), g.out_csr().iter_edges().map(|(s, d)| crate::Edge::new(s, d)).collect()),
-        ));
+        let re = DiGraph::from_edge_list(&p.apply(&EdgeList::new(
+            g.num_vertices(),
+            g.out_csr().iter_edges().map(|(s, d)| crate::Edge::new(s, d)).collect(),
+        )));
         // New vertex 0 has the max degree; degrees are non-increasing.
         let degs: Vec<u32> = (0..re.num_vertices() as u32).map(|v| re.out_degree(v)).collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
@@ -311,9 +309,6 @@ mod tests {
         let p = by_partition_locality(&csr_shuffled, 256);
         let recovered = Csr::from_edge_list(&p.apply(&shuffled));
         let after = partition_census(&recovered, 256).intra_total;
-        assert!(
-            after > before,
-            "locality pass should increase intra edges: {before} -> {after}"
-        );
+        assert!(after > before, "locality pass should increase intra edges: {before} -> {after}");
     }
 }

@@ -179,7 +179,7 @@ mod tests {
         assert_eq!(c.num_parts, 2);
         assert_eq!(c.intra_total, 2); // (0,1), (2,3)
         assert_eq!(c.inter_total, 4); // (1,2), (3,0), (0,2), (0,3)
-        // Vertex 0 sends two inter-edges into partition 1 -> compressed to 1.
+                                      // Vertex 0 sends two inter-edges into partition 1 -> compressed to 1.
         assert_eq!(c.inter_compressed_total, 3);
         assert!((c.compression_ratio() - 4.0 / 3.0).abs() < 1e-12);
     }
@@ -226,10 +226,23 @@ mod tests {
             6,
             [
                 (1u32, 0u32),
-                (2, 0), (2, 1),
-                (3, 0), (3, 1), (3, 2),
-                (4, 0), (4, 1), (4, 2), (4, 3),
-                (5, 0), (5, 1), (5, 2), (5, 3), (5, 4), (5, 4), (5, 4), (5, 4),
+                (2, 0),
+                (2, 1),
+                (3, 0),
+                (3, 1),
+                (3, 2),
+                (4, 0),
+                (4, 1),
+                (4, 2),
+                (4, 3),
+                (5, 0),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+                (5, 4),
+                (5, 4),
+                (5, 4),
             ]
             .into_iter()
             .map(Into::into)

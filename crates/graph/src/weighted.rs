@@ -35,10 +35,8 @@ impl WeightedCsr {
         // while keeping weights attached.
         let mut order: Vec<usize> = (0..edges.len()).collect();
         order.sort_by_key(|&i| (edges[i].src, edges[i].dst));
-        let plain: Vec<crate::Edge> = order
-            .iter()
-            .map(|&i| crate::Edge::new(edges[i].src, edges[i].dst))
-            .collect();
+        let plain: Vec<crate::Edge> =
+            order.iter().map(|&i| crate::Edge::new(edges[i].src, edges[i].dst)).collect();
         // The plain edges are already sorted; Csr::from_edges re-sorts runs
         // stably (they are already in order), so weight k matches target k.
         let csr = Csr::from_edges(num_vertices, &plain);
@@ -59,7 +57,8 @@ impl WeightedCsr {
         assert!(hi > lo, "empty weight range");
         let csr = Csr::from_edge_list(el);
         let mut rng = StdRng::seed_from_u64(seed);
-        let weights = (0..csr.num_edges()).map(|_| rng.gen_range(lo..=hi).max(lo + f32::EPSILON)).collect();
+        let weights =
+            (0..csr.num_edges()).map(|_| rng.gen_range(lo..=hi).max(lo + f32::EPSILON)).collect();
         WeightedCsr { csr, weights }
     }
 
@@ -94,9 +93,7 @@ impl WeightedCsr {
     /// Sum of outgoing weights per vertex (the weighted out-degree that a
     /// weighted PageRank divides by).
     pub fn out_weight_sums(&self) -> Vec<f32> {
-        (0..self.num_vertices() as u32)
-            .map(|v| self.neighbors(v).map(|(_, w)| w).sum())
-            .collect()
+        (0..self.num_vertices() as u32).map(|v| self.neighbors(v).map(|(_, w)| w).sum()).collect()
     }
 
     /// The transpose with weights carried along: entry `(v, u, w)` for every

@@ -180,7 +180,13 @@ mod tests {
 
     #[test]
     fn remote_fraction_and_bytes() {
-        let c = MemCounters { dram_local: 60, dram_remote: 30, wb_local: 5, wb_remote: 5, ..Default::default() };
+        let c = MemCounters {
+            dram_local: 60,
+            dram_remote: 30,
+            wb_local: 5,
+            wb_remote: 5,
+            ..Default::default()
+        };
         assert!((c.remote_fraction() - 0.35).abs() < 1e-12);
         assert_eq!(c.dram_bytes(64), 100 * 64);
         assert_eq!(c.dram_remote_bytes(64), 35 * 64);

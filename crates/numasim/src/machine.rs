@@ -136,7 +136,7 @@ impl SimMachine {
             .enumerate()
             .map(|(i, &lines)| (self.space.region_name(RegionId::from_index(i)).to_string(), lines))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 
@@ -220,7 +220,8 @@ impl SimMachine {
         };
         let max_clock = latency_clock;
         let cost = &self.spec.cost;
-        let bw_node = node_bytes.iter().cloned().fold(0f64, f64::max) / cost.node_bw_bytes_per_cycle;
+        let bw_node =
+            node_bytes.iter().cloned().fold(0f64, f64::max) / cost.node_bw_bytes_per_cycle;
         let bw_x = xsock_bytes / cost.interconnect_bw_bytes_per_cycle;
         let bw = bw_node.max(bw_x);
         // Past saturation, contention (queueing, row-buffer conflicts, bus
@@ -436,7 +437,14 @@ impl<'m> ThreadCtx<'m> {
         }
     }
 
-    fn access_line(&mut self, region: RegionId, offset: usize, line: u64, write: bool, stream: bool) {
+    fn access_line(
+        &mut self,
+        region: RegionId,
+        offset: usize,
+        line: u64,
+        write: bool,
+        stream: bool,
+    ) {
         let m = &mut *self.m;
         let cost = &m.spec.cost;
         if write {

@@ -131,7 +131,12 @@ impl AddressSpace {
     #[inline]
     pub fn addr(&self, r: RegionId, offset: usize) -> u64 {
         let reg = &self.regions[r.0];
-        debug_assert!(offset < reg.len.max(1), "offset {offset} beyond region '{}' ({} bytes)", reg.name, reg.len);
+        debug_assert!(
+            offset < reg.len.max(1),
+            "offset {offset} beyond region '{}' ({} bytes)",
+            reg.name,
+            reg.len
+        );
         reg.base + offset as u64
     }
 
@@ -159,7 +164,11 @@ impl AddressSpace {
         let reg = &self.regions[self.region_of_addr(addr).0];
         let page = ((addr - reg.base) as usize) / PAGE_BYTES;
         let o = reg.page_owner[page];
-        if o == UNTOUCHED { 0 } else { o as usize }
+        if o == UNTOUCHED {
+            0
+        } else {
+            o as usize
+        }
     }
 
     /// First-touch claim: if the page holding `offset` is untouched, it
@@ -185,7 +194,11 @@ impl AddressSpace {
     pub fn owner_of(&self, r: RegionId, offset: usize) -> usize {
         let reg = &self.regions[r.0];
         let o = reg.page_owner[offset / PAGE_BYTES];
-        if o == UNTOUCHED { 0 } else { o as usize }
+        if o == UNTOUCHED {
+            0
+        } else {
+            o as usize
+        }
     }
 
     pub fn region_len(&self, r: RegionId) -> usize {

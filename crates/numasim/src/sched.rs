@@ -42,7 +42,12 @@ pub struct PlacementResult {
 /// # Panics
 /// Panics if `n` exceeds the number of logical CPUs, or if a pinned/bound
 /// request is inconsistent with the topology.
-pub fn place(topo: &Topology, rng: &mut StdRng, n: usize, policy: &ThreadPlacement) -> PlacementResult {
+pub fn place(
+    topo: &Topology,
+    rng: &mut StdRng,
+    n: usize,
+    policy: &ThreadPlacement,
+) -> PlacementResult {
     let total = topo.logical_cpus();
     assert!(n <= total, "{n} threads exceed {total} logical CPUs");
     match policy {
@@ -110,9 +115,8 @@ pub fn place(topo: &Topology, rng: &mut StdRng, n: usize, policy: &ThreadPlaceme
                 if topo.socket_of(cur) == want {
                     cpus.push(cur);
                 } else {
-                    let dest = free[want]
-                        .pop()
-                        .expect("binding demands more CPUs on a node than it has");
+                    let dest =
+                        free[want].pop().expect("binding demands more CPUs on a node than it has");
                     cpus.push(dest);
                     migrations += 1;
                 }
@@ -149,7 +153,7 @@ mod tests {
     #[test]
     fn os_random_spreads_cores_but_ignores_nodes() {
         let t = topo(); // 8 physical cores, 2 nodes
-        // Up to the physical core count, no core is doubled (CFS balances).
+                        // Up to the physical core count, no core is doubled (CFS balances).
         let mut rng = StdRng::seed_from_u64(5);
         let p = place(&t, &mut rng, 8, &ThreadPlacement::OsRandom);
         let mut cores: Vec<_> = p.cpus.iter().map(|&c| t.core_of(c)).collect();

@@ -67,10 +67,7 @@ impl Topology {
 
     /// All logical CPUs on a given socket, first-threads first.
     pub fn logicals_on_socket(&self, socket: usize) -> Vec<LogicalCpu> {
-        (0..self.logical_cpus())
-            .map(LogicalCpu)
-            .filter(|&l| self.socket_of(l) == socket)
-            .collect()
+        (0..self.logical_cpus()).map(LogicalCpu).filter(|&l| self.socket_of(l) == socket).collect()
     }
 
     /// Restricts the machine to its first `sockets` sockets (the paper's
@@ -111,7 +108,19 @@ mod tests {
         for l in &s0 {
             assert_eq!(t.socket_of(*l), 0);
         }
-        assert_eq!(s0, vec![LogicalCpu(0), LogicalCpu(1), LogicalCpu(2), LogicalCpu(3), LogicalCpu(8), LogicalCpu(9), LogicalCpu(10), LogicalCpu(11)]);
+        assert_eq!(
+            s0,
+            vec![
+                LogicalCpu(0),
+                LogicalCpu(1),
+                LogicalCpu(2),
+                LogicalCpu(3),
+                LogicalCpu(8),
+                LogicalCpu(9),
+                LogicalCpu(10),
+                LogicalCpu(11)
+            ]
+        );
     }
 
     #[test]

@@ -101,7 +101,7 @@ mod tests {
     fn edge_balanced_skewed() {
         // One hub with 90 edges then 10 vertices of degree 1.
         let mut degs = vec![90u32];
-        degs.extend(std::iter::repeat(1).take(10));
+        degs.extend(std::iter::repeat_n(1, 10));
         let r = edge_balanced(&degs, 2);
         check_cover(&r, 11);
         let prefix = degree_prefix(&degs);

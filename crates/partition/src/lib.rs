@@ -23,7 +23,7 @@ pub mod quality;
 
 pub use balanced::{edge_balanced, edge_balanced_with_prefix, vertex_balanced};
 pub use lookup::LookupTable;
-pub use plan::{hipa_plan, HiPaPlan, NodePlan, ThreadPlan};
+pub use plan::{hipa_plan, hipa_plan_with_prefix, HiPaPlan, NodePlan, ThreadPlan};
 pub use quality::{plan_quality, PlanQuality};
 
 use std::ops::Range;

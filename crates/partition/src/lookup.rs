@@ -31,9 +31,7 @@ impl LookupTable {
             thread_parts.push(t.part_range.clone());
             thread_node.push(ni);
         }
-        let part_verts = (0..plan.num_partitions)
-            .map(|p| plan.partition_vertices(p))
-            .collect();
+        let part_verts = (0..plan.num_partitions).map(|p| plan.partition_vertices(p)).collect();
         LookupTable { thread_parts, part_verts, thread_node }
     }
 
@@ -147,14 +145,8 @@ mod tests {
     #[test]
     fn node_assignment_follows_plan() {
         let (plan, lt) = table();
-        for (expected_node, (ni, _, _)) in plan.threads().enumerate().map(|(g, x)| (g, x)) {
-            let _ = expected_node;
-            let _ = ni;
-        }
-        let mut g = 0;
-        for (ni, _ti, _t) in plan.threads() {
+        for (g, (ni, _ti, _t)) in plan.threads().enumerate() {
             assert_eq!(lt.node_of_thread(g), ni);
-            g += 1;
         }
     }
 

@@ -107,15 +107,28 @@ pub fn hipa_plan(
     threads_per_node: usize,
     verts_per_partition: usize,
 ) -> HiPaPlan {
-    assert!(nodes >= 1 && threads_per_node >= 1 && verts_per_partition >= 1);
-    let n = out_degrees.len();
     let prefix = degree_prefix(out_degrees);
+    hipa_plan_with_prefix(&prefix, nodes, threads_per_node, verts_per_partition)
+}
+
+/// [`hipa_plan`] with a precomputed degree prefix (`prefix.len() == n + 1`,
+/// `prefix[v]` = out-edges of vertices `< v`). Lets callers build the prefix
+/// in parallel and share it across planning passes.
+pub fn hipa_plan_with_prefix(
+    prefix: &[u64],
+    nodes: usize,
+    threads_per_node: usize,
+    verts_per_partition: usize,
+) -> HiPaPlan {
+    assert!(nodes >= 1 && threads_per_node >= 1 && verts_per_partition >= 1);
+    assert!(!prefix.is_empty(), "prefix must have n + 1 entries");
+    let n = prefix.len() - 1;
     let total_edges = prefix[n];
     let num_partitions = n.div_ceil(verts_per_partition).max(1);
 
     // Level 1 (Eq. 3): edge-balanced node boundaries, rounded up to whole
     // partitions; the last node takes whatever remains.
-    let raw = edge_balanced_with_prefix(&prefix, nodes);
+    let raw = edge_balanced_with_prefix(prefix, nodes);
     let mut node_bounds = Vec::with_capacity(nodes + 1);
     node_bounds.push(0usize);
     for (i, r) in raw.iter().enumerate() {
@@ -130,13 +143,18 @@ pub fn hipa_plan(
     *node_bounds.last_mut().unwrap() = n;
 
     let mut node_plans = Vec::with_capacity(nodes);
+    let mut prev_p_hi = 0usize;
     for i in 0..nodes {
         let v_lo = node_bounds[i];
         let v_hi = node_bounds[i + 1];
         let vertex_range = v_lo as u32..v_hi as u32;
-        let p_lo = v_lo / verts_per_partition;
+        // An empty node owns no partitions; anchor its empty range at the
+        // previous node's end — `v_lo / |P|` would land inside the previous
+        // node's range whenever v_lo is not a partition multiple.
+        let p_lo = if v_hi == v_lo { prev_p_hi } else { v_lo / verts_per_partition };
         let p_hi = if v_hi == v_lo { p_lo } else { (v_hi - 1) / verts_per_partition + 1 };
-        let node_edges = edges_in(&prefix, &vertex_range);
+        prev_p_hi = p_hi;
+        let node_edges = edges_in(prefix, &vertex_range);
 
         // Level 2 (Eq. 4): split this node's partitions into edge-balanced
         // per-thread groups. Work at partition granularity: boundary for
@@ -158,10 +176,7 @@ pub fn hipa_plan(
                 node_parts
             } else {
                 let quota = node_edges * j as u64 / threads_per_node as u64;
-                part_edge_prefix
-                    .partition_point(|&p| p < quota)
-                    .max(start_part)
-                    .min(node_parts)
+                part_edge_prefix.partition_point(|&p| p < quota).max(start_part).min(node_parts)
             };
             let g_lo = p_lo + start_part;
             let g_hi = p_lo + end_part;
@@ -170,7 +185,7 @@ pub fn hipa_plan(
             let vr = gv_lo as u32..gv_hi as u32;
             threads.push(ThreadPlan {
                 part_range: g_lo..g_hi,
-                edges: edges_in(&prefix, &vr),
+                edges: edges_in(prefix, &vr),
                 vertex_range: vr,
             });
             start_part = end_part;
@@ -217,10 +232,7 @@ mod tests {
         assert_eq!(plan.nodes[1].part_range, 5..7);
         assert_eq!(plan.nodes[0].edges, 60);
         assert_eq!(plan.nodes[1].edges, 60);
-        let m: Vec<usize> = plan
-            .threads()
-            .map(|(_, _, t)| t.part_range.len())
-            .collect();
+        let m: Vec<usize> = plan.threads().map(|(_, _, t)| t.part_range.len()).collect();
         assert_eq!(m, vec![3, 2, 1, 1]);
         // Each group carries 30 edges.
         for (_, _, t) in plan.threads() {
@@ -293,15 +305,43 @@ mod tests {
     fn more_threads_than_partitions_leaves_idle_threads() {
         let degs = vec![1u32; 8];
         let plan = hipa_plan(&degs, 1, 8, 4); // 2 partitions, 8 threads
-        let nonempty = plan
-            .threads()
-            .filter(|(_, _, t)| !t.part_range.is_empty())
-            .count();
+        let nonempty = plan.threads().filter(|(_, _, t)| !t.part_range.is_empty()).count();
         assert!(nonempty <= 2);
-        assert_eq!(
-            plan.threads().map(|(_, _, t)| t.part_range.len()).sum::<usize>(),
-            2
-        );
+        assert_eq!(plan.threads().map(|(_, _, t)| t.part_range.len()).sum::<usize>(), 2);
+    }
+
+    /// Regression: with more nodes than vertices, trailing empty nodes used
+    /// to anchor their (empty) part_range at `v_lo / |P|`, which falls
+    /// *inside* the previous node's partition range when |V| is not a
+    /// multiple of |P|. Saved proptest seed: degs = [2], nodes = 2, tpn = 1,
+    /// vpp = 2 → node 1 reported part_range 0..0 while node 0 owns 0..1.
+    #[test]
+    fn empty_trailing_node_does_not_overlap_previous_partitions() {
+        let plan = hipa_plan(&[2], 2, 1, 2);
+        assert_eq!(plan.num_partitions, 1);
+        assert_eq!(plan.nodes[0].part_range, 0..1);
+        assert_eq!(plan.nodes[1].part_range, 1..1);
+        assert!(plan.nodes[1].threads.iter().all(|t| t.part_range == (1..1)));
+
+        // Part ranges must tile [0, num_partitions] contiguously for any
+        // empty-node layout.
+        for (degs, nodes, tpn, vpp) in [
+            (vec![2u32], 2, 1, 2),
+            (vec![1, 1, 1], 3, 2, 2),
+            (vec![5], 3, 1, 4),
+            (vec![0, 7], 2, 2, 3),
+        ] {
+            let plan = hipa_plan(&degs, nodes, tpn, vpp);
+            let mut p = 0usize;
+            for node in &plan.nodes {
+                assert_eq!(
+                    node.part_range.start, p,
+                    "gap/overlap in {degs:?} n={nodes} tpn={tpn} vpp={vpp}"
+                );
+                p = node.part_range.end;
+            }
+            assert_eq!(p, plan.num_partitions);
+        }
     }
 
     #[test]

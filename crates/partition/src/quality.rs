@@ -42,7 +42,11 @@ pub fn plan_quality(plan: &HiPaPlan) -> PlanQuality {
     }
     PlanQuality {
         node_edge_imbalance: if ideal_node > 0.0 { max_node / ideal_node } else { 1.0 },
-        thread_edge_imbalance: if ideal_thread > 0.0 { max_thread as f64 / ideal_thread } else { 1.0 },
+        thread_edge_imbalance: if ideal_thread > 0.0 {
+            max_thread as f64 / ideal_thread
+        } else {
+            1.0
+        },
         min_partitions_per_thread: if min_m == usize::MAX { 0 } else { min_m },
         max_partitions_per_thread: max_m,
         idle_threads: idle,

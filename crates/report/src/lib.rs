@@ -41,7 +41,7 @@ pub fn fmt_count(n: u64) -> String {
 
 /// Formats a byte size ("256KB", "1MB").
 pub fn fmt_bytes(b: usize) -> String {
-    if b >= 1 << 20 && b % (1 << 20) == 0 {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
         format!("{}MB", b >> 20)
     } else if b >= 1 << 10 {
         format!("{}KB", b >> 10)

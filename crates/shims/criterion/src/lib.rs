@@ -1,0 +1,310 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion's API its benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, `measurement_time`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop: warm-up, iteration-count
+//! calibration, then `sample_size` timed samples whose mean/min/max are
+//! printed per bench. There are no saved baselines, HTML reports, or
+//! statistical regression tests. When invoked with `--test` (as
+//! `cargo test --benches` does), each bench body runs exactly once so the
+//! suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\n== group: {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of related benches sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        body(&mut bencher);
+        if self.criterion.test_mode {
+            return;
+        }
+        let label =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{id}", self.name) };
+        bencher.report(&label, self.throughput);
+    }
+}
+
+/// Timing harness passed to each bench closure.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples for the enclosing group to
+    /// report. In `--test` mode runs the body once and returns.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and iteration-count calibration: target each sample at
+        // measurement_time / sample_size.
+        let warmup = Duration::from_millis(300).min(self.measurement_time / 4);
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let sample_target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_target / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// `iter_with_large_drop` parity: identical to [`Self::iter`] here.
+    pub fn iter_with_large_drop<O, F>(&mut self, f: F)
+    where
+        F: FnMut() -> O,
+    {
+        self.iter(f);
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {}/s", si(n as f64 / (mean * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {}B/s", si(n as f64 / (mean * 1e-9)))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<40} time: [{} {} {}]{thrpt}",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 64).id, "build/64");
+        assert_eq!(BenchmarkId::from_parameter("HiPa").id, "HiPa");
+    }
+
+    #[test]
+    fn bench_runs_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("x", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn timed_mode_produces_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            measurement_time: Duration::from_millis(50),
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+}

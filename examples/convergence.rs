@@ -14,7 +14,7 @@ fn main() {
     );
     for ds in [Dataset::Journal, Dataset::Wiki] {
         let g = ds.build();
-        let opts = NativeOpts { threads: 4, partition_bytes: 256 * 1024 };
+        let opts = NativeOpts::new(4, 256 * 1024);
         let mut cells = Vec::new();
         let mut timing = String::new();
         for tol in [1e-4f32, 1e-6] {
@@ -37,7 +37,7 @@ fn main() {
     // moves it by less than the tolerance.
     let g = Dataset::Journal.build();
     let cfg = PageRankConfig::default().with_iterations(500).with_tolerance(1e-7);
-    let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 256 * 1024 });
+    let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(4, 256 * 1024));
     println!(
         "\njournal converged after {} iterations (cap 500); top vertex rank {:.6}",
         run.iterations_run,

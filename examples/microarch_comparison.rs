@@ -17,12 +17,7 @@ fn main() {
     for machine in [MachineSpec::haswell_e5_2667(), MachineSpec::skylake_4210()] {
         let l2 = machine.l2.size_bytes;
         let llc_kind = if machine.llc_inclusive { "inclusive" } else { "non-inclusive" };
-        println!(
-            "\n{} — {} KB L2 per core, {} LLC:",
-            machine.name,
-            l2 >> 10,
-            llc_kind
-        );
+        println!("\n{} — {} KB L2 per core, {} LLC:", machine.name, l2 >> 10, llc_kind);
         let scaled = machine.scaled(SCALE);
         let threads = scaled.topology.logical_cpus();
         let mut best: Option<(usize, f64)> = None;
@@ -44,10 +39,6 @@ fn main() {
             }
         }
         let (b, _) = best.unwrap();
-        println!(
-            "  optimum: {} KB = L2/{}",
-            b >> 10,
-            (l2 as f64 / b as f64).round()
-        );
+        println!("  optimum: {} KB = L2/{}", b >> 10, (l2 as f64 / b as f64).round());
     }
 }

@@ -16,9 +16,7 @@ fn main() {
     let cfg = PageRankConfig::default().with_iterations(10);
     let opts = SimOpts::new(machine).with_threads(40).with_partition_bytes(4096);
 
-    println!(
-        "journal stand-in on simulated 2x Xeon 4210 (caches scaled 64x with the dataset)\n"
-    );
+    println!("journal stand-in on simulated 2x Xeon 4210 (caches scaled 64x with the dataset)\n");
     println!(
         "{:<28} {:>9} {:>9} {:>10} {:>11} {:>11}",
         "variant", "sim time", "vs full", "remote %", "migrations", "threads"
@@ -29,7 +27,10 @@ fn main() {
         ("no edge compression", HiPaVariant { compress_inter: false, ..Default::default() }),
         ("no thread pinning", HiPaVariant { thread_pinning: false, ..Default::default() }),
         ("no persistent threads", HiPaVariant { persistent_threads: false, ..Default::default() }),
-        ("interleaved placement", HiPaVariant { partitioned_placement: false, ..Default::default() }),
+        (
+            "interleaved placement",
+            HiPaVariant { partitioned_placement: false, ..Default::default() },
+        ),
     ];
     let mut full = 0.0f64;
     for (name, v) in &variants {

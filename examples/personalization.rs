@@ -7,7 +7,7 @@
 //! ```
 
 use hipa::algos::{personalized_from_seed, wspmv_partition_centric, PersonalizedConfig};
-use hipa::graph::{WeightedCsr, EdgeList};
+use hipa::graph::{EdgeList, WeightedCsr};
 use hipa::prelude::*;
 
 fn main() {

@@ -21,7 +21,7 @@ fn main() {
 
     // Run HiPa with explicit options (or just `hipa::pagerank(&g, 4)`).
     let cfg = PageRankConfig::default(); // d = 0.85, 20 iterations
-    let opts = NativeOpts { threads: 4, partition_bytes: 256 * 1024 };
+    let opts = NativeOpts::new(4, 256 * 1024);
     let run = HiPa.run_native(&g, &cfg, &opts);
     println!(
         "preprocess {:.2?} (partitioning + layout), compute {:.2?} ({} iterations)",

@@ -11,11 +11,7 @@ use hipa::prelude::*;
 
 fn main() {
     let g = Dataset::Twitter.build();
-    println!(
-        "twitter stand-in: {} users, {} follow edges",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("twitter stand-in: {} users, {} follow edges", g.num_vertices(), g.num_edges());
 
     // Influence by full PageRank.
     let ranks = hipa::pagerank(&g, 4);
@@ -49,12 +45,8 @@ fn main() {
     let source = top[0].0;
     let levels = bfs_partition_centric(&g, source, 64 * 1024 / 4);
     let reached = levels.iter().filter(|&&l| l != hipa::algos::bfs::UNREACHED).count();
-    let max_hops = levels
-        .iter()
-        .filter(|&&l| l != hipa::algos::bfs::UNREACHED)
-        .max()
-        .copied()
-        .unwrap_or(0);
+    let max_hops =
+        levels.iter().filter(|&&l| l != hipa::algos::bfs::UNREACHED).max().copied().unwrap_or(0);
     println!(
         "user#{source} reaches {:.1}% of the network within {max_hops} hops",
         100.0 * reached as f64 / g.num_vertices() as f64

@@ -17,18 +17,12 @@ fn main() {
     );
 
     let cfg = PageRankConfig::default();
-    let opts = NativeOpts { threads: 4, partition_bytes: 256 * 1024 };
+    let opts = NativeOpts::new(4, 256 * 1024);
 
     let hipa_run = HiPa.run_native(&g, &cfg, &opts);
-    println!(
-        "HiPa: preprocess {:.2?}, compute {:.2?}",
-        hipa_run.preprocess, hipa_run.compute
-    );
+    println!("HiPa: preprocess {:.2?}, compute {:.2?}", hipa_run.preprocess, hipa_run.compute);
     let vpr_run = Vpr.run_native(&g, &cfg, &opts);
-    println!(
-        "v-PR: preprocess {:.2?}, compute {:.2?}",
-        vpr_run.preprocess, vpr_run.compute
-    );
+    println!("v-PR: preprocess {:.2?}, compute {:.2?}", vpr_run.preprocess, vpr_run.compute);
 
     // Different engines, same maths: ranks agree to f32 rounding.
     let worst = hipa_run

@@ -215,7 +215,7 @@ fn pagerank(a: &Args) -> Result<()> {
     let part = parse_size(a.get("partition").unwrap_or("256K"))?;
     let top = a.get_usize("top", 10)?;
     let cfg = PageRankConfig::default().with_iterations(iters);
-    let run = engine.run_native(&g, &cfg, &NativeOpts { threads, partition_bytes: part });
+    let run = engine.run_native(&g, &cfg, &NativeOpts::new(threads, part));
     println!(
         "{}: preprocess {:.2?}, compute {:.2?} for {iters} iterations x {} edges",
         engine.name(),
@@ -269,7 +269,7 @@ fn compare(a: &Args) -> Result<()> {
     println!("{:<10} {:>12} {:>12} {:>14}", "engine", "preprocess", "compute", "max vs HiPa");
     let mut hipa_ranks: Option<Vec<f32>> = None;
     for e in hipa::baselines::all_engines() {
-        let run = e.run_native(&g, &cfg, &NativeOpts { threads, partition_bytes: part });
+        let run = e.run_native(&g, &cfg, &NativeOpts::new(threads, part));
         let dev = match &hipa_ranks {
             None => {
                 hipa_ranks = Some(run.ranks.clone());
@@ -298,7 +298,11 @@ fn convert(a: &Args) -> Result<()> {
     let out = a.get("out").ok_or("convert: need -o FILE")?;
     let el = hipa::graph::io::load_path(input).map_err(|e| format!("loading {input}: {e}"))?;
     hipa::graph::io::save_path(out, &el).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("converted {input} -> {out} ({} vertices, {} edges)", el.num_vertices(), el.num_edges());
+    println!(
+        "converted {input} -> {out} ({} vertices, {} edges)",
+        el.num_vertices(),
+        el.num_edges()
+    );
     Ok(())
 }
 

@@ -60,11 +60,7 @@ use hipa_graph::DiGraph;
 /// `threads` worker threads.
 pub fn pagerank(g: &DiGraph, threads: usize) -> Vec<f32> {
     hipa_core::HiPa
-        .run_native(
-            g,
-            &PageRankConfig::default(),
-            &NativeOpts { threads, partition_bytes: 256 * 1024 },
-        )
+        .run_native(g, &PageRankConfig::default(), &NativeOpts::new(threads, 256 * 1024))
         .ranks
 }
 

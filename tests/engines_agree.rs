@@ -40,7 +40,7 @@ fn every_engine_native_matches_oracle() {
             let cfg = PageRankConfig::default().with_iterations(10).with_dangling(policy);
             let oracle = reference_pagerank(&g, &cfg);
             for e in all_engines() {
-                let run = e.run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: 512 });
+                let run = e.run_native(&g, &cfg, &NativeOpts::new(3, 512));
                 let err = max_rel_error(&run.ranks, &oracle);
                 assert!(
                     err < 5e-3,
@@ -64,7 +64,7 @@ fn every_engine_sim_is_bitwise_identical_to_native() {
                 &cfg,
                 &SimOpts::new(machine.clone()).with_threads(threads).with_partition_bytes(512),
             );
-            let nat = e.run_native(&g, &cfg, &NativeOpts { threads, partition_bytes: 512 });
+            let nat = e.run_native(&g, &cfg, &NativeOpts::new(threads, 512));
             assert_eq!(sim.ranks, nat.ranks, "{} on {gname}: sim != native", e.name());
         }
     }
@@ -76,12 +76,7 @@ fn engines_agree_with_each_other_to_float_tolerance() {
     let cfg = PageRankConfig::default().with_iterations(12);
     let runs: Vec<(String, Vec<f32>)> = all_engines()
         .iter()
-        .map(|e| {
-            (
-                e.name().to_string(),
-                e.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 1024 }).ranks,
-            )
-        })
+        .map(|e| (e.name().to_string(), e.run_native(&g, &cfg, &NativeOpts::new(2, 1024)).ranks))
         .collect();
     let (base_name, base) = &runs[0];
     for (name, ranks) in &runs[1..] {
@@ -99,7 +94,7 @@ fn hipa_and_ppr_share_exact_arithmetic() {
     // Same layout, same accumulation order: bit-equal, not just close.
     let g = hipa::graph::datasets::small_test_graph(14);
     let cfg = PageRankConfig::default().with_iterations(9);
-    let opts = NativeOpts { threads: 5, partition_bytes: 2048 };
+    let opts = NativeOpts::new(5, 2048);
     let a = HiPa.run_native(&g, &cfg, &opts);
     let b = Ppr.run_native(&g, &cfg, &opts);
     assert_eq!(a.ranks, b.ranks);
@@ -110,8 +105,8 @@ fn thread_count_does_not_change_any_engine_result() {
     let g = hipa::graph::datasets::small_test_graph(15);
     let cfg = PageRankConfig::default().with_iterations(7);
     for e in all_engines() {
-        let one = e.run_native(&g, &cfg, &NativeOpts { threads: 1, partition_bytes: 1024 });
-        let many = e.run_native(&g, &cfg, &NativeOpts { threads: 6, partition_bytes: 1024 });
+        let one = e.run_native(&g, &cfg, &NativeOpts::new(1, 1024));
+        let many = e.run_native(&g, &cfg, &NativeOpts::new(6, 1024));
         assert_eq!(one.ranks, many.ranks, "{} not thread-count invariant", e.name());
     }
 }
@@ -125,7 +120,7 @@ fn partition_size_changes_layout_not_results_much() {
     let cfg = PageRankConfig::default().with_iterations(10);
     let oracle = reference_pagerank(&g, &cfg);
     for pbytes in [64usize, 256, 1024, 8192, 1 << 20] {
-        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: pbytes });
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(3, pbytes));
         let err = max_rel_error(&run.ranks, &oracle);
         assert!(err < 5e-3, "partition {pbytes}: err {err}");
     }
@@ -137,7 +132,7 @@ fn zero_iterations_returns_uniform() {
     let cfg = PageRankConfig::default().with_iterations(0);
     let n = g.num_vertices() as f32;
     for e in all_engines() {
-        let run = e.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 1024 });
+        let run = e.run_native(&g, &cfg, &NativeOpts::new(2, 1024));
         assert!(run.ranks.iter().all(|&r| (r - 1.0 / n).abs() < 1e-9), "{}", e.name());
     }
 }
@@ -147,14 +142,14 @@ fn hipa_tolerance_stops_early_and_matches_long_run() {
     let g = hipa::graph::datasets::small_test_graph(18);
     let cap = 200;
     let cfg_tol = PageRankConfig::default().with_iterations(cap).with_tolerance(1e-7);
-    let run = HiPa.run_native(&g, &cfg_tol, &NativeOpts { threads: 3, partition_bytes: 1024 });
+    let run = HiPa.run_native(&g, &cfg_tol, &NativeOpts::new(3, 1024));
     assert!(run.iterations_run < cap, "should converge early, ran {}", run.iterations_run);
     assert!(run.iterations_run > 3, "suspiciously fast: {}", run.iterations_run);
     // The converged result matches a long fixed run closely.
     let long = HiPa.run_native(
         &g,
         &PageRankConfig::default().with_iterations(cap),
-        &NativeOpts { threads: 3, partition_bytes: 1024 },
+        &NativeOpts::new(3, 1024),
     );
     for (a, b) in run.ranks.iter().zip(&long.ranks) {
         assert!((a - b).abs() < 1e-6, "{a} vs {b}");
@@ -165,7 +160,7 @@ fn hipa_tolerance_stops_early_and_matches_long_run() {
 fn hipa_tolerance_sim_agrees_with_native() {
     let g = hipa::graph::datasets::small_test_graph(19);
     let cfg = PageRankConfig::default().with_iterations(100).with_tolerance(1e-6);
-    let nat = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 512 });
+    let nat = HiPa.run_native(&g, &cfg, &NativeOpts::new(4, 512));
     let sim = HiPa.run_sim(
         &g,
         &cfg,
@@ -181,6 +176,6 @@ fn cycle_converges_immediately_under_tolerance() {
     // is already ~0.
     let g = DiGraph::from_edge_list(&hipa::graph::gen::cycle(32));
     let cfg = PageRankConfig::default().with_iterations(50).with_tolerance(1e-6);
-    let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 64 });
+    let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 64));
     assert_eq!(run.iterations_run, 1);
 }

@@ -19,17 +19,17 @@ fn pagerank_step_equals_spmv_plus_affine() {
     let x: Vec<f32> = (0..n)
         .map(|v| {
             let deg = g.out_degree(v as u32);
-            if deg == 0 { 0.0 } else { (1.0 / n as f32) / deg as f32 }
+            if deg == 0 {
+                0.0
+            } else {
+                (1.0 / n as f32) / deg as f32
+            }
         })
         .collect();
     let y = spmv_partition_centric(&g, &x, 4, 256);
     for v in 0..n {
         let expect = (1.0 - d) / n as f64 + d * y[v] as f64;
-        assert!(
-            (expect - one[v]).abs() < 1e-6,
-            "v{v}: spmv-derived {expect} vs oracle {}",
-            one[v]
-        );
+        assert!((expect - one[v]).abs() < 1e-6, "v{v}: spmv-derived {expect} vs oracle {}", one[v]);
     }
 }
 
@@ -53,7 +53,7 @@ fn pagerank_delta_matches_engine_at_convergence() {
     let run = HiPa.run_native(
         &g,
         &PageRankConfig::default().with_iterations(100),
-        &NativeOpts { threads: 3, partition_bytes: 1024 },
+        &NativeOpts::new(3, 1024),
     );
     for (v, (a, b)) in res.ranks.iter().zip(&run.ranks).enumerate() {
         assert!((a - b).abs() < 1e-4, "v{v}: delta {a} vs engine {b}");

@@ -9,10 +9,7 @@ fn graph_strategy() -> impl Strategy<Value = DiGraph> {
     (2usize..120, prop::collection::vec((0u32..120, 0u32..120), 1..600)).prop_map(|(n, pairs)| {
         let edges: Vec<(u32, u32)> =
             pairs.into_iter().map(|(s, d)| (s % n as u32, d % n as u32)).collect();
-        let mut el = EdgeList::new(
-            n,
-            edges.into_iter().map(Into::into).collect(),
-        );
+        let mut el = EdgeList::new(n, edges.into_iter().map(Into::into).collect());
         el.dedup_simplify();
         DiGraph::from_edge_list(&EdgeList::new(n, el.into_edges()))
     })
@@ -28,7 +25,7 @@ proptest! {
         let cfg = PageRankConfig::default()
             .with_iterations(iters)
             .with_dangling(DanglingPolicy::Redistribute);
-        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 3, partition_bytes: 256 });
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(3, 256));
         let sum: f64 = run.ranks.iter().map(|&r| r as f64).sum();
         prop_assert!((sum - 1.0).abs() < 1e-3, "sum {}", sum);
         prop_assert!(run.ranks.iter().all(|&r| r >= 0.0));
@@ -38,7 +35,7 @@ proptest! {
     #[test]
     fn ignore_mass_bounded(g in graph_strategy(), iters in 1usize..12) {
         let cfg = PageRankConfig::default().with_iterations(iters);
-        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 256 });
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 256));
         let sum: f64 = run.ranks.iter().map(|&r| r as f64).sum();
         prop_assert!(sum <= 1.0 + 1e-4, "sum {}", sum);
         prop_assert!(run.ranks.iter().all(|&r| r >= 0.0));
@@ -48,7 +45,7 @@ proptest! {
     #[test]
     fn zero_damping_is_uniform(g in graph_strategy()) {
         let cfg = PageRankConfig::new(0.0, 3);
-        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 256 });
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 256));
         let n = g.num_vertices() as f32;
         prop_assert!(run.ranks.iter().all(|&r| (r - 1.0 / n).abs() < 1e-6));
     }
@@ -57,7 +54,7 @@ proptest! {
     #[test]
     fn teleport_floor_holds(g in graph_strategy(), iters in 1usize..10) {
         let cfg = PageRankConfig::default().with_iterations(iters);
-        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 2, partition_bytes: 256 });
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 256));
         let floor = 0.15 / g.num_vertices() as f32;
         prop_assert!(run.ranks.iter().all(|&r| r >= floor * 0.999), "floor violated");
     }
@@ -67,7 +64,7 @@ proptest! {
     fn engine_matches_oracle(g in graph_strategy()) {
         let cfg = PageRankConfig::default().with_iterations(8);
         let oracle = reference_pagerank(&g, &cfg);
-        let run = HiPa.run_native(&g, &cfg, &NativeOpts { threads: 4, partition_bytes: 128 });
+        let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(4, 128));
         prop_assert!(max_rel_error(&run.ranks, &oracle) < 5e-3);
     }
 }

@@ -1,0 +1,143 @@
+//! The parallel PCPM layout builder must be *bit-identical* to the
+//! sequential reference for every graph shape, partition size, binning mode,
+//! compression mode, thread count, and chunk decomposition. `PcpmLayout`
+//! derives `PartialEq` over every array, so one `assert_eq!` covers the
+//! whole structure.
+
+use hipa::core::PcpmLayout;
+use hipa::graph::DiGraph;
+use proptest::prelude::*;
+
+fn graphs() -> Vec<(&'static str, DiGraph)> {
+    use hipa::graph::gen::*;
+    vec![
+        ("cycle", DiGraph::from_edge_list(&cycle(64))),
+        ("star", DiGraph::from_edge_list(&star(40))),
+        ("path-dangling", DiGraph::from_edge_list(&path(50))),
+        ("grid", DiGraph::from_edge_list(&grid(8, 9))),
+        ("rmat", hipa::graph::datasets::small_test_graph(7)),
+        (
+            "zipf-local",
+            DiGraph::from_edge_list(&zipf_graph(
+                &ZipfParams {
+                    num_vertices: 900,
+                    mean_degree: 9.0,
+                    locality: 0.4,
+                    block_size: 128,
+                    ..Default::default()
+                },
+                11,
+            )),
+        ),
+        ("er", DiGraph::from_edge_list(&erdos_renyi(300, 2400, 5))),
+    ]
+}
+
+#[test]
+fn parallel_layout_is_bit_identical_to_sequential() {
+    for (gname, g) in graphs() {
+        let csr = g.out_csr();
+        for vpp in [1usize, 7, 16, 64, 300] {
+            for binned in [false, true] {
+                for compress in [true, false] {
+                    let seq = PcpmLayout::build_seq_ext(csr, vpp, binned, compress);
+                    for threads in [2usize, 3, 4, 8] {
+                        // Small chunks force genuine multi-chunk execution
+                        // on these test-sized graphs.
+                        for chunk in [5usize, 64, 4096] {
+                            let par = PcpmLayout::build_par_chunked(
+                                csr, vpp, binned, compress, threads, chunk,
+                            );
+                            assert_eq!(
+                                par, seq,
+                                "{gname} vpp={vpp} binned={binned} compress={compress} \
+                                 threads={threads} chunk={chunk}"
+                            );
+                        }
+                    }
+                    // The default entry points agree too.
+                    assert_eq!(PcpmLayout::build_ext(csr, vpp, binned, compress), seq);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_layout_on_larger_graph_default_chunking() {
+    // Big enough that the default CHUNK_VERTS decomposition produces
+    // several chunks per pass.
+    use hipa::graph::gen::{zipf_graph, ZipfParams};
+    let g = DiGraph::from_edge_list(&zipf_graph(
+        &ZipfParams {
+            num_vertices: 20_000,
+            mean_degree: 8.0,
+            locality: 0.3,
+            block_size: 256,
+            ..Default::default()
+        },
+        23,
+    ));
+    let csr = g.out_csr();
+    for vpp in [64usize, 1024] {
+        let seq = PcpmLayout::build_seq_ext(csr, vpp, false, true);
+        for threads in [2usize, 4] {
+            let par = PcpmLayout::build_par_ext(csr, vpp, false, true, threads);
+            assert_eq!(par, seq, "vpp={vpp} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn build_threads_does_not_change_engine_output() {
+    use hipa::prelude::*;
+    let g = hipa::graph::datasets::small_test_graph(21);
+    let cfg = PageRankConfig::default().with_iterations(8);
+    let engines = hipa_baselines::all_engines();
+    for e in &engines {
+        let base = e.run_native(&g, &cfg, &NativeOpts::new(3, 1024).with_build_threads(1)).ranks;
+        for bt in [2usize, 4, 7] {
+            let got =
+                e.run_native(&g, &cfg, &NativeOpts::new(3, 1024).with_build_threads(bt)).ranks;
+            assert_eq!(got, base, "{} build_threads={bt}", e.name());
+        }
+        let sim_base = e
+            .run_sim(&g, &cfg, &SimOpts::new(MachineSpec::tiny_test()).with_build_threads(1))
+            .ranks;
+        let sim_par = e
+            .run_sim(&g, &cfg, &SimOpts::new(MachineSpec::tiny_test()).with_build_threads(4))
+            .ranks;
+        assert_eq!(sim_par, sim_base, "{} sim build_threads", e.name());
+    }
+}
+
+/// Random-CSR strategy: adjacency from arbitrary directed edges (the CSR
+/// sorts and keeps duplicates, matching what engines feed the builder).
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..120).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0u32..n as u32, 0u32..n as u32), 0..400);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_layout_matches_sequential_on_random_csrs(
+        n_edges in edges_strategy(),
+        vpp in 1usize..40,
+        threads in 2usize..6,
+        chunk in 1usize..50,
+        binned in any::<bool>(),
+        compress in any::<bool>(),
+    ) {
+        let (n, edges) = n_edges;
+        let el = hipa::graph::EdgeList::new(n, edges.into_iter().map(Into::into).collect());
+        let g = DiGraph::from_edge_list(&el);
+        let csr = g.out_csr();
+        let seq = PcpmLayout::build_seq_ext(csr, vpp, binned, compress);
+        let par = PcpmLayout::build_par_chunked(csr, vpp, binned, compress, threads, chunk);
+        prop_assert_eq!(par, seq);
+    }
+}

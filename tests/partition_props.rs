@@ -70,7 +70,7 @@ proptest! {
             e += node.edges;
             if i + 1 < plan.nodes.len() {
                 let end = node.vertex_range.end as usize;
-                prop_assert!(end % vpp == 0 || end == degs.len(),
+                prop_assert!(end.is_multiple_of(vpp) || end == degs.len(),
                     "interior node boundary must be a multiple of |P| (or capped at |V|): {}", end);
             }
             // Thread groups tile the node's partitions and edges.

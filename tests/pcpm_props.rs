@@ -7,11 +7,9 @@ use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = EdgeList> {
     (2usize..200, prop::collection::vec((0u32..200, 0u32..200), 0..800)).prop_map(|(n, pairs)| {
-        let edges = pairs
-            .into_iter()
-            .map(|(s, d)| (s % n as u32, d % n as u32))
-            .collect::<Vec<_>>();
-        let mut el = EdgeList::from_pairs(edges.into_iter());
+        let edges =
+            pairs.into_iter().map(|(s, d)| (s % n as u32, d % n as u32)).collect::<Vec<_>>();
+        let mut el = EdgeList::from_pairs(edges);
         // Ensure the declared vertex count covers n even with no edges.
         let el2 = EdgeList::new(n.max(el.num_vertices()), el.edges().to_vec());
         el = el2;

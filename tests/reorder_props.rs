@@ -26,7 +26,7 @@ proptest! {
         let permuted = perm.apply(&el);
 
         let cfg = PageRankConfig::default().with_iterations(8);
-        let opts = NativeOpts { threads, partition_bytes: 256 };
+        let opts = NativeOpts::new(threads, 256);
         let r1 = HiPa.run_native(&DiGraph::from_edge_list(&el), &cfg, &opts).ranks;
         let r2 = HiPa.run_native(&DiGraph::from_edge_list(&permuted), &cfg, &opts).ranks;
         for v in 0..n as u32 {

@@ -39,7 +39,12 @@ fn counters_are_internally_consistent() {
         let m = &run.report.mem;
         let accesses = m.reads + m.writes;
         let served = m.l1_hits + m.l2_hits + m.llc_hits + m.dram_local + m.dram_remote;
-        assert_eq!(accesses, served, "{}: every access must be served at exactly one level", e.name());
+        assert_eq!(
+            accesses,
+            served,
+            "{}: every access must be served at exactly one level",
+            e.name()
+        );
         assert!(run.report.cycles > 0.0);
         assert!(run.compute_cycles > 0.0);
         assert!(run.preprocess_cycles > 0.0);
@@ -109,7 +114,8 @@ fn single_node_machine_has_no_remote_traffic() {
     let g = journal_small();
     let cfg = PageRankConfig::default().with_iterations(4);
     let machine = MachineSpec::tiny_test().with_sockets(1);
-    let run = HiPa.run_sim(&g, &cfg, &SimOpts::new(machine).with_threads(4).with_partition_bytes(512));
+    let run =
+        HiPa.run_sim(&g, &cfg, &SimOpts::new(machine).with_threads(4).with_partition_bytes(512));
     assert_eq!(run.report.mem.dram_remote, 0);
     assert_eq!(run.report.mem.wb_remote, 0);
 }
@@ -120,7 +126,8 @@ fn smaller_caches_mean_more_dram_traffic() {
     let cfg = PageRankConfig::default().with_iterations(4);
     let big = MachineSpec::skylake_4210();
     let small = MachineSpec::skylake_4210().scaled(512);
-    let run_big = HiPa.run_sim(&g, &cfg, &SimOpts::new(big).with_threads(8).with_partition_bytes(4096));
+    let run_big =
+        HiPa.run_sim(&g, &cfg, &SimOpts::new(big).with_threads(8).with_partition_bytes(4096));
     let run_small =
         HiPa.run_sim(&g, &cfg, &SimOpts::new(small).with_threads(8).with_partition_bytes(4096));
     assert!(
@@ -159,12 +166,8 @@ fn uncompressed_variant_moves_more_bytes() {
     let cfg = PageRankConfig::default().with_iterations(6);
     let opts = SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(256);
     let on = run_variant(&g, &cfg, &opts, &HiPaVariant::default());
-    let off = run_variant(
-        &g,
-        &cfg,
-        &opts,
-        &HiPaVariant { compress_inter: false, ..Default::default() },
-    );
+    let off =
+        run_variant(&g, &cfg, &opts, &HiPaVariant { compress_inter: false, ..Default::default() });
     assert!(
         off.report.mem.dram_bytes(64) > on.report.mem.dram_bytes(64),
         "compression must reduce DRAM traffic"
