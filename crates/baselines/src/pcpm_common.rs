@@ -18,6 +18,7 @@
 //! per-partition framework metadata (Flags/State) in every phase.
 
 use crate::common::{base_value, dangling_mass, inv_deg_array_par};
+use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
 use hipa_core::{
     DanglingPolicy, NativeOpts, NativeRun, PageRankConfig, PcpmLayout, SimOpts, SimRun,
@@ -57,9 +58,11 @@ pub fn run_native(
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
         };
     }
     let threads = opts.threads.max(1);
+    let tol = convergence::effective_tolerance(cfg.tolerance);
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
     let build_threads = opts.effective_build_threads();
@@ -82,6 +85,12 @@ pub fn run_native(
     let mut vals = vec![0.0f32; layout.total_msgs as usize];
     let mut dangling = dangling_mass(g, cfg, &rank);
     let degs = g.out_degrees();
+    // Residuals are accumulated per *partition* (not per thread): FCFS
+    // claiming makes the thread→partition map nondeterministic, and the
+    // shared convergence rule requires a deterministic f64 reduction order.
+    let mut delta_parts = vec![0.0f64; if tol.is_some() { parts } else { 0 }];
+    let mut iterations_run = 0usize;
+    let mut converged = false;
 
     let t1 = Instant::now();
     for _it in 0..cfg.iterations {
@@ -135,12 +144,14 @@ pub fn run_native(
             let acc_s = SharedSlice::new(&mut acc);
             let vals = &vals;
             let partials_s = SharedSlice::new(&mut partials);
+            let deltas_s = SharedSlice::new(&mut delta_parts);
             let counter = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for j in 0..threads {
                     let rank_s = &rank_s;
                     let acc_s = &acc_s;
                     let partials_s = &partials_s;
+                    let deltas_s = &deltas_s;
                     let counter = &counter;
                     let layout = &layout;
                     scope.spawn(move || {
@@ -159,10 +170,16 @@ pub fn run_native(
                                 }
                             }
                             let vr = layout.partition_vertices(q);
+                            let mut delta = 0.0f64;
                             for v in vr.start as usize..vr.end as usize {
                                 // SAFETY: own claimed partition.
                                 let a = unsafe { acc_s.get(v) };
                                 let new = base + d * a;
+                                if tol.is_some() {
+                                    // SAFETY: own partition (pre-write read).
+                                    let old = unsafe { rank_s.get(v) };
+                                    delta += convergence::l1_term(new, old);
+                                }
                                 unsafe {
                                     rank_s.write(v, new);
                                     acc_s.write(v, 0.0);
@@ -172,6 +189,11 @@ pub fn run_native(
                                 {
                                     dpart += new as f64;
                                 }
+                            }
+                            if tol.is_some() {
+                                // SAFETY: slot q belongs to the exclusively
+                                // claimed partition.
+                                unsafe { deltas_s.write(q, delta) };
                             }
                         }
                         // SAFETY: own slot.
@@ -183,9 +205,16 @@ pub fn run_native(
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
+        iterations_run += 1;
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_parts), t) {
+                converged = true;
+                break;
+            }
+        }
     }
     let compute = t1.elapsed();
-    NativeRun { ranks: rank, preprocess, compute, iterations_run: cfg.iterations }
+    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged }
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmParams) -> SimRun {
@@ -195,6 +224,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
             report: machine.report(params.label),
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
@@ -280,9 +310,18 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
     let mut dangling = dangling_mass(g, cfg, &rank);
     let degs = g.out_degrees();
     let meta = params.meta_bytes_per_part;
+    let tol = convergence::effective_tolerance(cfg.tolerance);
+    let track = tol.is_some();
+    // Per-partition residual slots, mirroring the native path's
+    // deterministic reduction order.
+    let mut delta_parts = vec![0.0f64; if track { parts } else { 0 }];
+    let mut iterations_run = 0usize;
+    let mut converged = false;
 
     for it in 0..cfg.iterations {
-        let last_iter = it + 1 == cfg.iterations;
+        // Under tolerance mode the rank vector is materialised every
+        // iteration (needed for the delta and as the final output).
+        let last_iter = it + 1 == cfg.iterations || track;
         let base = base_value(cfg, n, dangling);
 
         // --- Scatter region: fresh OS-placed pool, FCFS claims ---
@@ -362,6 +401,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
             let vals = &vals;
             let layout = &layout;
             let partials = &mut partials;
+            let delta_parts = &mut delta_parts;
             machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
                 let mut dpart = 0.0f64;
                 let mut q = j;
@@ -401,16 +441,23 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                         ctx.stream_write(contrib_r, 4 * lo, 4 * len);
                         ctx.stream_write(acc_r, 4 * lo, 4 * len);
                         if last_iter {
+                            if track {
+                                ctx.stream_read(rank_r, 4 * lo, 4 * len);
+                            }
                             ctx.stream_write(rank_r, 4 * lo, 4 * len);
                         }
                         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
                             ctx.stream_read(deg_r, 4 * lo, 4 * len);
                         }
+                        let mut delta = 0.0f64;
                         for v in lo..hi {
                             let new = base + d * acc[v];
                             contrib[v] = new * inv_deg[v];
                             acc[v] = 0.0;
                             if last_iter {
+                                if track {
+                                    delta += convergence::l1_term(new, rank[v]);
+                                }
                                 rank[v] = new;
                             }
                             if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0
@@ -419,6 +466,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                             }
                         }
                         ctx.compute(3 * len as u64);
+                        if track {
+                            delta_parts[q] = delta;
+                        }
                     }
                     q += threads;
                 }
@@ -428,12 +478,20 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
+        iterations_run = it + 1;
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_parts), t) {
+                converged = true;
+                break;
+            }
+        }
     }
 
     let total = machine.cycles();
     SimRun {
         ranks: rank,
-        iterations_run: cfg.iterations,
+        iterations_run,
+        converged,
         report: machine.report(params.label),
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,

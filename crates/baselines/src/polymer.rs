@@ -15,6 +15,7 @@
 //! per iteration: contribute, replicate, pull.
 
 use crate::common::{base_value, dangling_mass, inv_deg_array};
+use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
@@ -88,9 +89,11 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
         };
     }
     let threads = opts.threads.max(1);
+    let tol = convergence::effective_tolerance(cfg.tolerance);
     // The host has no NUMA topology; model two virtual nodes as on the
     // paper's machine (one when single-threaded).
     let nodes = 2.min(threads);
@@ -109,6 +112,8 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let in_csr = g.in_csr();
 
     let t1 = Instant::now();
+    let mut iterations_run = 0usize;
+    let mut converged = false;
     for _it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
         // --- Region 1: contribute (own vertices) ---
@@ -152,24 +157,33 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
         }
         // --- Region 3: pull from the node-local mirror ---
         let mut partials = vec![0.0f64; decomp.threads.len()];
+        let mut delta_partials = vec![0.0f64; decomp.threads.len()];
         {
             let rank_s = SharedSlice::new(&mut rank);
             let partials_s = SharedSlice::new(&mut partials);
+            let deltas_s = SharedSlice::new(&mut delta_partials);
             let mirrors = &mirrors;
             std::thread::scope(|scope| {
                 for (j, (node, pull, _rep)) in decomp.threads.iter().enumerate() {
                     let rank_s = &rank_s;
                     let partials_s = &partials_s;
+                    let deltas_s = &deltas_s;
                     let mirror = &mirrors[*node];
                     let pull = pull.clone();
                     scope.spawn(move || {
                         let mut dpart = 0.0f64;
+                        let mut delta = 0.0f64;
                         for v in pull.start as usize..pull.end as usize {
                             let mut acc = 0.0f32;
                             for &u in in_csr.neighbors(v as u32) {
                                 acc += mirror[u as usize];
                             }
                             let new = base + d * acc;
+                            if tol.is_some() {
+                                // SAFETY: own pull range (pre-write read).
+                                let old = unsafe { rank_s.get(v) };
+                                delta += convergence::l1_term(new, old);
+                            }
                             // SAFETY: disjoint pull ranges.
                             unsafe { rank_s.write(v, new) };
                             if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0
@@ -177,8 +191,9 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 dpart += new as f64;
                             }
                         }
-                        // SAFETY: own slot.
+                        // SAFETY: slots j are this thread's own.
                         unsafe { partials_s.write(j, dpart) };
+                        unsafe { deltas_s.write(j, delta) };
                     });
                 }
             });
@@ -186,9 +201,16 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
+        iterations_run += 1;
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
+                converged = true;
+                break;
+            }
+        }
     }
     let compute = t1.elapsed();
-    NativeRun { ranks: rank, preprocess, compute, iterations_run: cfg.iterations }
+    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged }
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
@@ -198,6 +220,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
             report: machine.report("Polymer"),
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
@@ -273,6 +296,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let mut dangling = dangling_mass(g, cfg, &rank);
     let degs = g.out_degrees();
     let bind: Vec<usize> = decomp.threads.iter().map(|(node, _, _)| *node).collect();
+    let tol = convergence::effective_tolerance(cfg.tolerance);
+    let mut iterations_run = 0usize;
+    let mut converged = false;
 
     for _it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
@@ -322,12 +348,14 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
 
         // --- Region 3: pull from the local mirror ---
         let mut partials = vec![0.0f64; bind.len()];
+        let mut delta_partials = vec![0.0f64; bind.len()];
         let pool = machine.create_pool(bind.len(), &ThreadPlacement::BindNode(bind.clone()));
         {
             let rank = &mut rank;
             let mirrors = &mirrors;
             let decomp = &decomp;
             let partials = &mut partials;
+            let delta_partials = &mut delta_partials;
             machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
                 let (node, pull, _) = &decomp.threads[j];
                 let (lo, hi) = (pull.start as usize, pull.end as usize);
@@ -343,12 +371,17 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     ctx.stream_read(in_tgt_r, 4 * elo, 4 * (ehi - elo));
                 }
                 ctx.stream_write(rank_r, 4 * lo, 4 * len);
+                if tol.is_some() {
+                    // Delta tracking re-streams the old ranks of the range.
+                    ctx.stream_read(rank_r, 4 * lo, 4 * len);
+                }
                 if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
                     ctx.stream_read(deg_r, 4 * lo, 4 * len);
                 }
                 let mirror = &mirrors[*node];
                 let mr = mirror_rs[*node];
                 let mut dpart = 0.0f64;
+                let mut delta = 0.0f64;
                 for v in lo..hi {
                     let mut acc = 0.0f32;
                     for &u in in_csr.neighbors(v as u32) {
@@ -360,6 +393,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                         acc += mirror[u as usize];
                     }
                     let new = base + d * acc;
+                    if tol.is_some() {
+                        delta += convergence::l1_term(new, rank[v]);
+                    }
                     rank[v] = new;
                     // edgeMap dispatch + dense/sparse checks per edge.
                     ctx.compute(in_csr.degree(v as u32) as u64 * 28 + 2);
@@ -368,17 +404,26 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     }
                 }
                 partials[j] = dpart;
+                delta_partials[j] = delta;
             });
         }
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
+        }
+        iterations_run += 1;
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
+                converged = true;
+                break;
+            }
         }
     }
 
     let total = machine.cycles();
     SimRun {
         ranks: rank,
-        iterations_run: cfg.iterations,
+        iterations_run,
+        converged,
         report: machine.report("Polymer"),
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,

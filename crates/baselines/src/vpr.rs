@@ -12,6 +12,7 @@
 //! pre-computed edge-balanced range per worker.
 
 use crate::common::{base_value, dangling_mass};
+use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
@@ -55,9 +56,11 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
         };
     }
     let threads = opts.threads.max(1);
+    let tol = convergence::effective_tolerance(cfg.tolerance);
 
     let t0 = Instant::now();
     let ranges = edge_balanced(&in_degrees(g), threads);
@@ -72,22 +75,28 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
 
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
     let t1 = Instant::now();
+    let mut iterations_run = 0usize;
+    let mut converged = false;
     for _it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
         let mut partials = vec![0.0f64; threads];
+        let mut delta_partials = vec![0.0f64; threads];
         {
             let cur = &cur;
             let next_s = SharedSlice::new(&mut next);
             let partials_s = SharedSlice::new(&mut partials);
+            let deltas_s = SharedSlice::new(&mut delta_partials);
             // One parallel region per iteration (Algorithm 1): the rayon
             // scope fans the pre-balanced ranges out across the pool.
             pool.scope(|scope| {
                 for (j, r) in ranges.iter().enumerate() {
                     let next_s = &next_s;
                     let partials_s = &partials_s;
+                    let deltas_s = &deltas_s;
                     let r = r.clone();
                     scope.spawn(move |_| {
                         let mut dpart = 0.0f64;
+                        let mut delta = 0.0f64;
                         for v in r.start as usize..r.end as usize {
                             let mut acc = 0.0f32;
                             for &u in in_csr.neighbors(v as u32) {
@@ -96,6 +105,9 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 acc += cur[u as usize] / degs[u as usize] as f32;
                             }
                             let new = base + d * acc;
+                            if tol.is_some() {
+                                delta += convergence::l1_term(new, cur[v]);
+                            }
                             // SAFETY: vertex ranges are disjoint per thread.
                             unsafe { next_s.write(v, new) };
                             if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0
@@ -103,8 +115,9 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 dpart += new as f64;
                             }
                         }
-                        // SAFETY: slot j is this thread's own.
+                        // SAFETY: slots j are this thread's own.
                         unsafe { partials_s.write(j, dpart) };
+                        unsafe { deltas_s.write(j, delta) };
                     });
                 }
             });
@@ -113,9 +126,16 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
             dangling = partials.iter().sum();
         }
         std::mem::swap(&mut cur, &mut next);
+        iterations_run += 1;
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
+                converged = true;
+                break;
+            }
+        }
     }
     let compute = t1.elapsed();
-    NativeRun { ranks: cur, preprocess, compute, iterations_run: cfg.iterations }
+    NativeRun { ranks: cur, preprocess, compute, iterations_run, converged }
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
@@ -125,6 +145,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
             report: machine.report("v-PR"),
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
@@ -161,10 +182,14 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let degs = g.out_degrees();
     let in_csr = g.in_csr();
     let (mut cur_r, mut next_r) = (rank_a, rank_b);
+    let tol = convergence::effective_tolerance(cfg.tolerance);
+    let mut iterations_run = 0usize;
+    let mut converged = false;
 
     for _it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
         let mut partials = vec![0.0f64; threads];
+        let mut delta_partials = vec![0.0f64; threads];
         // New parallel region (fresh pool, OS-random placement) per
         // iteration — the Algorithm-1 thread-lifecycle model.
         let pool = machine.create_pool(threads, &ThreadPlacement::OsRandom);
@@ -172,6 +197,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
             let cur = &cur;
             let next = &mut next;
             let partials = &mut partials;
+            let delta_partials = &mut delta_partials;
             let ranges: &[Range<u32>] = &ranges;
             machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
                 let r = ranges[j].clone();
@@ -188,10 +214,15 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     ctx.stream_read(in_tgt_r, 4 * elo, 4 * (ehi - elo));
                 }
                 ctx.stream_write(next_r, 4 * lo, 4 * len);
+                if tol.is_some() {
+                    // Delta tracking re-streams the old ranks of the range.
+                    ctx.stream_read(cur_r, 4 * lo, 4 * len);
+                }
                 if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
                     ctx.stream_read(deg_r, 4 * lo, 4 * len);
                 }
                 let mut dpart = 0.0f64;
+                let mut delta = 0.0f64;
                 for v in lo..hi {
                     let mut acc = 0.0f32;
                     for &u in in_csr.neighbors(v as u32) {
@@ -204,6 +235,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                         acc += cur[u as usize] / degs[u as usize] as f32;
                     }
                     let new = base + d * acc;
+                    if tol.is_some() {
+                        delta += convergence::l1_term(new, cur[v]);
+                    }
                     next[v] = new;
                     ctx.compute(12 * in_csr.degree(v as u32) as u64 + 2);
                     if matches!(cfg.dangling, DanglingPolicy::Redistribute) && degs[v] == 0 {
@@ -211,6 +245,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     }
                 }
                 partials[j] = dpart;
+                delta_partials[j] = delta;
             });
         }
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
@@ -218,12 +253,20 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
         }
         std::mem::swap(&mut cur, &mut next);
         std::mem::swap(&mut cur_r, &mut next_r);
+        iterations_run += 1;
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
+                converged = true;
+                break;
+            }
+        }
     }
 
     let total = machine.cycles();
     SimRun {
         ranks: cur,
-        iterations_run: cfg.iterations,
+        iterations_run,
+        converged,
         report: machine.report("v-PR"),
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,

@@ -1,0 +1,43 @@
+//! Convergence census: iterations to reach an L1 tolerance, per engine.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin convergence [--fast] [--csv]
+//! ```
+//!
+//! The paper times a fixed 20 iterations (§4.1); this bin instead runs every
+//! engine with the shared convergence rule (`hipa_core::convergence`) and
+//! reports where each one stops. Because all five engines share one
+//! definition of "converged", the stop iteration may differ by at most the
+//! low-bit accumulation order — a useful cross-engine consistency check on
+//! top of the tests. Entries are `iters*` when the run hit the cap without
+//! converging.
+
+use hipa_bench::{paper_methods, skylake, BinArgs};
+use hipa_report::Table;
+
+fn main() {
+    let args = BinArgs::parse();
+    let tol = 1e-5f32;
+    let cap = if args.fast { 60 } else { 200 };
+    let methods = paper_methods();
+    let mut header: Vec<&str> = vec!["graph"];
+    header.extend(methods.iter().map(|m| m.name()));
+    let mut table = Table::new(
+        &format!("Convergence: iterations to L1 delta < {tol:.0e} (cap {cap}; * = hit cap)"),
+        &header,
+    );
+    for ds in args.datasets() {
+        let g = ds.build();
+        let mut row = vec![ds.name().to_string()];
+        for m in &methods {
+            let run = m.run_to_tolerance(&g, skylake(), cap, tol);
+            let mark = if run.converged { "" } else { "*" };
+            row.push(format!("{}{}", run.iterations_run, mark));
+        }
+        table.row(row);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+}

@@ -59,6 +59,23 @@ impl Method {
         self.engine.name()
     }
 
+    /// Like [`Self::run`] but with a convergence tolerance: the engine stops
+    /// as soon as the shared L1 rule fires (`SimRun::converged`), with
+    /// `iterations` as the cap.
+    pub fn run_to_tolerance(
+        &self,
+        g: &DiGraph,
+        machine: MachineSpec,
+        iterations: usize,
+        tolerance: f32,
+    ) -> SimRun {
+        let opts = SimOpts::new(machine)
+            .with_threads(self.threads)
+            .with_partition_bytes(scaled_partition(self.partition_paper_bytes));
+        let cfg = PageRankConfig::default().with_iterations(iterations).with_tolerance(tolerance);
+        self.engine.run_sim(g, &cfg, &opts)
+    }
+
     /// Like [`Self::run`] but overriding the thread count (Fig. 6 sweeps).
     pub fn run_with_threads(
         &self,

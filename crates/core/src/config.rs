@@ -22,11 +22,14 @@ pub struct PageRankConfig {
     /// Iteration cap (the paper times a fixed 20 iterations).
     pub iterations: usize,
     pub dangling: DanglingPolicy,
-    /// Optional convergence tolerance: when set, HiPa stops as soon as the
-    /// L1 rank delta of an iteration (summed over non-dangling vertices)
-    /// drops below it, or at the `iterations` cap. The paper's experiments
-    /// use fixed iteration counts, so this defaults to `None`; the
-    /// comparison baselines ignore it.
+    /// Optional convergence tolerance: when set, every engine stops as soon
+    /// as the L1 rank delta of an iteration (summed over all vertices)
+    /// drops below it, or at the `iterations` cap — the shared rule lives
+    /// in [`crate::convergence`]. The paper's experiments use fixed
+    /// iteration counts, so this defaults to `None`. Non-positive or
+    /// non-finite values (only reachable through struct-literal
+    /// construction) are normalised to "no tolerance" by
+    /// [`crate::convergence::effective_tolerance`].
     pub tolerance: Option<f32>,
 }
 

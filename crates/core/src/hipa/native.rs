@@ -13,6 +13,7 @@
 //! f32 ranks for any thread count.
 
 use crate::config::{DanglingPolicy, PageRankConfig};
+use crate::convergence;
 use crate::disjoint::SharedSlice;
 use crate::pcpm::PcpmLayout;
 use crate::runs::{NativeOpts, NativeRun};
@@ -29,9 +30,11 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
         };
     }
     let threads = opts.threads.max(1);
+    let tol = convergence::effective_tolerance(cfg.tolerance);
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
     let build_threads = opts.effective_build_threads();
@@ -147,10 +150,10 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                 // SAFETY: own range.
                                 let a = unsafe { acc_s.get(v) };
                                 let new = base + d * a;
-                                if cfg.tolerance.is_some() {
+                                if tol.is_some() {
                                     // SAFETY: own range (pre-write read).
                                     let old = unsafe { rank_s.get(v) };
-                                    delta += (new - old).abs() as f64;
+                                    delta += convergence::l1_term(new, old);
                                 }
                                 unsafe {
                                     rank_s.write(v, new);
@@ -183,20 +186,21 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                             }
                             // SAFETY: ctrl is thread 0's to write, pre-barrier.
                             unsafe { ctrl_s.write(1, it as u32 + 1) };
-                            if let Some(tol) = cfg.tolerance {
-                                let mut dsum = 0.0f64;
-                                for t in partials_all.clone() {
-                                    // SAFETY: as above.
-                                    dsum += unsafe { deltas_s.get(t) };
-                                }
-                                if dsum < tol as f64 {
+                            if let Some(t) = tol {
+                                // SAFETY: all threads passed the barrier; no
+                                // one writes deltas until the next.
+                                let parts: Vec<f64> = partials_all
+                                    .clone()
+                                    .map(|i| unsafe { deltas_s.get(i) })
+                                    .collect();
+                                if convergence::should_stop(convergence::reduce(&parts), t) {
                                     unsafe { ctrl_s.write(0, 1) };
                                 }
                             }
                         }
                         barrier.wait();
                         // SAFETY: thread 0 set the flag before the barrier.
-                        if cfg.tolerance.is_some() && unsafe { ctrl_s.get(0) } == 1 {
+                        if tol.is_some() && unsafe { ctrl_s.get(0) } == 1 {
                             break;
                         }
                     }
@@ -206,8 +210,9 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     }
     let compute = t1.elapsed();
     let iterations_run = ctrl_box[1] as usize;
+    let converged = ctrl_box[0] == 1;
 
-    NativeRun { ranks: rank, preprocess, compute, iterations_run }
+    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged }
 }
 
 #[cfg(test)]

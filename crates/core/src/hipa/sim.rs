@@ -8,6 +8,7 @@
 //! (Algorithm 2).
 
 use crate::config::{DanglingPolicy, PageRankConfig};
+use crate::convergence;
 use crate::hipa::placement::vertex_ends;
 use crate::pcpm::PcpmLayout;
 use crate::runs::{SimOpts, SimRun};
@@ -70,6 +71,7 @@ pub fn run_variant(
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
+            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
             report: machine.report("HiPa"),
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
@@ -268,8 +270,10 @@ pub fn run_variant(
     };
 
     // ---- Iterations: scatter; barrier; gather+finalize; barrier ----
-    let track = cfg.tolerance.is_some();
+    let tol = convergence::effective_tolerance(cfg.tolerance);
+    let track = tol.is_some();
     let mut iterations_run = 0usize;
+    let mut converged = false;
     for it in 0..cfg.iterations {
         // Under tolerance mode the rank vector is materialised every
         // iteration (needed for the delta and as the final output).
@@ -407,7 +411,7 @@ pub fn run_variant(
                         acc[v] = 0.0;
                         if last_iter {
                             if track {
-                                delta += (new - rank[v]).abs() as f64;
+                                delta += convergence::l1_term(new, rank[v]);
                             }
                             rank[v] = new;
                         }
@@ -425,9 +429,9 @@ pub fn run_variant(
             dangling_mass = partials.iter().sum();
         }
         iterations_run = it + 1;
-        if let Some(tol) = cfg.tolerance {
-            let dsum: f64 = delta_partials.iter().sum();
-            if dsum < tol as f64 {
+        if let Some(t) = tol {
+            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
+                converged = true;
                 break;
             }
         }
@@ -437,6 +441,7 @@ pub fn run_variant(
     SimRun {
         ranks: rank,
         iterations_run,
+        converged,
         report: machine.report("HiPa"),
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,

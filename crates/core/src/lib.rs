@@ -18,6 +18,7 @@
 //! * [`HiPa`] — the engine itself.
 
 pub mod config;
+pub mod convergence;
 pub mod disjoint;
 pub mod hipa;
 pub mod par;

@@ -114,10 +114,16 @@ pub struct NativeRun {
     pub preprocess: Duration,
     /// The timed iterations.
     pub compute: Duration,
-    /// Iterations actually executed (less than the cap only when a
-    /// tolerance was set and convergence hit first; engines that ignore the
-    /// tolerance report the cap).
+    /// Iterations actually executed. Every engine honours
+    /// [`PageRankConfig::tolerance`] through the shared
+    /// [`convergence`](crate::convergence) rule, so this is less than the
+    /// `iterations` cap exactly when [`Self::converged`] is true.
     pub iterations_run: usize,
+    /// Whether the shared convergence check
+    /// ([`convergence::should_stop`](crate::convergence::should_stop))
+    /// fired: the last iteration's L1 rank delta fell below the configured
+    /// tolerance. Always `false` when no (valid) tolerance was set.
+    pub converged: bool,
 }
 
 /// Result of a simulated run.
@@ -126,6 +132,9 @@ pub struct SimRun {
     pub ranks: Vec<f32>,
     /// Iterations actually executed (see [`NativeRun::iterations_run`]).
     pub iterations_run: usize,
+    /// Whether the convergence tolerance stopped the run (see
+    /// [`NativeRun::converged`]).
+    pub converged: bool,
     /// Full machine report (cycles include preprocessing).
     pub report: SimReport,
     /// Simulated cycles spent in preprocessing (partitioning, layout, NUMA
@@ -192,6 +201,7 @@ mod tests {
         let run = SimRun {
             ranks: vec![],
             iterations_run: 20,
+            converged: false,
             report: m.report("x"),
             preprocess_cycles: 5.0e9,
             compute_cycles: 10.0e9,

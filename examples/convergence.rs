@@ -20,7 +20,8 @@ fn main() {
         for tol in [1e-4f32, 1e-6] {
             let cfg = PageRankConfig::default().with_iterations(500).with_tolerance(tol);
             let run = HiPa.run_native(&g, &cfg, &opts);
-            cells.push(format!("{} iters", run.iterations_run));
+            let mark = if run.converged { "" } else { "*" };
+            cells.push(format!("{} iters{mark}", run.iterations_run));
             timing = format!("{:.2?}", run.compute);
         }
         println!(
@@ -39,7 +40,8 @@ fn main() {
     let cfg = PageRankConfig::default().with_iterations(500).with_tolerance(1e-7);
     let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(4, 256 * 1024));
     println!(
-        "\njournal converged after {} iterations (cap 500); top vertex rank {:.6}",
+        "\njournal: converged = {} after {} iterations (cap 500); top vertex rank {:.6}",
+        run.converged,
         run.iterations_run,
         hipa::top_k(&run.ranks, 1)[0].1
     );

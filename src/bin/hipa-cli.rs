@@ -33,11 +33,13 @@ const USAGE: &str = "usage:
            [--edge-factor N] [--mean-degree X] [--seed N] -o FILE
   hipa-cli stats <GRAPH> [--partition SIZE]
   hipa-cli pagerank <GRAPH> [--engine NAME] [--threads N] [--iterations N]
-           [--partition SIZE] [--top K]
+           [--tolerance X] [--partition SIZE] [--top K]
   hipa-cli simulate <GRAPH> [--machine skylake|haswell|tiny] [--cache-scale N]
-           [--engine NAME] [--threads N] [--iterations N] [--partition SIZE]
+           [--engine NAME] [--threads N] [--iterations N] [--tolerance X]
+           [--partition SIZE]
   hipa-cli bfs <GRAPH> [--source V]
-  hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--partition SIZE]
+  hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--tolerance X]
+           [--partition SIZE]
   hipa-cli convert <IN> -o <OUT>
 
 GRAPH = path (.bin or edge-list text) or dataset:<journal|pld|wiki|kron|twitter|mpi>
@@ -86,6 +88,20 @@ impl Args {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    /// `--tolerance X` as an L1 convergence threshold; absent = run to cap.
+    fn get_tolerance(&self) -> Result<Option<f32>> {
+        match self.get("tolerance") {
+            None => Ok(None),
+            Some(v) => {
+                let t: f32 = v.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                if !(t.is_finite() && t > 0.0) {
+                    return Err(format!("--tolerance: must be a positive finite number, got {v}"));
+                }
+                Ok(Some(t))
+            }
         }
     }
 }
@@ -214,13 +230,18 @@ fn pagerank(a: &Args) -> Result<()> {
     let iters = a.get_usize("iterations", 20)?;
     let part = parse_size(a.get("partition").unwrap_or("256K"))?;
     let top = a.get_usize("top", 10)?;
-    let cfg = PageRankConfig::default().with_iterations(iters);
+    let mut cfg = PageRankConfig::default().with_iterations(iters);
+    if let Some(t) = a.get_tolerance()? {
+        cfg = cfg.with_tolerance(t);
+    }
     let run = engine.run_native(&g, &cfg, &NativeOpts::new(threads, part));
+    let stop = if run.converged { " (converged)" } else { "" };
     println!(
-        "{}: preprocess {:.2?}, compute {:.2?} for {iters} iterations x {} edges",
+        "{}: preprocess {:.2?}, compute {:.2?} for {} iterations{stop} x {} edges",
         engine.name(),
         run.preprocess,
         run.compute,
+        run.iterations_run,
         g.num_edges()
     );
     for (v, r) in hipa::top_k(&run.ranks, top) {
@@ -243,14 +264,25 @@ fn simulate(a: &Args) -> Result<()> {
     let threads = a.get_usize("threads", machine.topology.logical_cpus())?;
     let iters = a.get_usize("iterations", 20)?;
     let part = parse_size(a.get("partition").unwrap_or("256K"))? / scale.max(1);
-    let cfg = PageRankConfig::default().with_iterations(iters);
+    let mut cfg = PageRankConfig::default().with_iterations(iters);
+    if let Some(t) = a.get_tolerance()? {
+        cfg = cfg.with_tolerance(t);
+    }
     let opts = SimOpts::new(machine).with_threads(threads).with_partition_bytes(part.max(64));
     let run = engine.run_sim(&g, &cfg, &opts);
+    let stop = if run.converged { ", converged" } else { "" };
     println!("machine:        {}", run.report.machine);
     println!("engine:         {}", engine.name());
-    println!("sim compute:    {:.4}s ({} iterations)", run.compute_seconds(), iters);
+    println!(
+        "sim compute:    {:.4}s ({} iterations{stop})",
+        run.compute_seconds(),
+        run.iterations_run
+    );
     println!("sim preprocess: {:.4}s", run.preprocess_seconds());
-    println!("MApE/iter:      {:.1} B/edge", run.report.mape(g.num_edges()) / iters as f64);
+    println!(
+        "MApE/iter:      {:.1} B/edge",
+        run.report.mape(g.num_edges()) / run.iterations_run.max(1) as f64
+    );
     println!("remote traffic: {:.1}%", run.report.mem.remote_fraction() * 100.0);
     println!("LLC hit ratio:  {:.1}%", run.report.mem.llc_hit_ratio() * 100.0);
     println!(
@@ -265,8 +297,14 @@ fn compare(a: &Args) -> Result<()> {
     let threads = a.get_usize("threads", 4)?;
     let iters = a.get_usize("iterations", 10)?;
     let part = parse_size(a.get("partition").unwrap_or("256K"))?;
-    let cfg = PageRankConfig::default().with_iterations(iters);
-    println!("{:<10} {:>12} {:>12} {:>14}", "engine", "preprocess", "compute", "max vs HiPa");
+    let mut cfg = PageRankConfig::default().with_iterations(iters);
+    if let Some(t) = a.get_tolerance()? {
+        cfg = cfg.with_tolerance(t);
+    }
+    println!(
+        "{:<10} {:>12} {:>12} {:>7} {:>14}",
+        "engine", "preprocess", "compute", "iters", "max vs HiPa"
+    );
     let mut hipa_ranks: Option<Vec<f32>> = None;
     for e in hipa::baselines::all_engines() {
         let run = e.run_native(&g, &cfg, &NativeOpts::new(threads, part));
@@ -282,11 +320,13 @@ fn compare(a: &Args) -> Result<()> {
                 .map(|(x, y)| ((x - y).abs() / y.abs().max(1e-12)) as f64)
                 .fold(0.0, f64::max),
         };
+        let iters_cell = format!("{}{}", run.iterations_run, if run.converged { "" } else { "*" });
         println!(
-            "{:<10} {:>12} {:>12} {:>13.2e}",
+            "{:<10} {:>12} {:>12} {:>7} {:>13.2e}",
             e.name(),
             format!("{:.2?}", run.preprocess),
             format!("{:.2?}", run.compute),
+            iters_cell,
             dev
         );
     }

@@ -138,11 +138,120 @@ fn zero_iterations_returns_uniform() {
 }
 
 #[test]
+fn every_engine_tolerance_stops_within_one_iteration_of_hipa() {
+    // The shared convergence rule (hipa_core::convergence) makes every
+    // engine stop on the same residual decision; accumulation order differs
+    // per engine in the low f32 bits, so the stop iteration may shift by at
+    // most one around the threshold crossing. The tolerance sits above the
+    // corpus's f32 oscillation floor (~3e-6 L1 on the star graph, where the
+    // residual plateaus instead of reaching zero).
+    let cap = 200;
+    let cfg = PageRankConfig::default().with_iterations(cap).with_tolerance(1e-5);
+    for (gname, g) in graphs() {
+        let reference = HiPa.run_native(&g, &cfg, &NativeOpts::new(3, 512));
+        assert!(reference.converged, "HiPa failed to converge on {gname}");
+        assert!(reference.iterations_run < cap);
+        for e in all_engines() {
+            let run = e.run_native(&g, &cfg, &NativeOpts::new(3, 512));
+            assert!(run.converged, "{} did not converge on {gname}", e.name());
+            let (a, b) = (run.iterations_run as i64, reference.iterations_run as i64);
+            assert!((a - b).abs() <= 1, "{} stopped at {a} on {gname}, HiPa at {b}", e.name());
+        }
+    }
+}
+
+#[test]
+fn every_engine_early_stop_matches_run_to_cap() {
+    // Stopping at tolerance must not change the answer: the early-stopped
+    // ranks agree with the same engine run to the full cap. At stop, the
+    // remaining L1 distance to the fixed point is bounded by
+    // tol·d/(1−d) ≈ 5.7e-5, so 1e-4 per vertex is a safe bound.
+    let cap = 300;
+    let cfg_tol = PageRankConfig::default().with_iterations(cap).with_tolerance(1e-5);
+    let cfg_cap = PageRankConfig::default().with_iterations(cap);
+    for (gname, g) in graphs() {
+        for e in all_engines() {
+            let early = e.run_native(&g, &cfg_tol, &NativeOpts::new(3, 512));
+            assert!(early.converged, "{} on {gname}", e.name());
+            assert!(early.iterations_run < cap, "{} on {gname}", e.name());
+            let full = e.run_native(&g, &cfg_cap, &NativeOpts::new(3, 512));
+            assert_eq!(full.iterations_run, cap);
+            assert!(!full.converged, "no tolerance set, flag must stay false");
+            for (v, (a, b)) in early.ranks.iter().zip(&full.ranks).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{} on {gname} at v{v}: early {a} vs cap {b}",
+                    e.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_engine_tolerance_sim_agrees_with_native() {
+    // The sim path shares the engine's arithmetic, so under tolerance both
+    // paths stop at the same iteration with bit-equal ranks.
+    let cfg = PageRankConfig::default().with_iterations(100).with_tolerance(1e-6);
+    let g = hipa::graph::datasets::small_test_graph(19);
+    for e in all_engines() {
+        let nat = e.run_native(&g, &cfg, &NativeOpts::new(4, 512));
+        let sim = e.run_sim(
+            &g,
+            &cfg,
+            &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512),
+        );
+        assert_eq!(nat.iterations_run, sim.iterations_run, "{} stop iteration", e.name());
+        assert_eq!(nat.converged, sim.converged, "{} converged flag", e.name());
+        assert!(nat.converged, "{} should converge within 100 iterations", e.name());
+        assert_eq!(nat.ranks, sim.ranks, "{}: sim != native under tolerance", e.name());
+    }
+}
+
+#[test]
+fn converged_flag_is_accurate() {
+    let g = hipa::graph::datasets::small_test_graph(20);
+    for e in all_engines() {
+        // Unreachable tolerance within a 2-iteration cap: ran to cap, not
+        // converged.
+        let tight = PageRankConfig::default().with_iterations(2).with_tolerance(1e-12);
+        let run = e.run_native(&g, &tight, &NativeOpts::new(2, 512));
+        assert!(!run.converged, "{}", e.name());
+        assert_eq!(run.iterations_run, 2, "{}", e.name());
+        // No tolerance: never reported converged.
+        let fixed = PageRankConfig::default().with_iterations(5);
+        let run = e.run_native(&g, &fixed, &NativeOpts::new(2, 512));
+        assert!(!run.converged, "{}", e.name());
+        assert_eq!(run.iterations_run, 5, "{}", e.name());
+    }
+}
+
+#[test]
+fn invalid_struct_literal_tolerance_is_normalised_away() {
+    // `with_tolerance` asserts positivity, but a struct literal can smuggle
+    // in 0.0 / NaN — the shared module normalises those to "no tolerance",
+    // so engines run to the cap without useless delta tracking.
+    let g = hipa::graph::datasets::small_test_graph(22);
+    let baseline = PageRankConfig::default().with_iterations(8);
+    for bad in [0.0f32, -3.0, f32::NAN, f32::INFINITY] {
+        let cfg = PageRankConfig { tolerance: Some(bad), ..baseline };
+        for e in all_engines() {
+            let run = e.run_native(&g, &cfg, &NativeOpts::new(2, 512));
+            assert_eq!(run.iterations_run, 8, "{} tol {bad}", e.name());
+            assert!(!run.converged, "{} tol {bad}", e.name());
+            let clean = e.run_native(&g, &baseline, &NativeOpts::new(2, 512));
+            assert_eq!(run.ranks, clean.ranks, "{} tol {bad}", e.name());
+        }
+    }
+}
+
+#[test]
 fn hipa_tolerance_stops_early_and_matches_long_run() {
     let g = hipa::graph::datasets::small_test_graph(18);
     let cap = 200;
     let cfg_tol = PageRankConfig::default().with_iterations(cap).with_tolerance(1e-7);
     let run = HiPa.run_native(&g, &cfg_tol, &NativeOpts::new(3, 1024));
+    assert!(run.converged);
     assert!(run.iterations_run < cap, "should converge early, ran {}", run.iterations_run);
     assert!(run.iterations_run > 3, "suspiciously fast: {}", run.iterations_run);
     // The converged result matches a long fixed run closely.
@@ -178,4 +287,5 @@ fn cycle_converges_immediately_under_tolerance() {
     let cfg = PageRankConfig::default().with_iterations(50).with_tolerance(1e-6);
     let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 64));
     assert_eq!(run.iterations_run, 1);
+    assert!(run.converged);
 }

@@ -3,7 +3,34 @@
 
 use hipa::core::reference::{max_rel_error, reference_pagerank};
 use hipa::prelude::*;
+use hipa_baselines::all_engines;
 use proptest::prelude::*;
+
+/// L1 delta of one additional Eq. 1 power-iteration step, applied in f64 to
+/// an engine's final f32 ranks. A genuinely converged vector must move by
+/// less than the tolerance when iterated once more (the damped operator
+/// contracts the L1 residual by at least the damping factor).
+fn one_more_iteration_l1_delta(g: &DiGraph, cfg: &PageRankConfig, ranks: &[f32]) -> f64 {
+    let n = g.num_vertices();
+    let d = cfg.damping as f64;
+    let inv_n = 1.0 / n as f64;
+    let dangling_sum: f64 = match cfg.dangling {
+        DanglingPolicy::Ignore => 0.0,
+        DanglingPolicy::Redistribute => {
+            (0..n).filter(|&v| g.out_degree(v as u32) == 0).map(|v| ranks[v] as f64).sum()
+        }
+    };
+    let base = (1.0 - d) * inv_n + d * dangling_sum * inv_n;
+    let mut delta = 0.0f64;
+    for v in 0..n {
+        let mut acc = 0.0f64;
+        for &u in g.in_csr().neighbors(v as u32) {
+            acc += ranks[u as usize] as f64 / g.out_degree(u) as f64;
+        }
+        delta += (base + d * acc - ranks[v] as f64).abs();
+    }
+    delta
+}
 
 fn graph_strategy() -> impl Strategy<Value = DiGraph> {
     (2usize..120, prop::collection::vec((0u32..120, 0u32..120), 1..600)).prop_map(|(n, pairs)| {
@@ -57,6 +84,42 @@ proptest! {
         let run = HiPa.run_native(&g, &cfg, &NativeOpts::new(2, 256));
         let floor = 0.15 / g.num_vertices() as f32;
         prop_assert!(run.ranks.iter().all(|&r| r >= floor * 0.999), "floor violated");
+    }
+
+    /// For random CSRs and random tolerances, `converged == true` is an
+    /// honest claim for every engine: one extra reference iteration from the
+    /// reported ranks moves them by less than the tolerance. (The damped
+    /// operator contracts the L1 residual by ≥ the damping factor, leaving
+    /// ample headroom over f32 rounding noise at these tolerances.)
+    #[test]
+    fn converged_flag_implies_true_fixed_point(
+        g in graph_strategy(),
+        // Lower bound sits above the f32 oscillation floor of worst-case
+        // hub-heavy graphs (~3e-6 L1) so every engine can actually converge.
+        tol_exp in -4.5f64..-2.0,
+        redistribute in any::<bool>(),
+    ) {
+        let tol = 10f64.powf(tol_exp) as f32;
+        let policy = if redistribute {
+            DanglingPolicy::Redistribute
+        } else {
+            DanglingPolicy::Ignore
+        };
+        let cfg = PageRankConfig::default()
+            .with_iterations(300)
+            .with_dangling(policy)
+            .with_tolerance(tol);
+        for e in all_engines() {
+            let run = e.run_native(&g, &cfg, &NativeOpts::new(3, 256));
+            prop_assert!(run.converged, "{} should converge within 300 iters", e.name());
+            prop_assert!(run.iterations_run <= 300);
+            let extra = one_more_iteration_l1_delta(&g, &cfg, &run.ranks);
+            prop_assert!(
+                extra < tol as f64,
+                "{}: extra-iteration L1 delta {extra} ≥ tol {tol}",
+                e.name()
+            );
+        }
     }
 
     /// The engine tracks the oracle on arbitrary graphs.
