@@ -25,6 +25,7 @@ use hipa_core::{
 };
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
+use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -52,17 +53,28 @@ pub fn run_native(
     params: &PcpmParams,
 ) -> NativeRun {
     let n = g.num_vertices();
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
         return NativeRun {
             ranks: Vec::new(),
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: params.label.into(),
+                path: PATH_NATIVE,
+                threads: opts.threads.max(1) as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
         };
     }
     let threads = opts.threads.max(1);
     let tol = convergence::effective_tolerance(cfg.tolerance);
+    // Residuals feed the stop rule *or* the trace's convergence trajectory.
+    let track = tol.is_some() || rec.enabled();
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
     let build_threads = opts.effective_build_threads();
@@ -88,56 +100,73 @@ pub fn run_native(
     // Residuals are accumulated per *partition* (not per thread): FCFS
     // claiming makes the thread→partition map nondeterministic, and the
     // shared convergence rule requires a deterministic f64 reduction order.
-    let mut delta_parts = vec![0.0f64; if tol.is_some() { parts } else { 0 }];
+    let mut delta_parts = vec![0.0f64; if track { parts } else { 0 }];
     let mut iterations_run = 0usize;
     let mut converged = false;
+    let claims_counter = rec.counter("partition_claims");
 
     let t1 = Instant::now();
-    for _it in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
         // --- Scatter region: fresh threads, FCFS partition claiming ---
+        let scatter_t = rec.start();
         {
             let rank = &rank;
             let acc_s = SharedSlice::new(&mut acc);
             let vals_s = SharedSlice::new(&mut vals);
             let counter = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                for _j in 0..threads {
+                for j in 0..threads {
                     let acc_s = &acc_s;
                     let vals_s = &vals_s;
                     let counter = &counter;
                     let layout = &layout;
                     let inv_deg = &inv_deg;
-                    scope.spawn(move || loop {
-                        let p = counter.fetch_add(1, Ordering::Relaxed);
-                        if p >= parts {
-                            break;
-                        }
-                        let vr = layout.partition_vertices(p);
-                        for v in vr.start as usize..vr.end as usize {
-                            let intra = layout.intra_of(v as u32);
-                            if intra.is_empty() {
-                                continue;
+                    let rec = &rec;
+                    let claims_counter = claims_counter.clone();
+                    scope.spawn(move || {
+                        let mut spans = rec.thread_spans(j);
+                        let span_t = spans.start();
+                        let mut claims = 0u64;
+                        loop {
+                            let p = counter.fetch_add(1, Ordering::Relaxed);
+                            if p >= parts {
+                                break;
                             }
-                            let val = rank[v] * inv_deg[v];
-                            for &dst in intra {
-                                // SAFETY: intra destinations lie in partition
-                                // p, which this thread exclusively claimed.
-                                unsafe { acc_s.update(dst as usize, |a| *a += val) };
+                            claims += 1;
+                            let vr = layout.partition_vertices(p);
+                            for v in vr.start as usize..vr.end as usize {
+                                let intra = layout.intra_of(v as u32);
+                                if intra.is_empty() {
+                                    continue;
+                                }
+                                let val = rank[v] * inv_deg[v];
+                                for &dst in intra {
+                                    // SAFETY: intra destinations lie in
+                                    // partition p, which this thread
+                                    // exclusively claimed.
+                                    unsafe { acc_s.update(dst as usize, |a| *a += val) };
+                                }
+                            }
+                            for pair in layout.png_of(p) {
+                                for (k, &src) in layout.png_sources(pair).iter().enumerate() {
+                                    let val = rank[src as usize] * inv_deg[src as usize];
+                                    // SAFETY: one writer per slot.
+                                    unsafe { vals_s.write(pair.slot_start as usize + k, val) };
+                                }
                             }
                         }
-                        for pair in layout.png_of(p) {
-                            for (k, &src) in layout.png_sources(pair).iter().enumerate() {
-                                let val = rank[src as usize] * inv_deg[src as usize];
-                                // SAFETY: one writer per slot.
-                                unsafe { vals_s.write(pair.slot_start as usize + k, val) };
-                            }
-                        }
+                        spans.end(span_t, "scatter", it);
+                        spans.record("scatter.claims", it, claims as f64);
+                        claims_counter.add(claims);
+                        spans.flush(rec);
                     });
                 }
             });
         }
+        rec.end(scatter_t, "scatter", RUN_LEVEL, it as i64);
         // --- Gather region ---
+        let gather_t = rec.start();
         let mut partials = vec![0.0f64; threads];
         {
             let rank_s = SharedSlice::new(&mut rank);
@@ -154,13 +183,19 @@ pub fn run_native(
                     let deltas_s = &deltas_s;
                     let counter = &counter;
                     let layout = &layout;
+                    let rec = &rec;
+                    let claims_counter = claims_counter.clone();
                     scope.spawn(move || {
+                        let mut spans = rec.thread_spans(j);
+                        let span_t = spans.start();
+                        let mut claims = 0u64;
                         let mut dpart = 0.0f64;
                         loop {
                             let q = counter.fetch_add(1, Ordering::Relaxed);
                             if q >= parts {
                                 break;
                             }
+                            claims += 1;
                             for k in layout.part_slot_ranges[q].clone() {
                                 let val = vals[k as usize];
                                 for &dst in layout.dests_of(k) {
@@ -175,7 +210,7 @@ pub fn run_native(
                                 // SAFETY: own claimed partition.
                                 let a = unsafe { acc_s.get(v) };
                                 let new = base + d * a;
-                                if tol.is_some() {
+                                if track {
                                     // SAFETY: own partition (pre-write read).
                                     let old = unsafe { rank_s.get(v) };
                                     delta += convergence::l1_term(new, old);
@@ -190,7 +225,7 @@ pub fn run_native(
                                     dpart += new as f64;
                                 }
                             }
-                            if tol.is_some() {
+                            if track {
                                 // SAFETY: slot q belongs to the exclusively
                                 // claimed partition.
                                 unsafe { deltas_s.write(q, delta) };
@@ -198,34 +233,67 @@ pub fn run_native(
                         }
                         // SAFETY: own slot.
                         unsafe { partials_s.write(j, dpart) };
+                        spans.end(span_t, "gather", it);
+                        spans.record("gather.claims", it, claims as f64);
+                        claims_counter.add(claims);
+                        spans.flush(rec);
                     });
                 }
             });
         }
+        rec.end(gather_t, "gather", RUN_LEVEL, it as i64);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
         iterations_run += 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_parts), t) {
-                converged = true;
-                break;
+        if track {
+            let residual = convergence::reduce(&delta_parts);
+            rec.gauge(it, Some(residual), Some(parts as u64));
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
     let compute = t1.elapsed();
-    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged }
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    let trace = rec.finish(TraceMeta {
+        engine: params.label.into(),
+        path: PATH_NATIVE,
+        machine: None,
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: Some(parts as u64),
+        iterations_run: iterations_run as u64,
+        converged,
+    });
+    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged, trace }
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmParams) -> SimRun {
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
+        let report = machine.report(params.label);
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
-            report: machine.report(params.label),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: params.label.into(),
+                path: PATH_SIM,
+                machine: Some(report.machine.clone()),
+                threads: opts.threads as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
+            report,
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
         };
@@ -299,6 +367,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
         }
     });
     let preprocess_cycles = machine.cycles();
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess_cycles);
 
     let inv_deg = inv_deg_array_par(g, opts.effective_build_threads());
     let d = cfg.damping;
@@ -311,29 +380,41 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
     let degs = g.out_degrees();
     let meta = params.meta_bytes_per_part;
     let tol = convergence::effective_tolerance(cfg.tolerance);
-    let track = tol.is_some();
+    // `track_model` (the tolerance check) governs the *charged* rank-vector
+    // traffic; `track_host` additionally materialises ranks host-side so
+    // the trace can carry the convergence trajectory. Cycles and counters
+    // are identical with tracing on or off.
+    let track_model = tol.is_some();
+    let track_host = track_model || rec.enabled();
     // Per-partition residual slots, mirroring the native path's
     // deterministic reduction order.
-    let mut delta_parts = vec![0.0f64; if track { parts } else { 0 }];
+    let mut delta_parts = vec![0.0f64; if track_host { parts } else { 0 }];
     let mut iterations_run = 0usize;
     let mut converged = false;
+    let claims_counter = rec.counter("partition_claims");
 
     for it in 0..cfg.iterations {
         // Under tolerance mode the rank vector is materialised every
         // iteration (needed for the delta and as the final output).
-        let last_iter = it + 1 == cfg.iterations || track;
+        let charge_last = it + 1 == cfg.iterations || track_model;
+        let materialise = it + 1 == cfg.iterations || track_host;
         let base = base_value(cfg, n, dangling);
 
         // --- Scatter region: fresh OS-placed pool, FCFS claims ---
         let pool = machine.create_pool(threads, &ThreadPlacement::OsRandom);
+        let scatter_c0 = machine.cycles();
         {
             let contrib = &contrib;
             let acc = &mut acc;
             let vals = &mut vals;
             let layout = &layout;
+            let rec = &rec;
+            let claims_counter = &claims_counter;
             machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
+                let mut claims = 0u64;
                 let mut p = j;
                 while p < parts {
+                    claims += 1;
                     // FCFS claim on the shared counter.
                     ctx.atomic_rmw(sched_r, 0, 8);
                     if meta > 0 {
@@ -387,12 +468,16 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                     }
                     p += threads;
                 }
+                rec.record("scatter.claims", j as i64, it as i64, claims as f64);
+                claims_counter.add(claims);
             });
         }
+        rec.record("scatter", RUN_LEVEL, it as i64, machine.cycles() - scatter_c0);
 
         // --- Gather region ---
         let mut partials = vec![0.0f64; threads];
         let pool = machine.create_pool(threads, &ThreadPlacement::OsRandom);
+        let gather_c0 = machine.cycles();
         {
             let rank = &mut rank;
             let contrib = &mut contrib;
@@ -402,10 +487,14 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
             let layout = &layout;
             let partials = &mut partials;
             let delta_parts = &mut delta_parts;
+            let rec = &rec;
+            let claims_counter = &claims_counter;
             machine.phase_balanced(pool, PhaseBalance::Dynamic, |j, ctx| {
+                let mut claims = 0u64;
                 let mut dpart = 0.0f64;
                 let mut q = j;
                 while q < parts {
+                    claims += 1;
                     ctx.atomic_rmw(sched_r, 0, 8);
                     if meta > 0 {
                         ctx.stream_read(meta_r, q * meta, meta);
@@ -440,8 +529,8 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                         ctx.stream_read(invdeg_r, 4 * lo, 4 * len);
                         ctx.stream_write(contrib_r, 4 * lo, 4 * len);
                         ctx.stream_write(acc_r, 4 * lo, 4 * len);
-                        if last_iter {
-                            if track {
+                        if charge_last {
+                            if track_model {
                                 ctx.stream_read(rank_r, 4 * lo, 4 * len);
                             }
                             ctx.stream_write(rank_r, 4 * lo, 4 * len);
@@ -454,8 +543,8 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                             let new = base + d * acc[v];
                             contrib[v] = new * inv_deg[v];
                             acc[v] = 0.0;
-                            if last_iter {
-                                if track {
+                            if materialise {
+                                if track_host {
                                     delta += convergence::l1_term(new, rank[v]);
                                 }
                                 rank[v] = new;
@@ -466,34 +555,56 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                             }
                         }
                         ctx.compute(3 * len as u64);
-                        if track {
+                        if track_host {
                             delta_parts[q] = delta;
                         }
                     }
                     q += threads;
                 }
                 partials[j] = dpart;
+                rec.record("gather.claims", j as i64, it as i64, claims as f64);
+                claims_counter.add(claims);
             });
         }
+        rec.record("gather", RUN_LEVEL, it as i64, machine.cycles() - gather_c0);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
         iterations_run = it + 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_parts), t) {
-                converged = true;
-                break;
+        if track_host {
+            let residual = convergence::reduce(&delta_parts);
+            rec.gauge(it, Some(residual), Some(parts as u64));
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
 
     let total = machine.cycles();
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
+    let report = machine.report(params.label);
+    record_sim_report(&rec, &report);
+    let trace = rec.finish(TraceMeta {
+        engine: params.label.into(),
+        path: PATH_SIM,
+        machine: Some(report.machine.clone()),
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: Some(parts as u64),
+        iterations_run: iterations_run as u64,
+        converged,
+    });
     SimRun {
         ranks: rank,
         iterations_run,
         converged,
-        report: machine.report(params.label),
+        report,
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,
+        trace,
     }
 }

@@ -20,6 +20,7 @@ use hipa_core::disjoint::SharedSlice;
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
+use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL};
 use hipa_partition::{degree_prefix, edge_balanced_with_prefix};
 use std::ops::Range;
 use std::time::Instant;
@@ -83,17 +84,28 @@ fn decompose(g: &DiGraph, nodes: usize, threads: usize) -> Decomp {
 
 pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let n = g.num_vertices();
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
         return NativeRun {
             ranks: Vec::new(),
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: "Polymer".into(),
+                path: PATH_NATIVE,
+                threads: opts.threads.max(1) as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
         };
     }
     let threads = opts.threads.max(1);
     let tol = convergence::effective_tolerance(cfg.tolerance);
+    // Residuals feed the stop rule *or* the trace's convergence trajectory.
+    let track = tol.is_some() || rec.enabled();
     // The host has no NUMA topology; model two virtual nodes as on the
     // paper's machine (one when single-threaded).
     let nodes = 2.min(threads);
@@ -114,48 +126,63 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let t1 = Instant::now();
     let mut iterations_run = 0usize;
     let mut converged = false;
-    for _it in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
         // --- Region 1: contribute (own vertices) ---
+        let contribute_t = rec.start();
         {
             let rank = &rank;
             let contrib_s = SharedSlice::new(&mut contrib);
             std::thread::scope(|scope| {
-                for (_node, pull, _rep) in &decomp.threads {
+                for (j, (_node, pull, _rep)) in decomp.threads.iter().enumerate() {
                     let contrib_s = &contrib_s;
                     let inv_deg = &inv_deg;
+                    let rec = &rec;
                     let pull = pull.clone();
                     scope.spawn(move || {
+                        let mut spans = rec.thread_spans(j);
+                        let span_t = spans.start();
                         for v in pull.start as usize..pull.end as usize {
                             // SAFETY: pull ranges are disjoint.
                             unsafe { contrib_s.write(v, rank[v] * inv_deg[v]) };
                         }
+                        spans.end(span_t, "contribute", it);
+                        spans.flush(rec);
                     });
                 }
             });
         }
+        rec.end(contribute_t, "contribute", RUN_LEVEL, it as i64);
         // --- Region 2: replicate the contribution array per node ---
+        let replicate_t = rec.start();
         {
             let contrib = &contrib;
             let mirror_s: Vec<SharedSlice<f32>> =
                 mirrors.iter_mut().map(|mv| SharedSlice::new(mv)).collect();
             let mirror_s = &mirror_s;
             std::thread::scope(|scope| {
-                for (node, _pull, rep) in &decomp.threads {
+                for (j, (node, _pull, rep)) in decomp.threads.iter().enumerate() {
                     let node = *node;
+                    let rec = &rec;
                     let rep = rep.clone();
                     scope.spawn(move || {
+                        let mut spans = rec.thread_spans(j);
+                        let span_t = spans.start();
                         for v in rep {
                             // SAFETY: replication slices are disjoint within
                             // a node's mirror; different nodes use different
                             // mirrors.
                             unsafe { mirror_s[node].write(v, contrib[v]) };
                         }
+                        spans.end(span_t, "replicate", it);
+                        spans.flush(rec);
                     });
                 }
             });
         }
+        rec.end(replicate_t, "replicate", RUN_LEVEL, it as i64);
         // --- Region 3: pull from the node-local mirror ---
+        let pull_t = rec.start();
         let mut partials = vec![0.0f64; decomp.threads.len()];
         let mut delta_partials = vec![0.0f64; decomp.threads.len()];
         {
@@ -169,8 +196,11 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                     let partials_s = &partials_s;
                     let deltas_s = &deltas_s;
                     let mirror = &mirrors[*node];
+                    let rec = &rec;
                     let pull = pull.clone();
                     scope.spawn(move || {
+                        let mut spans = rec.thread_spans(j);
+                        let span_t = spans.start();
                         let mut dpart = 0.0f64;
                         let mut delta = 0.0f64;
                         for v in pull.start as usize..pull.end as usize {
@@ -179,7 +209,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 acc += mirror[u as usize];
                             }
                             let new = base + d * acc;
-                            if tol.is_some() {
+                            if track {
                                 // SAFETY: own pull range (pre-write read).
                                 let old = unsafe { rank_s.get(v) };
                                 delta += convergence::l1_term(new, old);
@@ -194,34 +224,65 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                         // SAFETY: slots j are this thread's own.
                         unsafe { partials_s.write(j, dpart) };
                         unsafe { deltas_s.write(j, delta) };
+                        spans.end(span_t, "pull", it);
+                        spans.flush(rec);
                     });
                 }
             });
         }
+        rec.end(pull_t, "pull", RUN_LEVEL, it as i64);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
         iterations_run += 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
-                converged = true;
-                break;
+        if track {
+            let residual = convergence::reduce(&delta_partials);
+            rec.gauge(it, Some(residual), None);
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
     let compute = t1.elapsed();
-    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged }
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    let trace = rec.finish(TraceMeta {
+        engine: "Polymer".into(),
+        path: PATH_NATIVE,
+        machine: None,
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: None,
+        iterations_run: iterations_run as u64,
+        converged,
+    });
+    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged, trace }
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
+        let report = machine.report("Polymer");
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
-            report: machine.report("Polymer"),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: "Polymer".into(),
+                path: PATH_SIM,
+                machine: Some(report.machine.clone()),
+                threads: opts.threads as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
+            report,
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
         };
@@ -287,6 +348,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
         ctx.compute(2 * (n + m) as u64);
     });
     let preprocess_cycles = machine.cycles();
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess_cycles);
 
     let inv_deg = inv_deg_array(g);
     let d = cfg.damping;
@@ -297,14 +359,21 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let degs = g.out_degrees();
     let bind: Vec<usize> = decomp.threads.iter().map(|(node, _, _)| *node).collect();
     let tol = convergence::effective_tolerance(cfg.tolerance);
+    // `track_model` (the tolerance check) governs the *charged* rank-vector
+    // traffic; `track_host` additionally computes host-side deltas for the
+    // trace's convergence trajectory. Cycles and counters are identical
+    // with tracing on or off.
+    let track_model = tol.is_some();
+    let track_host = track_model || rec.enabled();
     let mut iterations_run = 0usize;
     let mut converged = false;
 
-    for _it in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
 
         // --- Region 1: contribute ---
         let pool = machine.create_pool(bind.len(), &ThreadPlacement::BindNode(bind.clone()));
+        let contribute_c0 = machine.cycles();
         {
             let rank = &rank;
             let contrib = &mut contrib;
@@ -325,9 +394,11 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 ctx.compute((hi - lo) as u64);
             });
         }
+        rec.record("contribute", RUN_LEVEL, it as i64, machine.cycles() - contribute_c0);
 
         // --- Region 2: replicate per node ---
         let pool = machine.create_pool(bind.len(), &ThreadPlacement::BindNode(bind.clone()));
+        let replicate_c0 = machine.cycles();
         {
             let contrib = &contrib;
             let mirrors = &mut mirrors;
@@ -345,11 +416,13 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 ctx.compute((hi - lo) as u64 / 8);
             });
         }
+        rec.record("replicate", RUN_LEVEL, it as i64, machine.cycles() - replicate_c0);
 
         // --- Region 3: pull from the local mirror ---
         let mut partials = vec![0.0f64; bind.len()];
         let mut delta_partials = vec![0.0f64; bind.len()];
         let pool = machine.create_pool(bind.len(), &ThreadPlacement::BindNode(bind.clone()));
+        let pull_c0 = machine.cycles();
         {
             let rank = &mut rank;
             let mirrors = &mirrors;
@@ -371,7 +444,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     ctx.stream_read(in_tgt_r, 4 * elo, 4 * (ehi - elo));
                 }
                 ctx.stream_write(rank_r, 4 * lo, 4 * len);
-                if tol.is_some() {
+                if track_model {
                     // Delta tracking re-streams the old ranks of the range.
                     ctx.stream_read(rank_r, 4 * lo, 4 * len);
                 }
@@ -393,7 +466,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                         acc += mirror[u as usize];
                     }
                     let new = base + d * acc;
-                    if tol.is_some() {
+                    if track_host {
                         delta += convergence::l1_term(new, rank[v]);
                     }
                     rank[v] = new;
@@ -407,24 +480,44 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 delta_partials[j] = delta;
             });
         }
+        rec.record("pull", RUN_LEVEL, it as i64, machine.cycles() - pull_c0);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
         iterations_run += 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
-                converged = true;
-                break;
+        if track_host {
+            let residual = convergence::reduce(&delta_partials);
+            rec.gauge(it, Some(residual), None);
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
 
     let total = machine.cycles();
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
+    let report = machine.report("Polymer");
+    record_sim_report(&rec, &report);
+    let trace = rec.finish(TraceMeta {
+        engine: "Polymer".into(),
+        path: PATH_SIM,
+        machine: Some(report.machine.clone()),
+        vertices: n as u64,
+        edges: m as u64,
+        threads: threads as u64,
+        partitions: None,
+        iterations_run: iterations_run as u64,
+        converged,
+    });
     SimRun {
         ranks: rank,
         iterations_run,
         converged,
-        report: machine.report("Polymer"),
+        trace,
+        report,
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,
     }

@@ -17,6 +17,7 @@ use hipa_core::disjoint::SharedSlice;
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
+use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL};
 use hipa_partition::edge_balanced;
 use std::ops::Range;
 use std::time::Instant;
@@ -50,20 +51,34 @@ fn in_degrees(g: &DiGraph) -> Vec<u32> {
 
 pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let n = g.num_vertices();
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
         return NativeRun {
             ranks: Vec::new(),
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: "v-PR".into(),
+                path: PATH_NATIVE,
+                threads: opts.threads.max(1) as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
         };
     }
     let threads = opts.threads.max(1);
     let tol = convergence::effective_tolerance(cfg.tolerance);
+    // Residuals feed the stop rule *or* the trace's convergence trajectory.
+    let track = tol.is_some() || rec.enabled();
 
+    // Pool construction is part of the engine's setup cost — inside the
+    // preprocess window, like the layout builds of the PCPM engines.
     let t0 = Instant::now();
     let ranges = edge_balanced(&in_degrees(g), threads);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
     let preprocess = t0.elapsed();
 
     let d = cfg.damping;
@@ -73,12 +88,12 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let degs = g.out_degrees();
     let in_csr = g.in_csr();
 
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
     let t1 = Instant::now();
     let mut iterations_run = 0usize;
     let mut converged = false;
-    for _it in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
+        let pull_t = rec.start();
         let mut partials = vec![0.0f64; threads];
         let mut delta_partials = vec![0.0f64; threads];
         {
@@ -93,8 +108,11 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                     let next_s = &next_s;
                     let partials_s = &partials_s;
                     let deltas_s = &deltas_s;
+                    let rec = &rec;
                     let r = r.clone();
                     scope.spawn(move |_| {
+                        let mut spans = rec.thread_spans(j);
+                        let span_t = spans.start();
                         let mut dpart = 0.0f64;
                         let mut delta = 0.0f64;
                         for v in r.start as usize..r.end as usize {
@@ -105,7 +123,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 acc += cur[u as usize] / degs[u as usize] as f32;
                             }
                             let new = base + d * acc;
-                            if tol.is_some() {
+                            if track {
                                 delta += convergence::l1_term(new, cur[v]);
                             }
                             // SAFETY: vertex ranges are disjoint per thread.
@@ -118,35 +136,66 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                         // SAFETY: slots j are this thread's own.
                         unsafe { partials_s.write(j, dpart) };
                         unsafe { deltas_s.write(j, delta) };
+                        spans.end(span_t, "pull", it);
+                        spans.flush(rec);
                     });
                 }
             });
         }
+        rec.end(pull_t, "pull", RUN_LEVEL, it as i64);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
         std::mem::swap(&mut cur, &mut next);
         iterations_run += 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
-                converged = true;
-                break;
+        if track {
+            let residual = convergence::reduce(&delta_partials);
+            rec.gauge(it, Some(residual), None);
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
     let compute = t1.elapsed();
-    NativeRun { ranks: cur, preprocess, compute, iterations_run, converged }
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    let trace = rec.finish(TraceMeta {
+        engine: "v-PR".into(),
+        path: PATH_NATIVE,
+        machine: None,
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: None,
+        iterations_run: iterations_run as u64,
+        converged,
+    });
+    NativeRun { ranks: cur, preprocess, compute, iterations_run, converged, trace }
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
+        let report = machine.report("v-PR");
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
-            report: machine.report("v-PR"),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: "v-PR".into(),
+                path: PATH_SIM,
+                machine: Some(report.machine.clone()),
+                threads: opts.threads as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
+            report,
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
         };
@@ -173,6 +222,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
         ctx.compute(2 * (n + m) as u64);
     });
     let preprocess_cycles = machine.cycles();
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess_cycles);
 
     let ranges = edge_balanced(&in_degrees(g), threads);
     let d = cfg.damping;
@@ -183,16 +233,23 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let in_csr = g.in_csr();
     let (mut cur_r, mut next_r) = (rank_a, rank_b);
     let tol = convergence::effective_tolerance(cfg.tolerance);
+    // `track_model` (the tolerance check) governs the *charged* rank-vector
+    // traffic; `track_host` additionally computes host-side deltas for the
+    // trace's convergence trajectory. Cycles and counters are identical
+    // with tracing on or off.
+    let track_model = tol.is_some();
+    let track_host = track_model || rec.enabled();
     let mut iterations_run = 0usize;
     let mut converged = false;
 
-    for _it in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
         let base = base_value(cfg, n, dangling);
         let mut partials = vec![0.0f64; threads];
         let mut delta_partials = vec![0.0f64; threads];
         // New parallel region (fresh pool, OS-random placement) per
         // iteration — the Algorithm-1 thread-lifecycle model.
         let pool = machine.create_pool(threads, &ThreadPlacement::OsRandom);
+        let pull_c0 = machine.cycles();
         {
             let cur = &cur;
             let next = &mut next;
@@ -214,7 +271,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     ctx.stream_read(in_tgt_r, 4 * elo, 4 * (ehi - elo));
                 }
                 ctx.stream_write(next_r, 4 * lo, 4 * len);
-                if tol.is_some() {
+                if track_model {
                     // Delta tracking re-streams the old ranks of the range.
                     ctx.stream_read(cur_r, 4 * lo, 4 * len);
                 }
@@ -235,7 +292,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                         acc += cur[u as usize] / degs[u as usize] as f32;
                     }
                     let new = base + d * acc;
-                    if tol.is_some() {
+                    if track_host {
                         delta += convergence::l1_term(new, cur[v]);
                     }
                     next[v] = new;
@@ -248,28 +305,48 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 delta_partials[j] = delta;
             });
         }
+        rec.record("pull", RUN_LEVEL, it as i64, machine.cycles() - pull_c0);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling = partials.iter().sum();
         }
         std::mem::swap(&mut cur, &mut next);
         std::mem::swap(&mut cur_r, &mut next_r);
         iterations_run += 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
-                converged = true;
-                break;
+        if track_host {
+            let residual = convergence::reduce(&delta_partials);
+            rec.gauge(it, Some(residual), None);
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
 
     let total = machine.cycles();
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
+    let report = machine.report("v-PR");
+    record_sim_report(&rec, &report);
+    let trace = rec.finish(TraceMeta {
+        engine: "v-PR".into(),
+        path: PATH_SIM,
+        machine: Some(report.machine.clone()),
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: None,
+        iterations_run: iterations_run as u64,
+        converged,
+    });
     SimRun {
         ranks: cur,
         iterations_run,
         converged,
-        report: machine.report("v-PR"),
+        report,
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,
+        trace,
     }
 }
 

@@ -1,0 +1,58 @@
+//! Criterion benches proving the observability layer costs nothing when off.
+//!
+//! Two angles:
+//! * `engine_trace_off_vs_on` — HiPa's native path with the recorder
+//!   disabled vs enabled on the same graph. The disabled side must match
+//!   the pre-obs engine throughput (the acceptance bar is <1% drift); the
+//!   enabled side shows what full tracing costs.
+//! * `recorder_primitives` — the per-call cost of the disabled recorder's
+//!   hot-path operations (span start/end, counter add, gauge), which is a
+//!   single `Option` check each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipa_core::{Engine, HiPa, NativeOpts, PageRankConfig};
+use hipa_obs::Recorder;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engine_off_vs_on(c: &mut Criterion) {
+    let g = hipa_graph::datasets::small_test_graph(3);
+    let cfg = PageRankConfig::default().with_iterations(5);
+    let mut group = c.benchmark_group("engine_trace_off_vs_on");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.throughput(criterion::Throughput::Elements((g.num_edges() * cfg.iterations) as u64));
+    for (label, trace) in [("off", false), ("on", true)] {
+        let opts = NativeOpts::new(2, 1024).with_trace(trace);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| HiPa.run_native(&g, &cfg, &opts).ranks)
+        });
+    }
+    group.finish();
+}
+
+fn bench_recorder_primitives(c: &mut Criterion) {
+    let off = Recorder::new(false);
+    let mut group = c.benchmark_group("recorder_primitives_disabled");
+    group.sample_size(50).measurement_time(Duration::from_secs(1));
+    group.bench_function("span_start_end", |b| {
+        b.iter(|| {
+            let t = off.start();
+            off.end(black_box(t), "phase", 0, 0);
+        })
+    });
+    let counter = off.counter("bench");
+    group.bench_function("counter_add", |b| b.iter(|| counter.add(black_box(1))));
+    group.bench_function("gauge", |b| b.iter(|| off.gauge(black_box(0), Some(0.5), None)));
+    group.bench_function("thread_spans_flush", |b| {
+        b.iter(|| {
+            let mut spans = off.thread_spans(black_box(0));
+            let t = spans.start();
+            spans.end(t, "phase", 0);
+            spans.flush(&off);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_off_vs_on, bench_recorder_primitives);
+criterion_main!(benches);

@@ -1,4 +1,6 @@
-//! Convergence census: iterations to reach an L1 tolerance, per engine.
+//! Convergence census: iterations to reach an L1 tolerance, per engine,
+//! plus the full per-iteration residual trajectory from each run's
+//! `RunTrace`.
 //!
 //! ```text
 //! cargo run --release -p hipa-bench --bin convergence [--fast] [--csv]
@@ -11,8 +13,14 @@
 //! low-bit accumulation order — a useful cross-engine consistency check on
 //! top of the tests. Entries are `iters*` when the run hit the cap without
 //! converging.
+//!
+//! The per-dataset trajectory tables list the L1 residual after every
+//! iteration for every engine (`-` once an engine has stopped), so the
+//! convergence *path* — not just the stop iteration — is recorded in
+//! `results/`.
 
 use hipa_bench::{paper_methods, skylake, BinArgs};
+use hipa_obs::RunTrace;
 use hipa_report::Table;
 
 fn main() {
@@ -26,18 +34,50 @@ fn main() {
         &format!("Convergence: iterations to L1 delta < {tol:.0e} (cap {cap}; * = hit cap)"),
         &header,
     );
+    let mut trajectories: Vec<(String, Vec<RunTrace>)> = Vec::new();
     for ds in args.datasets() {
         let g = ds.build();
         let mut row = vec![ds.name().to_string()];
+        let mut traces = Vec::new();
         for m in &methods {
-            let run = m.run_to_tolerance(&g, skylake(), cap, tol);
+            let run = m.run_to_tolerance_traced(&g, skylake(), cap, tol);
             let mark = if run.converged { "" } else { "*" };
             row.push(format!("{}{}", run.iterations_run, mark));
+            traces.push(run.trace.expect("tracing was enabled"));
         }
         table.row(row);
+        trajectories.push((ds.name().to_string(), traces));
     }
     table.print();
     if args.csv {
         print!("{}", table.to_csv());
+    }
+
+    let mut traj_header: Vec<&str> = vec!["iter"];
+    traj_header.extend(methods.iter().map(|m| m.name()));
+    for (name, traces) in &trajectories {
+        let mut traj = Table::new(
+            &format!("{name}: L1 residual per iteration (- = engine already stopped)"),
+            &traj_header,
+        );
+        let longest = traces.iter().map(|t| t.iterations.len()).max().unwrap_or(0);
+        for i in 0..longest {
+            let mut row = vec![i.to_string()];
+            for t in traces {
+                let cell = t
+                    .iterations
+                    .get(i)
+                    .and_then(|g| g.residual)
+                    .map(|r| format!("{r:.2e}"))
+                    .unwrap_or_else(|| "-".into());
+                row.push(cell);
+            }
+            traj.row(row);
+        }
+        println!();
+        traj.print();
+        if args.csv {
+            print!("{}", traj.to_csv());
+        }
     }
 }

@@ -1,9 +1,15 @@
 //! Developer diagnostic: MApE decomposition for HiPa on journal across
-//! thread counts and partition sizes. Not part of the paper reproduction.
+//! thread counts and partition sizes, sourced entirely from the engine's
+//! [`RunTrace`] counters (the same data the `trace` bin serialises). Not
+//! part of the paper reproduction.
 
 use hipa_bench::{scaled_partition, skylake};
 use hipa_core::{Engine, HiPa, PageRankConfig, SimOpts};
 use hipa_graph::datasets::Dataset;
+use hipa_obs::RunTrace;
+
+/// Simulator cache-line size; traces record line counts, not bytes.
+const LINE_BYTES: f64 = 64.0;
 
 fn main() {
     let g = Dataset::Journal.build();
@@ -23,23 +29,31 @@ fn main() {
     {
         let opts = SimOpts::new(skylake())
             .with_threads(threads)
-            .with_partition_bytes(scaled_partition(pbytes));
+            .with_partition_bytes(scaled_partition(pbytes))
+            .with_trace(true);
         let run = HiPa.run_sim(&g, &cfg, &opts);
-        let m = &run.report.mem;
-        let e = g.num_edges() as f64;
+        let t: &RunTrace = run.trace.as_ref().expect("tracing was enabled");
+        let c = |name: &str| t.counter(name).unwrap_or(0) as f64;
+        let demand = c("mem.dram_local") + c("mem.dram_remote");
+        let wb = c("mem.wb_local") + c("mem.wb_remote");
+        let remote_lines = c("mem.dram_remote") + c("mem.wb_remote");
+        let dram_lines = demand + wb;
+        let remote = if dram_lines == 0.0 { 0.0 } else { remote_lines / dram_lines };
+        let edges = g.num_edges() as f64;
+        let e = edges * cfg.iterations as f64;
         println!(
             "t={threads:>2} P={:>4}KB  secs={:.4}  mape={:>6.1}  demand/e={:.1} wb/e={:.1}  l1h/e={:.1} l2h/e={:.1} llch/e={:.1}  remote={:.1}%  bwbound={}/{}",
             pbytes >> 10,
             run.compute_seconds(),
-            run.report.mape(g.num_edges()),
-            (m.dram_local + m.dram_remote) as f64 * 64.0 / e / cfg.iterations as f64,
-            (m.wb_local + m.wb_remote) as f64 * 64.0 / e / cfg.iterations as f64,
-            m.l1_hits as f64 / e / cfg.iterations as f64,
-            m.l2_hits as f64 / e / cfg.iterations as f64,
-            m.llc_hits as f64 / e / cfg.iterations as f64,
-            m.remote_fraction() * 100.0,
-            run.report.bandwidth_bound_phases,
-            run.report.phases,
+            dram_lines * LINE_BYTES / edges,
+            demand * LINE_BYTES / e,
+            wb * LINE_BYTES / e,
+            c("mem.l1_hits") / e,
+            c("mem.l2_hits") / e,
+            c("mem.llc_hits") / e,
+            remote * 100.0,
+            t.counter("bandwidth_bound_phases").unwrap_or(0),
+            t.counter("phases").unwrap_or(0),
         );
     }
 }

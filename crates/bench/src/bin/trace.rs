@@ -1,0 +1,109 @@
+//! Trace census: every method on both execution paths, emitting `RunTrace`s.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin trace -- [--fast] [--graph NAME]
+//!          [--json-out FILE]
+//! cargo run --release -p hipa-bench --bin trace -- --pretty FILE
+//! ```
+//!
+//! The census runs all five methods (paper settings) on one dataset, native
+//! and simulated, with the trace recorder enabled, prints a summary table
+//! plus the full human rendering of each trace, and optionally serialises
+//! the whole set as one JSON array (`--json-out`). `--pretty FILE` instead
+//! parses a trace document previously written by `--json-out` or the CLI's
+//! `--trace-out` and pretty-prints it.
+
+use hipa_bench::{paper_methods, scaled_partition, skylake, BinArgs};
+use hipa_core::{NativeOpts, PageRankConfig, SimOpts};
+use hipa_graph::datasets::Dataset;
+use hipa_obs::RunTrace;
+use hipa_report::Table;
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .map(|i| argv.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a value")).clone())
+}
+
+fn pretty_print(path: &str) {
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let traces = RunTrace::parse_many(&doc).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+    for t in &traces {
+        println!("{}", t.render());
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(path) = flag_value(&argv, "--pretty") {
+        pretty_print(&path);
+        return;
+    }
+
+    let args = BinArgs::parse();
+    let tol = 1e-5f32;
+    let cap = if args.fast { 20 } else { 60 };
+    let ds = match flag_value(&argv, "--graph").as_deref() {
+        None => Dataset::Journal,
+        Some(name) => *Dataset::ALL
+            .iter()
+            .find(|d| d.name() == name)
+            .unwrap_or_else(|| panic!("unknown dataset '{name}'")),
+    };
+    let g = ds.build();
+    let methods = paper_methods();
+
+    let mut traces: Vec<RunTrace> = Vec::new();
+    let cfg = PageRankConfig::default().with_iterations(cap).with_tolerance(tol);
+    for m in &methods {
+        let part = scaled_partition(m.partition_paper_bytes);
+        let nat = m.engine.run_native(&g, &cfg, &NativeOpts::new(m.threads, part).with_trace(true));
+        traces.push(nat.trace.expect("tracing was enabled"));
+        let sopts = SimOpts::new(skylake())
+            .with_threads(m.threads)
+            .with_partition_bytes(part)
+            .with_trace(true);
+        let sim = m.engine.run_sim(&g, &cfg, &sopts);
+        traces.push(sim.trace.expect("tracing was enabled"));
+    }
+
+    let mut table = Table::new(
+        &format!("Trace census on {} (tolerance {tol:.0e}, cap {cap}; * = hit cap)", ds.name()),
+        &["engine", "path", "iters", "final residual", "spans", "counters", "claims"],
+    );
+    for t in &traces {
+        let iters = format!("{}{}", t.meta.iterations_run, if t.meta.converged { "" } else { "*" });
+        let final_residual = t
+            .residuals()
+            .last()
+            .and_then(|r| *r)
+            .map(|r| format!("{r:.2e}"))
+            .unwrap_or_else(|| "-".into());
+        let claims =
+            t.counter("partition_claims").map(|c| c.to_string()).unwrap_or_else(|| "-".into());
+        table.row(vec![
+            t.meta.engine.clone(),
+            t.meta.path.to_string(),
+            iters,
+            final_residual,
+            t.spans.len().to_string(),
+            t.counters.len().to_string(),
+            claims,
+        ]);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+
+    for t in &traces {
+        println!();
+        println!("{}", t.render());
+    }
+
+    if let Some(path) = flag_value(&argv, "--json-out") {
+        let json = RunTrace::array_to_json(&traces) + "\n";
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {} traces to {path}", traces.len());
+    }
+}

@@ -76,6 +76,24 @@ impl Method {
         self.engine.run_sim(g, &cfg, &opts)
     }
 
+    /// Like [`Self::run_to_tolerance`] but with the trace recorder enabled,
+    /// so the returned run carries its `RunTrace` (per-phase cycle spans,
+    /// the residual trajectory, and the simulator's memory counters).
+    pub fn run_to_tolerance_traced(
+        &self,
+        g: &DiGraph,
+        machine: MachineSpec,
+        iterations: usize,
+        tolerance: f32,
+    ) -> SimRun {
+        let opts = SimOpts::new(machine)
+            .with_threads(self.threads)
+            .with_partition_bytes(scaled_partition(self.partition_paper_bytes))
+            .with_trace(true);
+        let cfg = PageRankConfig::default().with_iterations(iterations).with_tolerance(tolerance);
+        self.engine.run_sim(g, &cfg, &opts)
+    }
+
     /// Like [`Self::run`] but overriding the thread count (Fig. 6 sweeps).
     pub fn run_with_threads(
         &self,

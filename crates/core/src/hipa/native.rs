@@ -18,23 +18,36 @@ use crate::disjoint::SharedSlice;
 use crate::pcpm::PcpmLayout;
 use crate::runs::{NativeOpts, NativeRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
+use hipa_obs::{Recorder, TraceMeta, PATH_NATIVE, RUN_LEVEL};
 use hipa_partition::hipa_plan_with_prefix;
 use std::sync::Barrier;
 use std::time::Instant;
 
 pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let n = g.num_vertices();
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
         return NativeRun {
             ranks: Vec::new(),
             preprocess: Default::default(),
             compute: Default::default(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: "HiPa".into(),
+                path: PATH_NATIVE,
+                threads: opts.threads.max(1) as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
         };
     }
     let threads = opts.threads.max(1);
     let tol = convergence::effective_tolerance(cfg.tolerance);
+    // Residuals are needed for the stop rule *or* the trace's convergence
+    // trajectory; the deterministic reduction is shared either way.
+    let track = tol.is_some() || rec.enabled();
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
 
     let build_threads = opts.effective_build_threads();
@@ -69,6 +82,7 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
 
     let thread_parts: Vec<std::ops::Range<usize>> =
         plan.threads().map(|(_, _, t)| t.part_range.clone()).collect();
+    let num_parts: usize = thread_parts.iter().map(|r| r.len()).sum();
     let degs = g.out_degrees();
 
     let t1 = Instant::now();
@@ -93,9 +107,11 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                 let barrier = &barrier;
                 let layout = &layout;
                 let inv_deg = &inv_deg;
+                let rec = &rec;
                 let parts = thread_parts[j].clone();
                 let partials_all = 0..threads;
                 scope.spawn(move || {
+                    let mut spans = rec.thread_spans(j);
                     for it in 0..cfg.iterations {
                         // SAFETY: `base_box[0]` was written by thread 0
                         // strictly before the previous iteration's final
@@ -104,6 +120,7 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
 
                         // --- Scatter own partitions: intra pass, then one
                         // sequential bin write per destination (PNG view) ---
+                        let scatter_t = spans.start();
                         for p in parts.clone() {
                             let vr = layout.partition_vertices(p);
                             for v in vr.start as usize..vr.end as usize {
@@ -129,9 +146,11 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                 }
                             }
                         }
+                        spans.end(scatter_t, "scatter", it);
                         barrier.wait();
 
                         // --- Gather + finalise own partitions ---
+                        let gather_t = spans.start();
                         let mut dpart = 0.0f64;
                         let mut delta = 0.0f64;
                         for q in parts.clone() {
@@ -150,7 +169,7 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                 // SAFETY: own range.
                                 let a = unsafe { acc_s.get(v) };
                                 let new = base + d * a;
-                                if tol.is_some() {
+                                if track {
                                     // SAFETY: own range (pre-write read).
                                     let old = unsafe { rank_s.get(v) };
                                     delta += convergence::l1_term(new, old);
@@ -169,6 +188,7 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                         // SAFETY: slots j are this thread's own.
                         unsafe { partials_s.write(j, dpart) };
                         unsafe { deltas_s.write(j, delta) };
+                        spans.end(gather_t, "gather", it);
                         barrier.wait();
 
                         // --- Reduction (thread 0) ---
@@ -186,15 +206,19 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                             }
                             // SAFETY: ctrl is thread 0's to write, pre-barrier.
                             unsafe { ctrl_s.write(1, it as u32 + 1) };
-                            if let Some(t) = tol {
+                            if track {
                                 // SAFETY: all threads passed the barrier; no
                                 // one writes deltas until the next.
                                 let parts: Vec<f64> = partials_all
                                     .clone()
                                     .map(|i| unsafe { deltas_s.get(i) })
                                     .collect();
-                                if convergence::should_stop(convergence::reduce(&parts), t) {
-                                    unsafe { ctrl_s.write(0, 1) };
+                                let residual = convergence::reduce(&parts);
+                                rec.gauge(it, Some(residual), Some(num_parts as u64));
+                                if let Some(t) = tol {
+                                    if convergence::should_stop(residual, t) {
+                                        unsafe { ctrl_s.write(0, 1) };
+                                    }
                                 }
                             }
                         }
@@ -204,6 +228,7 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                             break;
                         }
                     }
+                    spans.flush(rec);
                 });
             }
         });
@@ -212,7 +237,21 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
     let iterations_run = ctrl_box[1] as usize;
     let converged = ctrl_box[0] == 1;
 
-    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged }
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    let trace = rec.finish(TraceMeta {
+        engine: "HiPa".into(),
+        path: PATH_NATIVE,
+        machine: None,
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: Some(num_parts as u64),
+        iterations_run: iterations_run as u64,
+        converged,
+    });
+
+    NativeRun { ranks: rank, preprocess, compute, iterations_run, converged, trace }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::pcpm::PcpmLayout;
 use crate::runs::{SimOpts, SimRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_numasim::{PhaseBalance, Placement, PoolId, SimMachine, ThreadPlacement};
+use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_SIM, RUN_LEVEL};
 use hipa_partition::hipa_plan_with_prefix;
 
 /// Design-choice switches for the ablation experiments (DESIGN.md §7). The
@@ -67,12 +68,23 @@ pub fn run_variant(
 ) -> SimRun {
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
+    let rec = Recorder::new(opts.trace);
     if n == 0 {
+        let converged = convergence::effective_tolerance(cfg.tolerance).is_some();
+        let report = machine.report("HiPa");
         return SimRun {
             ranks: Vec::new(),
             iterations_run: 0,
-            converged: convergence::effective_tolerance(cfg.tolerance).is_some(),
-            report: machine.report("HiPa"),
+            converged,
+            trace: rec.finish(TraceMeta {
+                engine: "HiPa".into(),
+                path: PATH_SIM,
+                machine: Some(report.machine.clone()),
+                threads: opts.threads as u64,
+                converged,
+                ..TraceMeta::default()
+            }),
+            report,
             preprocess_cycles: 0.0,
             compute_cycles: 0.0,
         };
@@ -199,6 +211,7 @@ pub fn run_variant(
         }
     });
     let preprocess_cycles = machine.cycles();
+    rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess_cycles);
 
     // ---- Thread management per variant. Full HiPa: one persistent pool,
     // pinned node-major (physical cores before hyper-thread siblings),
@@ -249,6 +262,7 @@ pub fn run_variant(
     };
 
     // Init phase: every thread first-touches its own slices.
+    let init_c0 = machine.cycles();
     machine.phase_balanced(pool, balance, |j, ctx| {
         for &p in &thread_parts[j] {
             let vr = layout.partition_vertices(p);
@@ -261,6 +275,7 @@ pub fn run_variant(
             ctx.stream_write(invdeg_r, 4 * lo, 4 * len);
         }
     });
+    rec.record("init", RUN_LEVEL, RUN_LEVEL, machine.cycles() - init_c0);
 
     let mut dangling_mass: f64 = match cfg.dangling {
         DanglingPolicy::Ignore => 0.0,
@@ -271,19 +286,27 @@ pub fn run_variant(
 
     // ---- Iterations: scatter; barrier; gather+finalize; barrier ----
     let tol = convergence::effective_tolerance(cfg.tolerance);
-    let track = tol.is_some();
+    // The recorder must not perturb the model: `track_model` (the tolerance
+    // check) governs the *charged* rank-vector traffic, while `track_host`
+    // additionally materialises ranks host-side so the trace can carry the
+    // convergence trajectory. Cycles and counters are identical with
+    // tracing on or off.
+    let track_model = tol.is_some();
+    let track_host = track_model || rec.enabled();
     let mut iterations_run = 0usize;
     let mut converged = false;
     for it in 0..cfg.iterations {
         // Under tolerance mode the rank vector is materialised every
         // iteration (needed for the delta and as the final output).
-        let last_iter = it + 1 == cfg.iterations || track;
+        let charge_last = it + 1 == cfg.iterations || track_model;
+        let materialise = it + 1 == cfg.iterations || track_host;
         let base = (1.0 - d) * inv_n + d * (dangling_mass as f32) * inv_n;
 
         // Scatter: stream own partitions, apply intra edges in-cache, write
         // compressed messages into destination bins.
         let pool =
             persistent_pool.unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
+        let scatter_c0 = machine.cycles();
         {
             let contrib = &contrib;
             let acc = &mut acc;
@@ -340,10 +363,13 @@ pub fn run_variant(
             });
         }
 
+        rec.record("scatter", RUN_LEVEL, it as i64, machine.cycles() - scatter_c0);
+
         // Gather: stream the partition's inbox, propagate each message to
         // its destination vertices, then finalise the partition's new ranks.
         let pool =
             persistent_pool.unwrap_or_else(|| machine.create_pool(threads, &per_region_placement));
+        let gather_c0 = machine.cycles();
         let mut partials = vec![0.0f64; threads];
         let mut delta_partials = vec![0.0f64; threads];
         {
@@ -396,8 +422,8 @@ pub fn run_variant(
                     ctx.stream_read(invdeg_r, 4 * lo, 4 * len);
                     ctx.stream_write(contrib_r, 4 * lo, 4 * len);
                     ctx.stream_write(acc_r, 4 * lo, 4 * len);
-                    if last_iter {
-                        if track {
+                    if charge_last {
+                        if track_model {
                             ctx.stream_read(rank_r, 4 * lo, 4 * len);
                         }
                         ctx.stream_write(rank_r, 4 * lo, 4 * len);
@@ -409,8 +435,8 @@ pub fn run_variant(
                         let new = base + d * acc[v];
                         contrib[v] = new * inv_deg[v];
                         acc[v] = 0.0;
-                        if last_iter {
-                            if track {
+                        if materialise {
+                            if track_host {
                                 delta += convergence::l1_term(new, rank[v]);
                             }
                             rank[v] = new;
@@ -425,26 +451,46 @@ pub fn run_variant(
                 delta_partials[j] = delta;
             });
         }
+        rec.record("gather", RUN_LEVEL, it as i64, machine.cycles() - gather_c0);
         if matches!(cfg.dangling, DanglingPolicy::Redistribute) {
             dangling_mass = partials.iter().sum();
         }
         iterations_run = it + 1;
-        if let Some(t) = tol {
-            if convergence::should_stop(convergence::reduce(&delta_partials), t) {
-                converged = true;
-                break;
+        if track_host {
+            let residual = convergence::reduce(&delta_partials);
+            rec.gauge(it, Some(residual), Some(layout.num_partitions as u64));
+            if let Some(t) = tol {
+                if convergence::should_stop(residual, t) {
+                    converged = true;
+                    break;
+                }
             }
         }
     }
 
     let total = machine.cycles();
+    rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
+    let report = machine.report("HiPa");
+    record_sim_report(&rec, &report);
+    let trace = rec.finish(TraceMeta {
+        engine: "HiPa".into(),
+        path: PATH_SIM,
+        machine: Some(report.machine.clone()),
+        vertices: n as u64,
+        edges: g.num_edges() as u64,
+        threads: threads as u64,
+        partitions: Some(layout.num_partitions as u64),
+        iterations_run: iterations_run as u64,
+        converged,
+    });
     SimRun {
         ranks: rank,
         iterations_run,
         converged,
-        report: machine.report("HiPa"),
+        report,
         preprocess_cycles,
         compute_cycles: total - preprocess_cycles,
+        trace,
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::config::PageRankConfig;
 use hipa_graph::DiGraph;
 use hipa_numasim::{MachineSpec, SimReport};
+use hipa_obs::RunTrace;
 use std::time::Duration;
 
 /// Options for the native path.
@@ -29,15 +30,24 @@ pub struct NativeOpts {
     /// array). `0` inherits `threads`. Preprocessing output is bit-identical
     /// for every value.
     pub build_threads: usize,
+    /// Record a [`RunTrace`] (per-phase spans, convergence trajectory) into
+    /// [`NativeRun::trace`]. Ranks and timings semantics are unchanged;
+    /// off by default so the hot paths see a no-op recorder.
+    pub trace: bool,
 }
 
 impl NativeOpts {
     pub fn new(threads: usize, partition_bytes: usize) -> Self {
-        NativeOpts { threads, partition_bytes, build_threads: 0 }
+        NativeOpts { threads, partition_bytes, build_threads: 0, trace: false }
     }
 
     pub fn with_build_threads(mut self, build_threads: usize) -> Self {
         self.build_threads = build_threads;
+        self
+    }
+
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -72,12 +82,16 @@ pub struct SimOpts {
     /// structures are bit-identical for every value). `0` inherits
     /// `threads`.
     pub build_threads: usize,
+    /// Record a [`RunTrace`] into [`SimRun::trace`]. The modelled cycle and
+    /// traffic counts are identical with tracing on or off — the recorder
+    /// observes the simulation, it is not part of the simulated program.
+    pub trace: bool,
 }
 
 impl SimOpts {
     pub fn new(machine: MachineSpec) -> Self {
         let threads = machine.topology.logical_cpus();
-        SimOpts { machine, threads, partition_bytes: 256 * 1024, build_threads: 0 }
+        SimOpts { machine, threads, partition_bytes: 256 * 1024, build_threads: 0, trace: false }
     }
 
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -92,6 +106,11 @@ impl SimOpts {
 
     pub fn with_build_threads(mut self, build_threads: usize) -> Self {
         self.build_threads = build_threads;
+        self
+    }
+
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -124,6 +143,9 @@ pub struct NativeRun {
     /// fired: the last iteration's L1 rank delta fell below the configured
     /// tolerance. Always `false` when no (valid) tolerance was set.
     pub converged: bool,
+    /// Structured trace of the run; present iff [`NativeOpts::trace`] was
+    /// set (and `hipa-obs` was not built with its `off` feature).
+    pub trace: Option<RunTrace>,
 }
 
 /// Result of a simulated run.
@@ -142,6 +164,10 @@ pub struct SimRun {
     pub preprocess_cycles: f64,
     /// Simulated cycles spent in the PageRank iterations.
     pub compute_cycles: f64,
+    /// Structured trace of the run (spans in simulated cycles, counters
+    /// bridged from the machine report); present iff [`SimOpts::trace`] was
+    /// set (and `hipa-obs` was not built with its `off` feature).
+    pub trace: Option<RunTrace>,
 }
 
 impl SimRun {
@@ -205,6 +231,7 @@ mod tests {
             report: m.report("x"),
             preprocess_cycles: 5.0e9,
             compute_cycles: 10.0e9,
+            trace: None,
         };
         // tiny_test runs at 1 GHz.
         assert!((run.compute_seconds() - 10.0).abs() < 1e-9);

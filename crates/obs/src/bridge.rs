@@ -1,0 +1,86 @@
+//! Bridges `numasim`'s machine-level counters into the `RunTrace` schema,
+//! so native and simulated runs of one engine are diffable side by side.
+//!
+//! Counter naming: memory-hierarchy events are `mem.*` (matching the
+//! `MemCounters` field names), scheduler events keep their `SimReport`
+//! names. DESIGN.md §9 tabulates the mapping.
+
+use hipa_numasim::SimReport;
+
+use crate::Recorder;
+
+/// Copies every `SimReport` counter into the recorder. No-op when the
+/// recorder is disabled.
+pub fn record_sim_report(rec: &Recorder, report: &SimReport) {
+    if !rec.enabled() {
+        return;
+    }
+    let m = &report.mem;
+    for (name, value) in [
+        ("mem.reads", m.reads),
+        ("mem.writes", m.writes),
+        ("mem.l1_hits", m.l1_hits),
+        ("mem.l2_hits", m.l2_hits),
+        ("mem.llc_hits", m.llc_hits),
+        ("mem.dram_local", m.dram_local),
+        ("mem.dram_remote", m.dram_remote),
+        ("mem.wb_local", m.wb_local),
+        ("mem.wb_remote", m.wb_remote),
+        ("mem.atomics", m.atomics),
+        ("mem.compute_ops", m.compute_ops),
+        ("threads_created", report.threads_created),
+        ("migrations", report.migrations),
+        ("phases", report.phases),
+        ("bandwidth_bound_phases", report.bandwidth_bound_phases),
+    ] {
+        rec.set_counter(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceMeta;
+    use hipa_numasim::MemCounters;
+
+    fn report() -> SimReport {
+        SimReport {
+            label: "HiPa".into(),
+            machine: "skylake-4210".into(),
+            cycles: 1e9,
+            ghz: 2.2,
+            line_bytes: 64,
+            mem: MemCounters {
+                reads: 100,
+                writes: 50,
+                dram_remote: 7,
+                atomics: 3,
+                ..Default::default()
+            },
+            threads_created: 40,
+            migrations: 2,
+            phases: 20,
+            bandwidth_bound_phases: 5,
+        }
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn report_counters_land_in_trace() {
+        let rec = Recorder::new(true);
+        record_sim_report(&rec, &report());
+        let trace = rec.finish(TraceMeta::default()).unwrap();
+        assert_eq!(trace.counter("mem.reads"), Some(100));
+        assert_eq!(trace.counter("mem.dram_remote"), Some(7));
+        assert_eq!(trace.counter("threads_created"), Some(40));
+        assert_eq!(trace.counter("bandwidth_bound_phases"), Some(5));
+        assert_eq!(trace.counters.len(), 15);
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_report() {
+        let rec = Recorder::new(false);
+        record_sim_report(&rec, &report());
+        assert!(rec.finish(TraceMeta::default()).is_none());
+    }
+}

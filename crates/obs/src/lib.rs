@@ -1,0 +1,32 @@
+//! `hipa-obs` — zero-overhead-when-off metrics and structured tracing for
+//! the HiPa reproduction.
+//!
+//! The paper argues through counters: remote-access fractions (Fig. 5),
+//! migration ledgers (§3.3), LLC hits vs partition size (Fig. 7). The
+//! simulator always had that visibility (`hipa_numasim::MemCounters`); this
+//! crate gives the *native* paths the same per-phase, per-thread,
+//! per-iteration breakdown, and snapshots either side into one serializable
+//! [`RunTrace`] so a native run and its simulation are diffable.
+//!
+//! Three layers:
+//! - [`Recorder`] — the front-end engines write to: atomic [`Counter`]s,
+//!   span timers (shared or per-thread via [`ThreadSpans`]), and
+//!   per-iteration gauges. Disabled at run time (`Recorder::new(false)`) or
+//!   at compile time (the `off` cargo feature) it is a no-op carrying no
+//!   locks and reading no clocks.
+//! - [`RunTrace`] — the snapshot: metadata, spans, convergence trajectory,
+//!   counters; JSON (hand-rolled, registry-free) and human-table rendering.
+//! - [`bridge`] — maps a [`hipa_numasim::SimReport`] onto the same counter
+//!   namespace.
+
+pub mod bridge;
+pub mod json;
+pub mod recorder;
+pub mod trace;
+
+pub use bridge::record_sim_report;
+pub use json::Json;
+pub use recorder::{Counter, CounterHandle, Recorder, SpanStart, ThreadSpans};
+pub use trace::{
+    IterationGauge, PhaseTotal, RunTrace, SpanSample, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL,
+};

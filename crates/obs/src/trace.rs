@@ -1,0 +1,490 @@
+//! The serializable trace of one engine run.
+//!
+//! A [`RunTrace`] is the snapshot a [`Recorder`](crate::Recorder) produces:
+//! run metadata, raw phase spans (per thread, per iteration), per-iteration
+//! gauges (the convergence trajectory), and named counters. Native and
+//! simulated paths share the schema — native spans are wall-clock
+//! nanoseconds (`time_unit: "ns"`), simulated spans are modelled cycles
+//! (`time_unit: "cycles"`) — so the two sides of one engine are directly
+//! diffable. DESIGN.md §9 documents the schema and the sim-counter mapping.
+
+use crate::json::Json;
+
+/// Span sentinel: `thread == RUN_LEVEL` marks a whole-region (not
+/// per-thread) sample; `iter == RUN_LEVEL` marks a whole-run sample.
+pub const RUN_LEVEL: i64 = -1;
+
+/// One timed (or counted) sample. `value` is in the trace's `time_unit` for
+/// timing phases; phases named `*.claims` are partition-claim counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSample {
+    pub phase: String,
+    /// Worker index, or [`RUN_LEVEL`] for a region-level sample.
+    pub thread: i64,
+    /// Iteration index, or [`RUN_LEVEL`] for a whole-run sample
+    /// (e.g. `preprocess`).
+    pub iter: i64,
+    pub value: f64,
+}
+
+/// Per-iteration gauges: the convergence trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationGauge {
+    pub iter: u64,
+    /// L1 rank delta of this iteration (`hipa_core::convergence` semantics);
+    /// `None` when the engine did not track residuals.
+    pub residual: Option<f64>,
+    /// Partitions processed this iteration (`None` for vertex-centric
+    /// engines with no partition structure).
+    pub active_partitions: Option<u64>,
+}
+
+/// Aggregate of all samples of one phase (derived, not serialized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTotal {
+    pub phase: String,
+    pub samples: u64,
+    pub total: f64,
+    pub max: f64,
+}
+
+/// Run metadata handed to [`Recorder::finish`](crate::Recorder::finish).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Engine label as in the paper's tables ("HiPa", "p-PR", ...).
+    pub engine: String,
+    /// `"native"` or `"sim"`.
+    pub path: &'static str,
+    /// Machine preset name (sim paths only).
+    pub machine: Option<String>,
+    pub vertices: u64,
+    pub edges: u64,
+    pub threads: u64,
+    /// Cache-partition count (`None` for vertex-centric engines).
+    pub partitions: Option<u64>,
+    pub iterations_run: u64,
+    pub converged: bool,
+}
+
+/// Execution-path tag for native runs.
+pub const PATH_NATIVE: &str = "native";
+/// Execution-path tag for simulated runs.
+pub const PATH_SIM: &str = "sim";
+
+const SCHEMA: &str = "hipa-obs/v1";
+
+/// Full structured trace of one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    pub meta: TraceMeta,
+    pub spans: Vec<SpanSample>,
+    pub iterations: Vec<IterationGauge>,
+    /// Named event counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunTrace {
+    /// `"ns"` for native traces, `"cycles"` for simulated ones.
+    pub fn time_unit(&self) -> &'static str {
+        if self.meta.path == PATH_SIM {
+            "cycles"
+        } else {
+            "ns"
+        }
+    }
+
+    /// Counter lookup by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Per-iteration residuals in iteration order (the convergence
+    /// trajectory).
+    pub fn residuals(&self) -> Vec<Option<f64>> {
+        self.iterations.iter().map(|g| g.residual).collect()
+    }
+
+    /// Sum of all samples of `phase`.
+    pub fn phase_value(&self, phase: &str) -> Option<f64> {
+        let mut total = 0.0;
+        let mut any = false;
+        for s in &self.spans {
+            if s.phase == phase {
+                total += s.value;
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Aggregates samples per phase, first-seen order. Region-level samples
+    /// are kept separate from per-thread ones (suffix `[region]`) so a
+    /// doubly-recorded phase is not double-counted.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut out: Vec<PhaseTotal> = Vec::new();
+        for s in &self.spans {
+            let key = if s.thread == RUN_LEVEL && s.iter != RUN_LEVEL {
+                format!("{} [region]", s.phase)
+            } else {
+                s.phase.clone()
+            };
+            match out.iter_mut().find(|t| t.phase == key) {
+                Some(t) => {
+                    t.samples += 1;
+                    t.total += s.value;
+                    t.max = t.max.max(s.value);
+                }
+                None => {
+                    out.push(PhaseTotal { phase: key, samples: 1, total: s.value, max: s.value })
+                }
+            }
+        }
+        out
+    }
+
+    // ---- JSON ----
+
+    fn to_value(&self) -> Json {
+        let m = &self.meta;
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("engine".into(), Json::Str(m.engine.clone())),
+            ("path".into(), Json::Str(m.path.into())),
+            ("machine".into(), m.machine.as_ref().map_or(Json::Null, |s| Json::Str(s.clone()))),
+            ("time_unit".into(), Json::Str(self.time_unit().into())),
+            ("vertices".into(), Json::Num(m.vertices as f64)),
+            ("edges".into(), Json::Num(m.edges as f64)),
+            ("threads".into(), Json::Num(m.threads as f64)),
+            ("partitions".into(), m.partitions.map_or(Json::Null, |p| Json::Num(p as f64))),
+            ("iterations_run".into(), Json::Num(m.iterations_run as f64)),
+            ("converged".into(), Json::Bool(m.converged)),
+            (
+                "counters".into(),
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| Json::Arr(vec![Json::Str(n.clone()), Json::Num(*v as f64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "iterations".into(),
+                Json::Arr(
+                    self.iterations
+                        .iter()
+                        .map(|g| {
+                            Json::Obj(vec![
+                                ("iter".into(), Json::Num(g.iter as f64)),
+                                ("residual".into(), g.residual.map_or(Json::Null, Json::Num)),
+                                (
+                                    "active_partitions".into(),
+                                    g.active_partitions.map_or(Json::Null, |p| Json::Num(p as f64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "spans".into(),
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("phase".into(), Json::Str(s.phase.clone())),
+                                ("thread".into(), Json::Num(s.thread as f64)),
+                                ("iter".into(), Json::Num(s.iter as f64)),
+                                ("value".into(), Json::Num(s.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Compact JSON serialisation.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Serialises a set of traces as one JSON array (`compare --trace-out`,
+    /// the `trace` census).
+    pub fn array_to_json(traces: &[RunTrace]) -> String {
+        Json::Arr(traces.iter().map(|t| t.to_value()).collect()).render()
+    }
+
+    fn from_value(v: &Json) -> Result<RunTrace, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
+        let num = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("field '{k}' not a count"));
+        let meta = TraceMeta {
+            engine: field("engine")?.as_str().ok_or("'engine' not a string")?.to_string(),
+            path: match field("path")?.as_str() {
+                Some(p) if p == PATH_SIM => PATH_SIM,
+                Some(p) if p == PATH_NATIVE => PATH_NATIVE,
+                other => return Err(format!("bad 'path': {other:?}")),
+            },
+            machine: field("machine")?.as_str().map(str::to_string),
+            vertices: num("vertices")?,
+            edges: num("edges")?,
+            threads: num("threads")?,
+            partitions: field("partitions")?.as_u64(),
+            iterations_run: num("iterations_run")?,
+            converged: field("converged")?.as_bool().ok_or("'converged' not a bool")?,
+        };
+        let counters = field("counters")?
+            .as_arr()
+            .ok_or("'counters' not an array")?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_arr().filter(|a| a.len() == 2).ok_or("bad counter pair")?;
+                Ok((
+                    items[0].as_str().ok_or("counter name not a string")?.to_string(),
+                    items[1].as_u64().ok_or("counter value not a count")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let iterations = field("iterations")?
+            .as_arr()
+            .ok_or("'iterations' not an array")?
+            .iter()
+            .map(|g| {
+                Ok(IterationGauge {
+                    iter: g.get("iter").and_then(Json::as_u64).ok_or("gauge missing 'iter'")?,
+                    residual: g.get("residual").and_then(Json::as_f64),
+                    active_partitions: g.get("active_partitions").and_then(Json::as_u64),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let spans = field("spans")?
+            .as_arr()
+            .ok_or("'spans' not an array")?
+            .iter()
+            .map(|s| {
+                Ok(SpanSample {
+                    phase: s
+                        .get("phase")
+                        .and_then(Json::as_str)
+                        .ok_or("span missing 'phase'")?
+                        .to_string(),
+                    thread: s.get("thread").and_then(Json::as_i64).ok_or("span 'thread'")?,
+                    iter: s.get("iter").and_then(Json::as_i64).ok_or("span 'iter'")?,
+                    value: s.get("value").and_then(Json::as_f64).ok_or("span 'value'")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunTrace { meta, spans, iterations, counters })
+    }
+
+    /// Parses one trace object.
+    pub fn from_json(s: &str) -> Result<RunTrace, String> {
+        Self::from_value(&Json::parse(s)?)
+    }
+
+    /// Parses a trace document that is either one object or an array of
+    /// objects (the two shapes the CLI writes).
+    pub fn parse_many(s: &str) -> Result<Vec<RunTrace>, String> {
+        let v = Json::parse(s)?;
+        match &v {
+            Json::Arr(items) => items.iter().map(Self::from_value).collect(),
+            _ => Ok(vec![Self::from_value(&v)?]),
+        }
+    }
+
+    // ---- Human rendering ----
+
+    /// Multi-section human-readable rendering (the `--bin trace`
+    /// pretty-printer and the CLI use this).
+    pub fn render(&self) -> String {
+        let m = &self.meta;
+        let mut out = String::new();
+        let machine = m.machine.as_deref().map(|s| format!(" on {s}")).unwrap_or_default();
+        let parts = m.partitions.map(|p| format!(", {p} partitions")).unwrap_or_default();
+        out.push_str(&format!(
+            "[{} / {}{machine}] {} vertices, {} edges, {} threads{parts}\n\
+             iterations: {}{} (unit: {})\n",
+            m.engine,
+            m.path,
+            m.vertices,
+            m.edges,
+            m.threads,
+            m.iterations_run,
+            if m.converged { ", converged" } else { "" },
+            self.time_unit(),
+        ));
+
+        let totals = self.phase_totals();
+        if !totals.is_empty() {
+            let mut t =
+                hipa_report::Table::new("phases", &["phase", "samples", "total", "mean", "max"]);
+            for pt in &totals {
+                let f = |v: f64| self.fmt_value(&pt.phase, v);
+                t.row(vec![
+                    pt.phase.clone(),
+                    pt.samples.to_string(),
+                    f(pt.total),
+                    f(pt.total / pt.samples as f64),
+                    f(pt.max),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+
+        if !self.iterations.is_empty() {
+            let mut t = hipa_report::Table::new(
+                "convergence trajectory",
+                &["iter", "L1 residual", "active parts"],
+            );
+            let n = self.iterations.len();
+            for (i, g) in self.iterations.iter().enumerate() {
+                // Long trajectories: head + tail with an ellipsis row.
+                if n > 40 && i >= 20 && i + 10 < n {
+                    if i == 20 {
+                        t.row(vec!["...".into(), "...".into(), "...".into()]);
+                    }
+                    continue;
+                }
+                t.row(vec![
+                    g.iter.to_string(),
+                    g.residual.map_or("-".into(), |r| format!("{r:.3e}")),
+                    g.active_partitions.map_or("-".into(), |p| p.to_string()),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+
+        if !self.counters.is_empty() {
+            let mut t = hipa_report::Table::new("counters", &["counter", "value"]);
+            for (name, v) in &self.counters {
+                t.row(vec![name.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// Formats a span value: claim phases are integer counts, native phases
+    /// humanised wall time, sim phases cycles.
+    fn fmt_value(&self, phase: &str, v: f64) -> String {
+        if phase.contains(".claims") {
+            format!("{v:.0}")
+        } else if self.time_unit() == "ns" {
+            fmt_ns(v)
+        } else {
+            format!("{v:.3e}")
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                engine: "HiPa".into(),
+                path: PATH_NATIVE,
+                machine: None,
+                vertices: 1024,
+                edges: 8192,
+                threads: 4,
+                partitions: Some(16),
+                iterations_run: 2,
+                converged: true,
+            },
+            spans: vec![
+                SpanSample {
+                    phase: "preprocess".into(),
+                    thread: RUN_LEVEL,
+                    iter: RUN_LEVEL,
+                    value: 1500.0,
+                },
+                SpanSample { phase: "scatter".into(), thread: 0, iter: 0, value: 100.5 },
+                SpanSample { phase: "scatter".into(), thread: 1, iter: 0, value: 200.0 },
+                SpanSample { phase: "gather".into(), thread: 0, iter: 0, value: 50.0 },
+                SpanSample { phase: "scatter".into(), thread: RUN_LEVEL, iter: 1, value: 310.0 },
+            ],
+            iterations: vec![
+                IterationGauge { iter: 0, residual: Some(0.25), active_partitions: Some(16) },
+                IterationGauge { iter: 1, residual: None, active_partitions: None },
+            ],
+            counters: vec![("mem.reads".into(), 12345), ("partition_claims".into(), 64)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let t = sample_trace();
+        let parsed = RunTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let t = sample_trace();
+        let doc = RunTrace::array_to_json(&[t.clone(), t.clone()]);
+        let parsed = RunTrace::parse_many(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], t);
+        // A single object also parses via parse_many.
+        assert_eq!(RunTrace::parse_many(&t.to_json()).unwrap(), vec![t]);
+    }
+
+    #[test]
+    fn phase_totals_aggregate_and_separate_region_samples() {
+        let t = sample_trace();
+        let totals = t.phase_totals();
+        let scatter = totals.iter().find(|p| p.phase == "scatter").unwrap();
+        assert_eq!(scatter.samples, 2);
+        assert!((scatter.total - 300.5).abs() < 1e-12);
+        assert!((scatter.max - 200.0).abs() < 1e-12);
+        let region = totals.iter().find(|p| p.phase == "scatter [region]").unwrap();
+        assert_eq!(region.samples, 1);
+        assert!((region.total - 310.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_and_residual_lookups() {
+        let t = sample_trace();
+        assert_eq!(t.counter("mem.reads"), Some(12345));
+        assert_eq!(t.counter("nope"), None);
+        assert_eq!(t.residuals(), vec![Some(0.25), None]);
+        assert_eq!(t.phase_value("gather"), Some(50.0));
+        assert_eq!(t.phase_value("apply"), None);
+    }
+
+    #[test]
+    fn render_contains_key_sections() {
+        let out = sample_trace().render();
+        assert!(out.contains("HiPa / native"));
+        assert!(out.contains("scatter"));
+        assert!(out.contains("convergence trajectory"));
+        assert!(out.contains("partition_claims"));
+        assert!(out.contains("2.500e-1") || out.contains("2.500e-01"), "{out}");
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(RunTrace::from_json("{}").is_err());
+        assert!(RunTrace::from_json("[1,2]").is_err());
+        let mut t = sample_trace();
+        t.meta.machine = Some("skylake".into());
+        let doc = t.to_json().replace("\"sim\"", "\"warp\"");
+        let _ = doc; // path is "native" here; just check an invalid path string
+        assert!(RunTrace::from_json(&t.to_json().replace("\"native\"", "\"warp\"")).is_err());
+    }
+}

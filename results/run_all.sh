@@ -1,6 +1,6 @@
 #!/bin/bash
 cd /root/repo
-for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence; do
+for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence trace; do
   echo "=== $bin start $(date +%T) ==="
   cargo run --release -q -p hipa-bench --bin $bin > results/$bin.txt 2>results/$bin.err
   echo "=== $bin done $(date +%T) ==="

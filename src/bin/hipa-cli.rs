@@ -33,18 +33,20 @@ const USAGE: &str = "usage:
            [--edge-factor N] [--mean-degree X] [--seed N] -o FILE
   hipa-cli stats <GRAPH> [--partition SIZE]
   hipa-cli pagerank <GRAPH> [--engine NAME] [--threads N] [--iterations N]
-           [--tolerance X] [--partition SIZE] [--top K]
+           [--tolerance X] [--partition SIZE] [--top K] [--trace-out FILE]
   hipa-cli simulate <GRAPH> [--machine skylake|haswell|tiny] [--cache-scale N]
            [--engine NAME] [--threads N] [--iterations N] [--tolerance X]
-           [--partition SIZE]
+           [--partition SIZE] [--trace-out FILE]
   hipa-cli bfs <GRAPH> [--source V]
   hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--tolerance X]
-           [--partition SIZE]
+           [--partition SIZE] [--trace-out FILE]
   hipa-cli convert <IN> -o <OUT>
 
 GRAPH = path (.bin or edge-list text) or dataset:<journal|pld|wiki|kron|twitter|mpi>
 SIZE  = bytes, with optional K/M suffix (e.g. 256K, 1M)
-NAME  = hipa | ppr | vpr | gpop | polymer";
+NAME  = hipa | ppr | vpr | gpop | polymer
+FILE  = --trace-out writes a JSON RunTrace (per-phase timings, residual
+        trajectory, counters); pretty-print it with hipa-bench's trace bin";
 
 type Result<T> = std::result::Result<T, String>;
 
@@ -104,6 +106,18 @@ impl Args {
             }
         }
     }
+}
+
+/// Writes one or more `RunTrace`s as JSON (single object for one trace, an
+/// array otherwise) to `path`.
+fn write_traces(path: &str, traces: &[hipa::obs::RunTrace]) -> Result<()> {
+    let json = match traces {
+        [one] => one.to_json(),
+        many => hipa::obs::RunTrace::array_to_json(many),
+    };
+    std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {} trace(s) to {path}", traces.len());
+    Ok(())
 }
 
 /// Parses a byte size with optional K/M suffix.
@@ -234,7 +248,9 @@ fn pagerank(a: &Args) -> Result<()> {
     if let Some(t) = a.get_tolerance()? {
         cfg = cfg.with_tolerance(t);
     }
-    let run = engine.run_native(&g, &cfg, &NativeOpts::new(threads, part));
+    let trace_out = a.get("trace-out");
+    let opts = NativeOpts::new(threads, part).with_trace(trace_out.is_some());
+    let run = engine.run_native(&g, &cfg, &opts);
     let stop = if run.converged { " (converged)" } else { "" };
     println!(
         "{}: preprocess {:.2?}, compute {:.2?} for {} iterations{stop} x {} edges",
@@ -246,6 +262,9 @@ fn pagerank(a: &Args) -> Result<()> {
     );
     for (v, r) in hipa::top_k(&run.ranks, top) {
         println!("  v{v:<9} {r:.6}");
+    }
+    if let (Some(path), Some(trace)) = (trace_out, &run.trace) {
+        write_traces(path, std::slice::from_ref(trace))?;
     }
     Ok(())
 }
@@ -268,7 +287,11 @@ fn simulate(a: &Args) -> Result<()> {
     if let Some(t) = a.get_tolerance()? {
         cfg = cfg.with_tolerance(t);
     }
-    let opts = SimOpts::new(machine).with_threads(threads).with_partition_bytes(part.max(64));
+    let trace_out = a.get("trace-out");
+    let opts = SimOpts::new(machine)
+        .with_threads(threads)
+        .with_partition_bytes(part.max(64))
+        .with_trace(trace_out.is_some());
     let run = engine.run_sim(&g, &cfg, &opts);
     let stop = if run.converged { ", converged" } else { "" };
     println!("machine:        {}", run.report.machine);
@@ -289,6 +312,9 @@ fn simulate(a: &Args) -> Result<()> {
         "threads:        {} created, {} migrations",
         run.report.threads_created, run.report.migrations
     );
+    if let (Some(path), Some(trace)) = (trace_out, &run.trace) {
+        write_traces(path, std::slice::from_ref(trace))?;
+    }
     Ok(())
 }
 
@@ -305,9 +331,12 @@ fn compare(a: &Args) -> Result<()> {
         "{:<10} {:>12} {:>12} {:>7} {:>14}",
         "engine", "preprocess", "compute", "iters", "max vs HiPa"
     );
+    let trace_out = a.get("trace-out");
+    let mut traces: Vec<hipa::obs::RunTrace> = Vec::new();
     let mut hipa_ranks: Option<Vec<f32>> = None;
     for e in hipa::baselines::all_engines() {
-        let run = e.run_native(&g, &cfg, &NativeOpts::new(threads, part));
+        let opts = NativeOpts::new(threads, part).with_trace(trace_out.is_some());
+        let run = e.run_native(&g, &cfg, &opts);
         let dev = match &hipa_ranks {
             None => {
                 hipa_ranks = Some(run.ranks.clone());
@@ -329,6 +358,10 @@ fn compare(a: &Args) -> Result<()> {
             iters_cell,
             dev
         );
+        traces.extend(run.trace);
+    }
+    if let Some(path) = trace_out {
+        write_traces(path, &traces)?;
     }
     Ok(())
 }

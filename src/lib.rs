@@ -16,7 +16,10 @@
 //!   simulated execution paths;
 //! * [`baselines`] — the four comparators of the evaluation: v-PR, p-PR,
 //!   GPOP-lite, Polymer-lite;
-//! * [`algos`] — the paper's §6 extensions: SpMV, PageRank-Delta, BFS.
+//! * [`algos`] — the paper's §6 extensions: SpMV, PageRank-Delta, BFS;
+//! * [`obs`] — a zero-overhead-when-off metrics and tracing layer whose
+//!   [`obs::RunTrace`] captures per-phase timings, per-iteration residuals
+//!   and simulator counters from every engine on both execution paths.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use hipa_baselines as baselines;
 pub use hipa_core as core;
 pub use hipa_graph as graph;
 pub use hipa_numasim as numasim;
+pub use hipa_obs as obs;
 pub use hipa_partition as partition;
 pub use hipa_report as report;
 

@@ -1,0 +1,147 @@
+//! Cross-crate tests of the observability layer: counter exactness under
+//! concurrency, the zero-overhead-when-off contract, and the native/sim
+//! `RunTrace` agreement for every engine.
+
+use hipa::obs::{Recorder, RunTrace, TraceMeta};
+use hipa::prelude::*;
+use hipa_baselines::all_engines;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn finish_trace(rec: Recorder) -> RunTrace {
+    rec.finish(TraceMeta::default()).expect("enabled recorder must produce a trace")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counter totals are exact whatever the interleaving: `threads` workers
+    /// each add their own list of increments; the counter must end at the
+    /// grand total.
+    #[test]
+    fn counters_exact_under_concurrent_increments(
+        per_thread in prop::collection::vec(prop::collection::vec(0u64..1000, 1..40), 1..8)
+    ) {
+        let rec = Arc::new(Recorder::new(true));
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let mut handles = Vec::new();
+        for incs in per_thread {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                let c = rec.counter("hits");
+                for v in incs {
+                    c.add(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rec = Arc::try_unwrap(rec).expect("all clones joined");
+        let trace = finish_trace(rec);
+        prop_assert_eq!(trace.counter("hits"), Some(expected));
+    }
+}
+
+/// The disabled recorder produces no trace at all, and its handles are
+/// inert: spans, counters and gauges all vanish.
+#[test]
+fn disabled_recorder_emits_nothing() {
+    let rec = Recorder::new(false);
+    assert!(!rec.enabled());
+    let t = rec.start();
+    rec.end(t, "phase", 0, 0);
+    rec.counter("c").incr();
+    rec.gauge(0, Some(1.0), None);
+    let mut spans = rec.thread_spans(0);
+    let t = spans.start();
+    spans.end(t, "phase", 0);
+    spans.flush(&rec);
+    assert!(rec.finish(TraceMeta::default()).is_none());
+}
+
+/// Disabled engines return `trace: None` on both paths; the ranks they
+/// produce are bitwise unaffected by turning tracing on.
+#[test]
+fn tracing_never_perturbs_ranks() {
+    let g = hipa::graph::datasets::small_test_graph(21);
+    for cfg in [
+        PageRankConfig::default().with_iterations(6),
+        PageRankConfig::default().with_iterations(30).with_tolerance(1e-5),
+    ] {
+        for e in all_engines() {
+            let plain = e.run_native(&g, &cfg, &NativeOpts::new(4, 2048));
+            let traced = e.run_native(&g, &cfg, &NativeOpts::new(4, 2048).with_trace(true));
+            assert!(plain.trace.is_none(), "{}: trace off must yield None", e.name());
+            assert_eq!(plain.ranks, traced.ranks, "{} native ranks drifted", e.name());
+
+            let sopts =
+                SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(2048);
+            let plain_s = e.run_sim(&g, &cfg, &sopts);
+            let traced_s = e.run_sim(&g, &cfg, &sopts.clone().with_trace(true));
+            assert!(plain_s.trace.is_none(), "{}: sim trace off must yield None", e.name());
+            assert_eq!(plain_s.ranks, traced_s.ranks, "{} sim ranks drifted", e.name());
+            assert_eq!(
+                plain_s.report.cycles,
+                traced_s.report.cycles,
+                "{}: tracing must not change simulated cycles",
+                e.name()
+            );
+        }
+    }
+}
+
+/// Every engine's native and sim traces agree on the run's shape: same
+/// iteration count, same converged flag, residual recorded every iteration,
+/// and matching residual *values* (both paths execute bit-identical rank
+/// updates, and the trace reduction is deterministic).
+#[test]
+fn native_and_sim_traces_agree() {
+    let g = hipa::graph::datasets::small_test_graph(22);
+    let cfg = PageRankConfig::default().with_iterations(40).with_tolerance(1e-4);
+    for e in all_engines() {
+        let nat = e.run_native(&g, &cfg, &NativeOpts::new(4, 2048).with_trace(true));
+        let sopts = SimOpts::new(MachineSpec::tiny_test())
+            .with_threads(4)
+            .with_partition_bytes(2048)
+            .with_trace(true);
+        let sim = e.run_sim(&g, &cfg, &sopts);
+        let nt = nat.trace.expect("native trace");
+        let st = sim.trace.expect("sim trace");
+        assert_eq!(nt.meta.engine, st.meta.engine);
+        assert_eq!(nt.meta.iterations_run, st.meta.iterations_run, "{}", e.name());
+        assert_eq!(nt.meta.converged, st.meta.converged, "{}", e.name());
+        assert!(nt.meta.converged, "{} should converge at 1e-4 within 40 iters", e.name());
+        assert_eq!(nt.iterations.len() as u64, nt.meta.iterations_run);
+        assert_eq!(st.iterations.len() as u64, st.meta.iterations_run);
+        assert_eq!(nt.time_unit(), "ns");
+        assert_eq!(st.time_unit(), "cycles");
+        for (a, b) in nt.iterations.iter().zip(&st.iterations) {
+            assert_eq!(a.iter, b.iter);
+            let (ra, rb) =
+                (a.residual.expect("native residual"), b.residual.expect("sim residual"));
+            assert_eq!(ra, rb, "{} residual diverged at iter {}", e.name(), a.iter);
+        }
+    }
+}
+
+/// Engine traces survive the JSON round trip, one object or as an array.
+#[test]
+fn engine_traces_round_trip_json() {
+    let g = hipa::graph::datasets::small_test_graph(23);
+    let cfg = PageRankConfig::default().with_iterations(5).with_tolerance(1e-6);
+    let mut traces = Vec::new();
+    for e in all_engines() {
+        let sopts = SimOpts::new(MachineSpec::tiny_test()).with_threads(2).with_trace(true);
+        let run = e.run_sim(&g, &cfg, &sopts);
+        traces.push(run.trace.expect("sim trace"));
+    }
+    for t in &traces {
+        let back = RunTrace::from_json(&t.to_json()).expect("round trip");
+        assert_eq!(t, &back);
+        assert!(!t.render().is_empty());
+    }
+    let arr = RunTrace::array_to_json(&traces);
+    let back = RunTrace::parse_many(&arr).expect("array round trip");
+    assert_eq!(traces, back);
+}
