@@ -6,6 +6,7 @@
 //! scatter/gather machinery (compressed inter-edges, cache-sized partitions,
 //! disjoint per-thread ownership), demonstrating that the hierarchical
 //! partitioning generalises exactly as the paper claims.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bfs;
 pub mod cc;

@@ -6,6 +6,11 @@
 //! without damping — computed either directly from the in-CSR (reference)
 //! or with the partition-centric compressed scatter/gather layout plus
 //! per-thread partition ownership (HiPa methodology).
+//!
+//! disjointness: HiPa plan (`hipa_plan`) — each worker writes the PNG
+//! message slots sourced from its own partitions (scatter) and the `y`
+//! entries of its own partitions (gather); the phases are barrier-separated
+//! and each element keeps a single writer thread across both.
 
 use hipa_core::disjoint::SharedSlice;
 use hipa_core::PcpmLayout;

@@ -1,0 +1,12 @@
+// Fixture: rule 4 violations — an unannotated Relaxed, an unregistered
+// Acquire, and a SeqCst. (Never compiled; scanned by tests/fixtures.rs
+// only.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn main() {
+    let c = AtomicUsize::new(0);
+    c.fetch_add(1, Ordering::Relaxed);
+    let _ = c.load(Ordering::Acquire);
+    let _ = c.load(Ordering::SeqCst);
+}

@@ -1,0 +1,18 @@
+//! disjointness: fixture plan — one thread owns the whole index range, so
+//! every write index is trivially disjoint.
+//!
+//! Positive control: satisfies all four lint rules.
+//! (Never compiled; scanned by tests/fixtures.rs only.)
+
+use hipa_core::disjoint::SharedSlice;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn main() {
+    let mut v = vec![0u32; 8];
+    let s = SharedSlice::new(&mut v);
+    // SAFETY: single-threaded — no concurrent access to any element.
+    unsafe { s.write(0, 1) };
+    let c = AtomicUsize::new(0);
+    // ordering: relaxed (statistics counter; no payload is published).
+    c.fetch_add(1, Ordering::Relaxed);
+}

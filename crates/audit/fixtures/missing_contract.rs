@@ -1,0 +1,12 @@
+// Fixture: rule 3 violation — uses SharedSlice with no contract header
+// naming the partition plan. Rule 1 is satisfied so only rule 3 fires.
+// (Never compiled; scanned by tests/fixtures.rs only.)
+
+use hipa_core::disjoint::SharedSlice;
+
+fn main() {
+    let mut v = vec![0u32; 8];
+    let s = SharedSlice::new(&mut v);
+    // SAFETY: single-threaded (fixture).
+    unsafe { s.write(0, 1) };
+}

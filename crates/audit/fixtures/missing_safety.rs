@@ -1,0 +1,9 @@
+// Fixture: rule 1 violation — an `unsafe` block with no SAFETY: comment.
+// (Never compiled; scanned by tests/fixtures.rs only.)
+
+fn main() {
+    let mut v = vec![0u8; 4];
+    let p = v.as_mut_ptr();
+    unsafe { *p = 1 };
+    let _ = v;
+}

@@ -1,0 +1,16 @@
+// Fixture: rule 2 violations — raw-pointer cast, transmute, and UnsafeCell
+// outside the audited aliasing modules. Rule 1 is satisfied so only rule 2
+// fires. (Never compiled; scanned by tests/fixtures.rs only.)
+
+use std::cell::UnsafeCell;
+
+struct Cell(UnsafeCell<u32>);
+
+fn main() {
+    let mut x = 7u32;
+    let p = &mut x as *mut u32;
+    // SAFETY: p is a valid unique pointer (fixture).
+    unsafe { *p = 8 };
+    // SAFETY: u32 and i32 have identical layout (fixture).
+    let _y: i32 = unsafe { std::mem::transmute(x) };
+}

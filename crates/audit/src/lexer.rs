@@ -1,0 +1,339 @@
+//! A minimal hand-rolled Rust lexer — just enough structure for the audit's
+//! lint rules, with no dependency on `syn` or the registry.
+//!
+//! The scanner separates *code tokens* (identifiers, numbers, punctuation)
+//! from *comment text* and *string/char literal contents*, so rules never
+//! fire on the word `unsafe` inside a doc comment or a test string. It also
+//! records, per source line, whether the line carries any code, whether that
+//! code is an attribute (`#[...]` / `#![...]`), and the concatenated comment
+//! text — which is what the "SAFETY: comment immediately above" and
+//! "ordering: annotation" checks walk over.
+
+/// One code token: an identifier/number, or a single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub text: String,
+    /// 1-indexed source line the token starts on.
+    pub line: usize,
+}
+
+/// Per-line classification (1-indexed; index 0 is a dummy).
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// The line carries at least one code character (token or literal).
+    pub has_code: bool,
+    /// The first code character on the line starts an attribute (`#`).
+    pub is_attr: bool,
+    /// Concatenated text of all comments touching this line.
+    pub comment: String,
+}
+
+/// A lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub lines: Vec<LineInfo>,
+}
+
+impl Lexed {
+    pub fn line(&self, l: usize) -> &LineInfo {
+        &self.lines[l]
+    }
+
+    pub fn num_lines(&self) -> usize {
+        self.lines.len().saturating_sub(1)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        let n_lines = src.lines().count() + 2;
+        Scanner {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Lexed { tokens: Vec::new(), lines: vec![LineInfo::default(); n_lines] },
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn mark_code(&mut self, first_char: u8) {
+        let l = self.line;
+        if !self.out.lines[l].has_code {
+            self.out.lines[l].is_attr = first_char == b'#';
+            self.out.lines[l].has_code = true;
+        }
+    }
+
+    fn push_comment_char(&mut self, c: u8) {
+        if c != b'\n' {
+            let l = self.line;
+            self.out.lines[l].comment.push(c as char);
+        }
+    }
+
+    fn line_comment(&mut self) {
+        // Both slashes already consumed.
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            let c = self.bump();
+            self.push_comment_char(c);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // The opening `/*` is already consumed; block comments nest.
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else {
+                let c = self.bump();
+                self.push_comment_char(c);
+            }
+        }
+    }
+
+    /// Consumes a (possibly raw, possibly byte) string literal. `hashes` is
+    /// the number of `#`s in a raw string's delimiter, 0 for plain strings.
+    fn string_literal(&mut self, raw: bool, hashes: usize) {
+        loop {
+            if self.pos >= self.src.len() {
+                return;
+            }
+            let c = self.peek(0);
+            if !raw && c == b'\\' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if c == b'"' {
+                self.bump();
+                if !raw {
+                    return;
+                }
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+                continue;
+            }
+            let c = self.bump();
+            if c == b'\n' {
+                // Continuation lines of a multi-line literal count as code
+                // so the SAFETY-walk stops at them.
+                let l = self.line;
+                self.out.lines[l].has_code = true;
+            }
+        }
+    }
+
+    /// Consumes a `'` that may start a char literal or a lifetime.
+    fn quote(&mut self) {
+        // Lifetime: 'ident not closed by another quote.
+        if self.peek(0).is_ascii_alphabetic() || self.peek(0) == b'_' {
+            let mut ahead = 1;
+            while self.peek(ahead).is_ascii_alphanumeric() || self.peek(ahead) == b'_' {
+                ahead += 1;
+            }
+            if self.peek(ahead) != b'\'' {
+                // A lifetime: consume the identifier, emit nothing.
+                for _ in 0..ahead {
+                    self.bump();
+                }
+                return;
+            }
+        }
+        // Char literal: consume until the closing quote, honouring escapes.
+        loop {
+            if self.pos >= self.src.len() {
+                return;
+            }
+            let c = self.bump();
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => {
+                    self.bump();
+                    self.bump();
+                    self.line_comment();
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    self.block_comment();
+                }
+                b'"' => {
+                    self.mark_code(c);
+                    self.bump();
+                    self.string_literal(false, 0);
+                }
+                b'\'' => {
+                    self.mark_code(c);
+                    self.bump();
+                    self.quote();
+                }
+                b'r' | b'b' if self.is_raw_or_byte_literal() => {
+                    self.mark_code(c);
+                    self.consume_literal_prefix();
+                }
+                _ if c.is_ascii_alphabetic() || c == b'_' => {
+                    self.mark_code(c);
+                    let line = self.line;
+                    let mut text = String::new();
+                    while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                        text.push(self.bump() as char);
+                    }
+                    self.out.tokens.push(Token { text, line });
+                }
+                _ if c.is_ascii_digit() => {
+                    self.mark_code(c);
+                    let line = self.line;
+                    let mut text = String::new();
+                    while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                        text.push(self.bump() as char);
+                    }
+                    self.out.tokens.push(Token { text, line });
+                }
+                _ => {
+                    self.mark_code(c);
+                    let line = self.line;
+                    self.bump();
+                    self.out.tokens.push(Token { text: (c as char).to_string(), line });
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`
+    /// — i.e. a literal prefix rather than an identifier starting with r/b.
+    fn is_raw_or_byte_literal(&self) -> bool {
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (b'r', b'"' | b'#', _) | (b'b', b'"' | b'\'', _) | (b'b', b'r', b'"' | b'#')
+        )
+    }
+
+    fn consume_literal_prefix(&mut self) {
+        let mut raw = false;
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        if self.peek(0) == b'r' {
+            raw = true;
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        match self.peek(0) {
+            b'"' => {
+                self.bump();
+                self.string_literal(raw, hashes);
+            }
+            b'\'' => {
+                self.bump();
+                self.quote();
+            }
+            _ => {} // `r#ident` raw identifier: fall through, idents follow.
+        }
+    }
+}
+
+/// Lexes a source file.
+pub fn lex(src: &str) -> Lexed {
+    Scanner::new(src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lx = lex("// unsafe transmute\nlet x = 1; /* unsafe */\n");
+        assert!(lx.tokens.iter().all(|t| t.text != "unsafe" && t.text != "transmute"));
+        assert!(lx.line(1).comment.contains("unsafe"));
+        assert!(!lx.line(1).has_code);
+        assert!(lx.line(2).has_code);
+        assert!(lx.line(2).comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn strings_and_chars_are_not_tokens() {
+        let lx = lex("let s = \"unsafe { transmute }\"; let c = 'u'; let r = r#\"unsafe\"#;");
+        assert!(lx.tokens.iter().all(|t| t.text != "unsafe" && t.text != "transmute"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let lx = lex("fn f<'a>(x: &'a str) { unsafe { g(x) } }");
+        assert!(lx.tokens.iter().any(|t| t.text == "unsafe"));
+    }
+
+    #[test]
+    fn attributes_are_flagged() {
+        let lx = lex("#[inline]\nfn f() {}\n");
+        assert!(lx.line(1).is_attr);
+        assert!(!lx.line(2).is_attr);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* unsafe */ b */ fn f() {}");
+        assert!(lx.tokens.iter().all(|t| t.text != "unsafe"));
+        assert!(lx.tokens.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn token_lines_are_accurate() {
+        let lx = lex("fn f() {\n    unsafe { x() }\n}\n");
+        let t = lx.tokens.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(t.line, 2);
+    }
+}

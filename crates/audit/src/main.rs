@@ -1,0 +1,73 @@
+//! CLI for the workspace soundness audit.
+//!
+//! ```text
+//! hipa-audit [--root PATH] [--summary-only]
+//! ```
+//!
+//! Exit status: 0 when the tree is clean, 1 when any lint fires, 2 on usage
+//! or I/O errors. See DESIGN.md §10 for the rules and allowlists.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut summary_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary-only" => summary_only = true,
+            "--help" | "-h" => {
+                println!("usage: hipa-audit [--root PATH] [--summary-only]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        hipa_audit::find_workspace_root(&cwd)
+            .or_else(|| hipa_audit::find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))))
+    });
+    let Some(root) = root else {
+        eprintln!("hipa-audit: could not locate a workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let report = match hipa_audit::audit_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hipa-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !summary_only {
+        print!("{}", report.render_findings());
+    }
+    println!(
+        "hipa-audit: {} file(s) scanned under {}, {} finding(s)",
+        report.files_scanned,
+        root.display(),
+        report.findings.len()
+    );
+    println!();
+    print!("{}", report.render_summary());
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,321 @@
+//! The four project lint rules over a lexed source file.
+//!
+//! All rules are *syntactic*: they see code tokens and comment text, not
+//! types. That keeps the pass dependency-free and fast, at the cost of two
+//! documented approximations: rule 3 keys on the `SharedSlice` identifier
+//! appearing in a file (not on resolved method receivers), and rule 4 keys
+//! on `Ordering::<variant>` token paths (the atomic variant names do not
+//! collide with `std::cmp::Ordering`'s).
+
+use crate::lexer::Lexed;
+
+/// A single audit violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+pub const RULE_UNSAFE_SAFETY: &str = "unsafe-needs-safety-comment";
+pub const RULE_RAW_PTR: &str = "raw-pointer-confinement";
+pub const RULE_DISJOINTNESS: &str = "shared-slice-needs-contract-header";
+pub const RULE_ORDERING: &str = "atomic-ordering-discipline";
+
+/// Modules allowed to contain raw-pointer casts, `transmute`, or
+/// `UnsafeCell`: the one audited aliasing primitive, plus the vendored
+/// shims (third-party stand-ins, reviewed as a unit).
+pub const RAW_PTR_ALLOWLIST: &[&str] = &["crates/core/src/disjoint.rs", "crates/shims/"];
+
+/// Files exempt from the `//! disjointness:` header requirement: the module
+/// that *defines* `SharedSlice` (its contract is the module itself).
+pub const DISJOINTNESS_EXEMPT: &[&str] = &["crates/core/src/disjoint.rs"];
+
+/// Registered Acquire/Release/AcqRel sites, as (path suffix, justification)
+/// pairs. Currently empty: the codebase synchronises with barriers and
+/// scoped joins, so no hand-rolled acquire/release pairing exists. Register
+/// new pairs here — both sides — when one is introduced.
+pub const PAIRED_ORDERING_ALLOWLIST: &[(&str, &str)] = &[];
+
+/// The atomic memory-ordering variant names (disjoint from
+/// `std::cmp::Ordering`'s `Less`/`Equal`/`Greater`).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Matches a workspace-relative path against an allowlist pattern: a
+/// trailing `/` means "anything under this directory", otherwise the
+/// pattern must name the file exactly.
+fn path_matches(path: &str, pat: &str) -> bool {
+    if pat.ends_with('/') {
+        path.starts_with(pat)
+    } else {
+        path == pat
+    }
+}
+
+fn allowlisted(path: &str, list: &[&str]) -> bool {
+    list.iter().any(|pat| path_matches(path, pat))
+}
+
+/// True when `line` carries one of `markers` in a comment on the same line,
+/// or in the contiguous run of comment / blank / attribute lines
+/// immediately above it.
+fn annotated(lx: &Lexed, line: usize, markers: &[&str]) -> bool {
+    let hit = |text: &str| markers.iter().any(|m| text.contains(m));
+    if hit(&lx.line(line).comment) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let li = lx.line(l);
+        if hit(&li.comment) {
+            return true;
+        }
+        if li.has_code && !li.is_attr {
+            return false;
+        }
+    }
+    false
+}
+
+/// Rule 1: every `unsafe` token (block, fn, impl, trait) must carry a
+/// `SAFETY:` comment — same line or immediately above — or, for declared
+/// `unsafe fn`s, a `# Safety` doc section.
+pub fn check_unsafe_safety(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut last_line = 0usize;
+    for t in &lx.tokens {
+        if t.text != "unsafe" || t.line == last_line {
+            continue;
+        }
+        last_line = t.line;
+        if !annotated(lx, t.line, &["SAFETY:", "# Safety"]) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: RULE_UNSAFE_SAFETY,
+                msg: "`unsafe` without a `SAFETY:` comment immediately above (or a \
+                      `# Safety` doc section for declarations)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 2: raw-pointer casts (`as *const` / `as *mut`), `transmute`, and
+/// `UnsafeCell` are confined to the allowlisted audited modules.
+pub fn check_raw_ptr_confinement(path: &str, lx: &Lexed) -> Vec<Finding> {
+    if allowlisted(path, RAW_PTR_ALLOWLIST) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let what = match t.text.as_str() {
+            "transmute" => Some("`transmute`"),
+            "UnsafeCell" => Some("`UnsafeCell`"),
+            "as" => {
+                let is_cast = toks.get(i + 1).is_some_and(|n| n.text == "*")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "const" || n.text == "mut");
+                if is_cast {
+                    Some("raw-pointer cast")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: RULE_RAW_PTR,
+                msg: format!(
+                    "{what} outside the audited aliasing modules \
+                     (allowlist: {RAW_PTR_ALLOWLIST:?})"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 3: a file that touches `SharedSlice` must carry a module-level
+/// `//! disjointness:` contract header naming the partition plan that makes
+/// its write indices disjoint.
+pub fn check_disjointness_header(path: &str, lx: &Lexed) -> Vec<Finding> {
+    if allowlisted(path, DISJOINTNESS_EXEMPT) {
+        return Vec::new();
+    }
+    let Some(first) = lx.tokens.iter().find(|t| t.text == "SharedSlice") else {
+        return Vec::new();
+    };
+    let has_header = (1..=lx.num_lines()).any(|l| {
+        let c = &lx.line(l).comment;
+        c.split("disjointness:").nth(1).is_some_and(|rest| !rest.trim().is_empty())
+    });
+    if has_header {
+        return Vec::new();
+    }
+    vec![Finding {
+        file: path.to_string(),
+        line: first.line,
+        rule: RULE_DISJOINTNESS,
+        msg: "file uses `SharedSlice` but has no `//! disjointness:` contract header \
+              naming the partition plan that keeps its writes disjoint"
+            .to_string(),
+    }]
+}
+
+/// Rule 4: atomic `Ordering` discipline. `Relaxed` sites must carry an
+/// `ordering:` annotation comment (the project reserves them for
+/// work-claim/statistics counters); `Acquire`/`Release`/`AcqRel` must be
+/// registered in [`PAIRED_ORDERING_ALLOWLIST`]; `SeqCst` is always flagged.
+pub fn check_ordering_discipline(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if toks[i].text != "Ordering" {
+            continue;
+        }
+        let is_path = toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":");
+        let Some(variant) = toks.get(i + 3) else { continue };
+        if !is_path || !ATOMIC_ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        let line = variant.line;
+        match variant.text.as_str() {
+            "SeqCst" => out.push(Finding {
+                file: path.to_string(),
+                line,
+                rule: RULE_ORDERING,
+                msg: "`SeqCst` is flagged: no engine invariant needs sequential \
+                      consistency — use `Relaxed` with an `ordering:` annotation, or a \
+                      registered Acquire/Release pair"
+                    .to_string(),
+            }),
+            "Acquire" | "Release" | "AcqRel" => {
+                let registered =
+                    PAIRED_ORDERING_ALLOWLIST.iter().any(|(pat, _)| path_matches(path, pat));
+                if !registered {
+                    out.push(Finding {
+                        file: path.to_string(),
+                        line,
+                        rule: RULE_ORDERING,
+                        msg: format!(
+                            "`{}` outside the registered acquire/release pairs — add the \
+                             site (both sides of the pair) to PAIRED_ORDERING_ALLOWLIST",
+                            variant.text
+                        ),
+                    });
+                }
+            }
+            _ => {
+                // Relaxed
+                if !annotated(lx, line, &["ordering:"]) {
+                    out.push(Finding {
+                        file: path.to_string(),
+                        line,
+                        rule: RULE_ORDERING,
+                        msg: "`Relaxed` without an `ordering:` annotation comment stating \
+                              why no payload ordering is required"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs all four rules over one file.
+pub fn check_file(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = check_unsafe_safety(path, lx);
+    out.extend(check_raw_ptr_confinement(path, lx));
+    out.extend(check_disjointness_header(path, lx));
+    out.extend(check_ordering_discipline(path, lx));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn unsafe_with_safety_above_passes() {
+        let lx = lex("fn f() {\n    // SAFETY: disjoint per thread.\n    unsafe { g() }\n}\n");
+        assert!(check_unsafe_safety("x.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn unsafe_with_attr_between_passes() {
+        let lx = lex("// SAFETY: fine.\n#[inline]\nunsafe fn g() {}\n");
+        assert!(check_unsafe_safety("x.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_passes() {
+        let lx =
+            lex("/// Does a thing.\n///\n/// # Safety\n/// Caller upholds X.\nunsafe fn g() {}\n");
+        assert!(check_unsafe_safety("x.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn bare_unsafe_fails() {
+        let lx = lex("fn f() {\n    let y = 1;\n    unsafe { g() }\n}\n");
+        let f = check_unsafe_safety("x.rs", &lx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn relaxed_needs_annotation() {
+        let src = "fn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert_eq!(check_ordering_discipline("x.rs", &lex(src)).len(), 1);
+        let ok = "fn f(c: &AtomicUsize) {\n    // ordering: relaxed (claim counter)\n    \
+                  c.fetch_add(1, Ordering::Relaxed);\n}";
+        assert!(check_ordering_discipline("x.rs", &lex(ok)).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let lx = lex("fn f(a: u32, b: u32) -> std::cmp::Ordering { std::cmp::Ordering::Less }");
+        assert!(check_ordering_discipline("x.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn seqcst_always_flagged() {
+        let lx = lex("fn f(c: &AtomicUsize) { c.load(Ordering::SeqCst); }");
+        assert_eq!(check_ordering_discipline("x.rs", &lx).len(), 1);
+    }
+
+    #[test]
+    fn raw_ptr_confined() {
+        let src = "fn f(x: &mut [u8]) { let _p = x as *mut [u8]; }";
+        assert_eq!(check_raw_ptr_confinement("crates/graph/src/csr.rs", &lex(src)).len(), 1);
+        assert!(check_raw_ptr_confinement("crates/core/src/disjoint.rs", &lex(src)).is_empty());
+        assert!(check_raw_ptr_confinement("crates/shims/rayon/src/lib.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn multiplication_after_as_is_not_a_cast() {
+        let lx = lex("fn f(x: usize, y: usize) -> usize { (x as usize) * y }");
+        assert!(check_raw_ptr_confinement("crates/graph/src/csr.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn shared_slice_needs_header() {
+        let bad = "use hipa_core::disjoint::SharedSlice;\nfn f() {}\n";
+        assert_eq!(check_disjointness_header("x.rs", &lex(bad)).len(), 1);
+        let good = "//! disjointness: fixed per-thread vertex ranges.\n\
+                    use hipa_core::disjoint::SharedSlice;\nfn f() {}\n";
+        assert!(check_disjointness_header("x.rs", &lex(good)).is_empty());
+        // An empty header does not count.
+        let empty = "//! disjointness:\nuse hipa_core::disjoint::SharedSlice;\n";
+        assert_eq!(check_disjointness_header("x.rs", &lex(empty)).len(), 1);
+    }
+}

@@ -24,6 +24,7 @@
 //! All five engines (these four plus [`hipa_core::HiPa`]) compute the same
 //! ranks up to f32 rounding order, and each engine's native and simulated
 //! paths are bit-identical.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod common;
 pub mod gpop;

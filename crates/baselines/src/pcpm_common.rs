@@ -16,6 +16,13 @@
 //! GPOP-lite differs from p-PR by `include_intra_in_bins` (the framework
 //! bins every edge, with no direct intra-edge application) and by touching
 //! per-partition framework metadata (Flags/State) in every phase.
+//!
+//! disjointness: FCFS claim plan — `counter.fetch_add` hands each partition
+//! index to exactly one thread per region, so acc/rank/vals/delta writes
+//! (indexed by claimed partition) and the per-thread `partials[j]` slot are
+//! disjoint. Slices are recreated per scatter/gather region, so each slice
+//! lifetime sees one writer per element even though claims differ between
+//! regions.
 
 use crate::common::{base_value, dangling_mass, inv_deg_array_par};
 use hipa_core::convergence;
@@ -129,6 +136,10 @@ pub fn run_native(
                         let span_t = spans.start();
                         let mut claims = 0u64;
                         loop {
+                            // ordering: relaxed (work-stealing claim counter —
+                            // uniqueness of the claimed index is all that
+                            // matters; data visibility comes from the region's
+                            // thread join).
                             let p = counter.fetch_add(1, Ordering::Relaxed);
                             if p >= parts {
                                 break;
@@ -191,6 +202,8 @@ pub fn run_native(
                         let mut claims = 0u64;
                         let mut dpart = 0.0f64;
                         loop {
+                            // ordering: relaxed (work-stealing claim counter —
+                            // same discipline as the scatter region above).
                             let q = counter.fetch_add(1, Ordering::Relaxed);
                             if q >= parts {
                                 break;
@@ -215,6 +228,8 @@ pub fn run_native(
                                     let old = unsafe { rank_s.get(v) };
                                     delta += convergence::l1_term(new, old);
                                 }
+                                // SAFETY: v is inside the exclusively claimed
+                                // partition q.
                                 unsafe {
                                     rank_s.write(v, new);
                                     acc_s.write(v, 0.0);

@@ -13,6 +13,11 @@
 //! Threads are bound to their node per parallel region (Algorithm 1 with
 //! `BindNode` — the migration-heavy pattern §3.3 analyses), three regions
 //! per iteration: contribute, replicate, pull.
+//!
+//! disjointness: edge-balanced decomposition (`edge_balanced_with_prefix`) —
+//! each pull-region thread writes rank only inside its own `pull` vertex
+//! range plus its own slot `j` of the partial arrays; slices are recreated
+//! per region, so each slice lifetime has one writer per element.
 
 use crate::common::{base_value, dangling_mass, inv_deg_array};
 use hipa_core::convergence;
@@ -221,9 +226,12 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 dpart += new as f64;
                             }
                         }
-                        // SAFETY: slots j are this thread's own.
-                        unsafe { partials_s.write(j, dpart) };
-                        unsafe { deltas_s.write(j, delta) };
+                        // SAFETY: slot j of both partial arrays is this
+                        // thread's own.
+                        unsafe {
+                            partials_s.write(j, dpart);
+                            deltas_s.write(j, delta);
+                        }
                         spans.end(span_t, "pull", it);
                         spans.flush(rec);
                     });

@@ -10,6 +10,10 @@
 //! threads recreated every region (Algorithm 1). The native path uses a
 //! rayon scoped pool — the idiomatic Rust data-parallel runtime — with one
 //! pre-computed edge-balanced range per worker.
+//!
+//! disjointness: edge-balanced plan (`edge_balanced`) — each worker writes
+//! `next` only inside its own vertex range plus its own slot `j` of the
+//! partial arrays; slices are recreated per iteration region.
 
 use crate::common::{base_value, dangling_mass};
 use hipa_core::convergence;
@@ -133,9 +137,12 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                                 dpart += new as f64;
                             }
                         }
-                        // SAFETY: slots j are this thread's own.
-                        unsafe { partials_s.write(j, dpart) };
-                        unsafe { deltas_s.write(j, delta) };
+                        // SAFETY: slot j of both partial arrays is this
+                        // thread's own.
+                        unsafe {
+                            partials_s.write(j, dpart);
+                            deltas_s.write(j, delta);
+                        }
                         spans.end(span_t, "pull", it);
                         spans.flush(rec);
                     });

@@ -8,6 +8,7 @@
 //! cache-capacity effects keep their shape. Partition sizes are always
 //! *quoted in paper units* (e.g. "256KB") and divided by [`SCALE`] before
 //! they reach an engine.
+#![forbid(unsafe_code)]
 
 use hipa_core::{Engine, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::{datasets::Dataset, DiGraph};

@@ -8,14 +8,87 @@
 //! contract themselves — the same pattern the paper's C++ uses implicitly,
 //! here confined to one audited module.
 //!
-//! Debug builds additionally verify bounds on every access.
+//! # Enforcement
+//!
+//! The contract is enforced on two fronts (DESIGN.md §10):
+//!
+//! * **statically** by `hipa-audit`: every file touching `SharedSlice` must
+//!   carry a `//! disjointness:` header naming the partition plan that keeps
+//!   its indices disjoint, and every `unsafe` site a `SAFETY:` comment;
+//! * **dynamically** by the `check-disjoint` cargo feature: every element
+//!   records its first writer thread for the lifetime of the wrapper, and an
+//!   overlapping write panics with both thread tags and the index — a
+//!   mini-ThreadSanitizer scoped to the structural contract. In all engines
+//!   the writer of an element is *static per slice lifetime* (ownership
+//!   never migrates between barriers; slices are recreated when a region's
+//!   ownership map changes), so lifetime-scoped tags are strictly stronger
+//!   than between-barrier tags and need no barrier hooks. An engine that
+//!   wants to migrate ownership across a phase boundary must recreate its
+//!   `SharedSlice` at that boundary.
+//!
+//! Debug builds additionally verify bounds on every access. With
+//! `check-disjoint` off, the tag machinery does not exist: accesses compile
+//! to a single raw-pointer read/write, and ranks are bitwise identical
+//! either way (the tags never feed the arithmetic).
 
 use std::cell::UnsafeCell;
+
+#[cfg(feature = "check-disjoint")]
+mod tags {
+    //! Writer-tag table backing the `check-disjoint` race checker.
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Monotonic source of per-thread tags; 0 is reserved for "no writer".
+    static NEXT_TAG: AtomicU32 = AtomicU32::new(1);
+
+    thread_local! {
+        /// This thread's tag, assigned on first `SharedSlice` write.
+        static MY_TAG: u32 = {
+            // ordering: relaxed (unique-id counter — only atomicity matters).
+            NEXT_TAG.fetch_add(1, Ordering::Relaxed)
+        };
+    }
+
+    /// One writer tag per element, 0 = not yet written this slice lifetime.
+    pub(super) struct WriterTags {
+        slots: Vec<AtomicU32>,
+    }
+
+    impl WriterTags {
+        pub(super) fn new(len: usize) -> Self {
+            WriterTags { slots: (0..len).map(|_| AtomicU32::new(0)).collect() }
+        }
+
+        /// Records this thread as writer of element `i`; panics if another
+        /// thread already wrote it during this slice lifetime.
+        #[inline]
+        pub(super) fn check_write(&self, i: usize) {
+            let me = MY_TAG.with(|t| *t);
+            // ordering: relaxed (tag table is detection-only state — the
+            // CAS's atomicity guarantees at least one conflicting thread
+            // observes the other's tag; no payload is published through it).
+            match self.slots[i].compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {}
+                Err(prev) if prev == me => {}
+                Err(prev) => panic!(
+                    "check-disjoint: overlapping SharedSlice write at index {i}: thread \
+                     tag {me} ({:?}) wrote an element first written by thread tag {prev} \
+                     within the same slice lifetime — the disjoint-write contract \
+                     (crates/core/src/disjoint.rs) is violated",
+                    std::thread::current().id()
+                ),
+            }
+        }
+    }
+}
 
 /// A slice whose elements may be written concurrently by multiple threads,
 /// provided no element is accessed by two threads without synchronisation.
 pub struct SharedSlice<'a, T> {
     data: &'a [UnsafeCell<T>],
+    #[cfg(feature = "check-disjoint")]
+    tags: tags::WriterTags,
 }
 
 // SAFETY: `SharedSlice` only adds the *capability* for shared mutation; the
@@ -24,16 +97,24 @@ pub struct SharedSlice<'a, T> {
 // upheld by the engines: every write index is derived from the writing
 // thread's own partition plan.
 unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+// SAFETY: same argument as `Sync` above — moving the wrapper to another
+// thread moves only the capability, not any element access.
 unsafe impl<T: Send + Sync> Send for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
     /// Wraps a uniquely borrowed slice.
     pub fn new(slice: &'a mut [T]) -> Self {
+        #[cfg(feature = "check-disjoint")]
+        let tags = tags::WriterTags::new(slice.len());
         // SAFETY: `&mut [T]` guarantees unique access; `UnsafeCell<T>` has
         // the same layout as `T`, so the cast is valid. All further aliasing
         // goes through raw-pointer reads/writes below.
         let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
-        SharedSlice { data }
+        SharedSlice {
+            data,
+            #[cfg(feature = "check-disjoint")]
+            tags,
+        }
     }
 
     #[inline]
@@ -54,19 +135,28 @@ impl<'a, T> SharedSlice<'a, T> {
     #[inline]
     pub unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.data.len());
+        #[cfg(feature = "check-disjoint")]
+        self.tags.check_write(i);
+        // SAFETY: caller upholds exclusive access to element `i`; the index
+        // is bounds-checked above in debug builds.
         unsafe { *self.data[i].get() = value };
     }
 
     /// Reads element `i`.
     ///
     /// # Safety
-    /// No other thread may write element `i` concurrently.
+    /// No other thread may write element `i` concurrently. (`check-disjoint`
+    /// validates writes only: a racing read against a same-phase foreign
+    /// write is caught on the *write* side when the reader later writes, but
+    /// a pure read-write race across threads is outside the tag table's
+    /// scope — the engines' plans never read foreign elements mid-phase.)
     #[inline]
     pub unsafe fn get(&self, i: usize) -> T
     where
         T: Copy,
     {
         debug_assert!(i < self.data.len());
+        // SAFETY: caller guarantees no concurrent writer for element `i`.
         unsafe { *self.data[i].get() }
     }
 
@@ -77,6 +167,10 @@ impl<'a, T> SharedSlice<'a, T> {
     #[inline]
     pub unsafe fn update(&self, i: usize, f: impl FnOnce(&mut T)) {
         debug_assert!(i < self.data.len());
+        #[cfg(feature = "check-disjoint")]
+        self.tags.check_write(i);
+        // SAFETY: caller upholds exclusive access to element `i` for the
+        // duration of `f`.
         unsafe { f(&mut *self.data[i].get()) };
     }
 }
@@ -91,9 +185,12 @@ mod tests {
         {
             let s = SharedSlice::new(&mut v);
             for i in 0..8 {
+                // SAFETY: single-threaded — no concurrent access.
                 unsafe { s.write(i, i as u32 * 2) };
             }
+            // SAFETY: single-threaded — no concurrent access.
             unsafe { s.update(3, |x| *x += 1) };
+            // SAFETY: single-threaded — no concurrent access.
             assert_eq!(unsafe { s.get(3) }, 7);
         }
         assert_eq!(v, vec![0, 2, 4, 7, 8, 10, 12, 14]);
@@ -120,5 +217,45 @@ mod tests {
             });
         }
         assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    /// The runtime checker half of the soundness contract: two threads
+    /// writing the same element must panic with both tags and the index.
+    /// Tags live for the slice lifetime, so the conflict is caught even with
+    /// fully serialised thread execution; the second writer catches its own
+    /// panic (`thread::scope` would replace the payload on join).
+    #[cfg(feature = "check-disjoint")]
+    #[test]
+    fn overlapping_writes_panic_under_check_disjoint() {
+        let n = 64;
+        let mut v = vec![0usize; n];
+        let s = SharedSlice::new(&mut v);
+        let msg = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    for i in 0..n {
+                        // SAFETY: sole writer so far; bounds are valid.
+                        unsafe { s.write(i, i) };
+                    }
+                })
+                .join()
+                .expect("first writer completes");
+            scope
+                .spawn(|| {
+                    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // SAFETY: deliberately overlapping — the checker
+                        // must catch this (bounds are still valid).
+                        unsafe { s.write(7, 0) };
+                    }))
+                    .expect_err("overlap must panic");
+                    err.downcast_ref::<String>().cloned().expect("string payload")
+                })
+                .join()
+                .expect("second writer caught its panic")
+        });
+        assert!(
+            msg.contains("check-disjoint: overlapping SharedSlice write at index 7"),
+            "unexpected message: {msg}"
+        );
     }
 }

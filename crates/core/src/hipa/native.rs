@@ -11,6 +11,14 @@
 //! scatter, then inbox messages in slot order during gather) is identical
 //! to the simulated path, so native and simulated runs produce bit-equal
 //! f32 ranks for any thread count.
+//!
+//! disjointness: HiPa plan (`hipa_plan_with_prefix`) — each worker owns the
+//! vertex ranges of its `part_range` partitions (rank/acc writes), the PNG
+//! message slots sourced from those partitions (vals writes), and its own
+//! index in the per-thread partial arrays; `base`/`ctrl` are written only by
+//! thread 0 between barriers. Every slice is created once before spawn and
+//! ownership never migrates, so each element has one writer thread for the
+//! whole run.
 
 use crate::config::{DanglingPolicy, PageRankConfig};
 use crate::convergence;
@@ -138,10 +146,12 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                             }
                             for pair in layout.png_of(p) {
                                 for (k, &src) in layout.png_sources(pair).iter().enumerate() {
-                                    // SAFETY: src is in this thread's range;
-                                    // each slot has exactly one writer.
-                                    let val =
-                                        unsafe { rank_s.get(src as usize) } * inv_deg[src as usize];
+                                    // SAFETY: src is in this thread's range
+                                    // and rank is only written post-barrier.
+                                    let r = unsafe { rank_s.get(src as usize) };
+                                    let val = r * inv_deg[src as usize];
+                                    // SAFETY: each PNG slot has exactly one
+                                    // writer — the source partition's owner.
                                     unsafe { vals_s.write(pair.slot_start as usize + k, val) };
                                 }
                             }
@@ -174,6 +184,8 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                     let old = unsafe { rank_s.get(v) };
                                     delta += convergence::l1_term(new, old);
                                 }
+                                // SAFETY: v is in this thread's own range;
+                                // rank is read cross-thread only pre-barrier.
                                 unsafe {
                                     rank_s.write(v, new);
                                     acc_s.write(v, 0.0);
@@ -185,9 +197,12 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                 }
                             }
                         }
-                        // SAFETY: slots j are this thread's own.
-                        unsafe { partials_s.write(j, dpart) };
-                        unsafe { deltas_s.write(j, delta) };
+                        // SAFETY: slot j of both partial arrays is this
+                        // thread's own.
+                        unsafe {
+                            partials_s.write(j, dpart);
+                            deltas_s.write(j, delta);
+                        }
                         spans.end(gather_t, "gather", it);
                         barrier.wait();
 
@@ -207,16 +222,18 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                             // SAFETY: ctrl is thread 0's to write, pre-barrier.
                             unsafe { ctrl_s.write(1, it as u32 + 1) };
                             if track {
-                                // SAFETY: all threads passed the barrier; no
-                                // one writes deltas until the next.
                                 let parts: Vec<f64> = partials_all
                                     .clone()
+                                    // SAFETY: all threads passed the barrier;
+                                    // no one writes deltas until the next.
                                     .map(|i| unsafe { deltas_s.get(i) })
                                     .collect();
                                 let residual = convergence::reduce(&parts);
                                 rec.gauge(it, Some(residual), Some(num_parts as u64));
                                 if let Some(t) = tol {
                                     if convergence::should_stop(residual, t) {
+                                        // SAFETY: only thread 0 writes ctrl,
+                                        // strictly before the next barrier.
                                         unsafe { ctrl_s.write(0, 1) };
                                     }
                                 }

@@ -16,6 +16,7 @@
 //! * [`PcpmLayout`] — the partition-centric scatter/gather data layout with
 //!   compressed inter-edges, shared with the `p-PR` and `GPOP` baselines;
 //! * [`HiPa`] — the engine itself.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
 pub mod convergence;

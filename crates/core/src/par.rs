@@ -7,6 +7,11 @@
 //! all route through these helpers behind the `build_threads` knob on
 //! [`NativeOpts`](crate::runs::NativeOpts) /
 //! [`SimOpts`](crate::runs::SimOpts).
+//!
+//! disjointness: chunked-claim plan — `run_indexed` hands each chunk index
+//! to exactly one worker, and every `SharedSlice` write below is confined to
+//! the claimed chunk's fixed index range; each slice lives for one
+//! `run_indexed` call, so elements have a single writer per slice lifetime.
 
 use crate::disjoint::SharedSlice;
 use hipa_graph::DiGraph;
@@ -33,6 +38,9 @@ pub fn run_indexed(items: usize, threads: usize, f: impl Fn(usize) + Sync) {
     rayon::scope(|s| {
         for _ in 0..workers {
             s.spawn(move |_| loop {
+                // ordering: relaxed (work-stealing claim counter — only
+                // uniqueness of the claimed index matters; results become
+                // visible via the scope join).
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items {
                     break;
@@ -161,8 +169,10 @@ mod tests {
         use std::sync::atomic::AtomicU64;
         let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
         run_indexed(1000, 4, |i| {
+            // ordering: relaxed (test tally; the scope join publishes it).
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
+        // ordering: relaxed (read after join — no concurrent writers left).
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 }

@@ -19,6 +19,11 @@
 //! writes each destination bin sequentially and gather reads its whole inbox
 //! as one stream. Sizes are static because PageRank sends every message in
 //! every iteration.
+//!
+//! disjointness: build-chunk plan — each parallel build pass claims fixed
+//! `CHUNK_VERTS` vertex chunks (or whole partitions) via `run_indexed`, and
+//! every write lands in the claimed chunk's own index range of the output
+//! arrays; each `SharedSlice` lives for a single pass.
 
 use crate::par::run_indexed;
 use hipa_graph::Csr;

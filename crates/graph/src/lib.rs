@@ -21,6 +21,7 @@
 //!
 //! Per the paper's experimental setup (§4.1), vertex ids and rank values are
 //! 4 bytes wide: [`VertexId`] is `u32` and [`Rank`] is `f32`.
+#![forbid(unsafe_code)]
 
 pub mod builder;
 pub mod components;

@@ -27,6 +27,7 @@
 //!
 //! Everything is deterministic given the machine seed, so every table in
 //! `EXPERIMENTS.md` regenerates bit-identically.
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod counters;

@@ -18,6 +18,7 @@
 //!   counters; JSON (hand-rolled, registry-free) and human-table rendering.
 //! - [`bridge`] — maps a [`hipa_numasim::SimReport`] onto the same counter
 //!   namespace.
+#![forbid(unsafe_code)]
 
 pub mod bridge;
 pub mod json;

@@ -28,6 +28,7 @@ pub struct Counter {
 
 impl Counter {
     pub fn add(&self, n: u64) {
+        // ordering: relaxed (statistics counter — exact count, no payload).
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -36,6 +37,8 @@ impl Counter {
     }
 
     pub fn get(&self) -> u64 {
+        // ordering: relaxed (statistics read; totals are reported after the
+        // parallel regions join).
         self.value.load(Ordering::Relaxed)
     }
 }

@@ -15,6 +15,7 @@
 //!
 //! [`LookupTable`] is the 2-level table of Fig. 3 (thread → partition range,
 //! partition → vertex range).
+#![forbid(unsafe_code)]
 
 pub mod balanced;
 pub mod lookup;

@@ -1,5 +1,6 @@
 //! Experiment plumbing: aligned text tables and CSV emission for the
 //! benchmark harnesses that regenerate the paper's tables and figures.
+#![forbid(unsafe_code)]
 
 pub mod table;
 

@@ -223,12 +223,7 @@ impl Bencher {
             }
             None => String::new(),
         };
-        println!(
-            "{label:<40} time: [{} {} {}]{thrpt}",
-            fmt_ns(min),
-            fmt_ns(mean),
-            fmt_ns(max)
-        );
+        println!("{label:<40} time: [{} {} {}]{thrpt}", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
     }
 }
 

@@ -45,7 +45,9 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         let mut sm = h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        TestRng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        TestRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -528,7 +530,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "prop_assert_ne! failed at {}:{}: both {:?}",
-                file!(), line!(), l
+                file!(),
+                line!(),
+                l
             )));
         }
     }};
@@ -579,8 +583,8 @@ macro_rules! __proptest_items {
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy,
-        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 
     /// Mirrors upstream's `prelude::prop` module path (`prop::collection::vec`).

@@ -35,7 +35,10 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(state: u64) -> Self;
     fn from_entropy() -> Self {
         use std::time::{SystemTime, UNIX_EPOCH};
-        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos() as u64).unwrap_or(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
         Self::seed_from_u64(nanos ^ 0x9e37_79b9_7f4a_7c15)
     }
 }
@@ -193,7 +196,12 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
-            let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
             StdRng { s }
         }
     }

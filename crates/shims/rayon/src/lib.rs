@@ -210,10 +210,12 @@ mod tests {
         scope(|s| {
             for _ in 0..8 {
                 s.spawn(|_| {
+                    // ordering: relaxed (test tally; published by the join).
                     counter.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
+        // ordering: relaxed (read after join — no concurrent writers left).
         assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
@@ -222,12 +224,15 @@ mod tests {
         let counter = AtomicUsize::new(0);
         scope(|s| {
             s.spawn(|s| {
+                // ordering: relaxed (test tally; published by the join).
                 counter.fetch_add(1, Ordering::Relaxed);
                 s.spawn(|_| {
+                    // ordering: relaxed (test tally; published by the join).
                     counter.fetch_add(1, Ordering::Relaxed);
                 });
             });
         });
+        // ordering: relaxed (read after join — no concurrent writers left).
         assert_eq!(counter.load(Ordering::Relaxed), 2);
     }
 
@@ -272,8 +277,10 @@ mod tests {
         let v: Vec<u64> = (0..500).collect();
         let sum = AtomicUsize::new(0);
         v.par_chunks(64).for_each(|c| {
+            // ordering: relaxed (test tally; published by the join).
             sum.fetch_add(c.iter().sum::<u64>() as usize, Ordering::Relaxed);
         });
+        // ordering: relaxed (read after join — no concurrent writers left).
         assert_eq!(sum.load(Ordering::Relaxed), (0..500).sum::<u64>() as usize);
     }
 }

@@ -5,4 +5,7 @@ for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations c
   cargo run --release -q -p hipa-bench --bin $bin > results/$bin.txt 2>results/$bin.err
   echo "=== $bin done $(date +%T) ==="
 done
+echo "=== audit start $(date +%T) ==="
+cargo run --release -q -p hipa-audit -- --summary-only > results/audit.txt 2>results/audit.err
+echo "=== audit done $(date +%T) ==="
 echo ALL_EXPERIMENTS_DONE
