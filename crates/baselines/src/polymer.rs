@@ -12,7 +12,10 @@
 //!
 //! Threads are bound to their node per parallel region (Algorithm 1 with
 //! `BindNode` — the migration-heavy pattern §3.3 analyses), three regions
-//! per iteration: contribute, replicate, pull.
+//! per iteration: contribute, replicate, pull. The recreation/bind cost is
+//! charged on the simulated path (`create_pool` per region); the native
+//! path runs all three regions on one persistent rayon pool of `threads`
+//! resident workers, keeping the per-region range decomposition identical.
 //!
 //! disjointness: edge-balanced decomposition (`edge_balanced_with_prefix`) —
 //! each pull-region thread writes rank only inside its own `pull` vertex
@@ -25,7 +28,9 @@ use hipa_core::disjoint::SharedSlice;
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
-use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL};
+use hipa_obs::{
+    record_sim_report, PoolCounters, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL,
+};
 use hipa_partition::{degree_prefix, edge_balanced_with_prefix};
 use std::ops::Range;
 use std::time::Instant;
@@ -115,9 +120,14 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     // paper's machine (one when single-threaded).
     let nodes = 2.min(threads);
 
+    let pc = PoolCounters::start(&rec);
     let t0 = Instant::now();
     let inv_deg = inv_deg_array(g);
     let decomp = decompose(g, nodes, threads);
+    // One persistent pool of `threads` resident workers for all three
+    // per-iteration regions (see the module docs); construction is part of
+    // the setup cost.
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
     let preprocess = t0.elapsed();
 
     let d = cfg.damping;
@@ -138,13 +148,13 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
         {
             let rank = &rank;
             let contrib_s = SharedSlice::new(&mut contrib);
-            std::thread::scope(|scope| {
+            pool.scope(|scope| {
                 for (j, (_node, pull, _rep)) in decomp.threads.iter().enumerate() {
                     let contrib_s = &contrib_s;
                     let inv_deg = &inv_deg;
                     let rec = &rec;
                     let pull = pull.clone();
-                    scope.spawn(move || {
+                    scope.spawn(move |_| {
                         let mut spans = rec.thread_spans(j);
                         let span_t = spans.start();
                         for v in pull.start as usize..pull.end as usize {
@@ -165,12 +175,12 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
             let mirror_s: Vec<SharedSlice<f32>> =
                 mirrors.iter_mut().map(|mv| SharedSlice::new(mv)).collect();
             let mirror_s = &mirror_s;
-            std::thread::scope(|scope| {
+            pool.scope(|scope| {
                 for (j, (node, _pull, rep)) in decomp.threads.iter().enumerate() {
                     let node = *node;
                     let rec = &rec;
                     let rep = rep.clone();
-                    scope.spawn(move || {
+                    scope.spawn(move |_| {
                         let mut spans = rec.thread_spans(j);
                         let span_t = spans.start();
                         for v in rep {
@@ -195,7 +205,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
             let partials_s = SharedSlice::new(&mut partials);
             let deltas_s = SharedSlice::new(&mut delta_partials);
             let mirrors = &mirrors;
-            std::thread::scope(|scope| {
+            pool.scope(|scope| {
                 for (j, (node, pull, _rep)) in decomp.threads.iter().enumerate() {
                     let rank_s = &rank_s;
                     let partials_s = &partials_s;
@@ -203,7 +213,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                     let mirror = &mirrors[*node];
                     let rec = &rec;
                     let pull = pull.clone();
-                    scope.spawn(move || {
+                    scope.spawn(move |_| {
                         let mut spans = rec.thread_spans(j);
                         let span_t = spans.start();
                         let mut dpart = 0.0f64;
@@ -257,6 +267,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let compute = t1.elapsed();
     rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
     rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    pc.finish(&rec, threads as u64);
     let trace = rec.finish(TraceMeta {
         engine: "Polymer".into(),
         path: PATH_NATIVE,
@@ -299,6 +310,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let nodes = topo.sockets;
     let threads = opts.threads.clamp(nodes.min(topo.logical_cpus()), topo.logical_cpus());
     let m = g.num_edges();
+    // The simulated path models its own thread lifecycle (`create_pool` per
+    // region); the pool deltas attribute any real shim-pool work it does.
+    let pc = PoolCounters::start(&rec);
 
     let decomp = decompose(g, nodes, threads);
     let in_csr = g.in_csr();
@@ -509,6 +523,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
     let report = machine.report("Polymer");
     record_sim_report(&rec, &report);
+    pc.finish(&rec, threads as u64);
     let trace = rec.finish(TraceMeta {
         engine: "Polymer".into(),
         path: PATH_SIM,

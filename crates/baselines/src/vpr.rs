@@ -7,9 +7,12 @@
 //! reads (`rank[u]`, `1/outdeg[u]`) against the full vertex arrays. One
 //! parallel region per iteration; new-vs-old rank vectors are double
 //! buffered. NUMA-oblivious: interleaved pages, OS-random thread placement,
-//! threads recreated every region (Algorithm 1). The native path uses a
-//! rayon scoped pool — the idiomatic Rust data-parallel runtime — with one
-//! pre-computed edge-balanced range per worker.
+//! threads recreated every region (Algorithm 1 — charged on the simulated
+//! path via `create_pool` per iteration). The native path uses a rayon
+//! thread pool — the idiomatic Rust data-parallel runtime, whose workers
+//! are persistent — with one pre-computed edge-balanced range per worker;
+//! its `num_threads(threads)` genuinely bounds the run's concurrency now
+//! that the shim backs pools with resident workers.
 //!
 //! disjointness: edge-balanced plan (`edge_balanced`) — each worker writes
 //! `next` only inside its own vertex range plus its own slot `j` of the
@@ -21,7 +24,9 @@ use hipa_core::disjoint::SharedSlice;
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
-use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL};
+use hipa_obs::{
+    record_sim_report, PoolCounters, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL,
+};
 use hipa_partition::edge_balanced;
 use std::ops::Range;
 use std::time::Instant;
@@ -79,7 +84,10 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let track = tol.is_some() || rec.enabled();
 
     // Pool construction is part of the engine's setup cost — inside the
-    // preprocess window, like the layout builds of the PCPM engines.
+    // preprocess window, like the layout builds of the PCPM engines. The
+    // `threads` knob bounds the run's concurrency: the pool has exactly
+    // `threads` resident workers and every spawn below lands on them.
+    let pc = PoolCounters::start(&rec);
     let t0 = Instant::now();
     let ranges = edge_balanced(&in_degrees(g), threads);
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
@@ -169,6 +177,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
     let compute = t1.elapsed();
     rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
     rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    pc.finish(&rec, threads as u64);
     let trace = rec.finish(TraceMeta {
         engine: "v-PR".into(),
         path: PATH_NATIVE,
@@ -209,6 +218,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     }
     let threads = opts.threads.clamp(1, machine.spec().topology.logical_cpus());
     let m = g.num_edges();
+    // The simulated path models its own thread lifecycle (`create_pool` per
+    // region); the pool deltas attribute any real shim-pool work it does.
+    let pc = PoolCounters::start(&rec);
 
     // NUMA-oblivious placement: everything interleaved.
     let rank_a = machine.alloc("rank_a", 4 * n, Placement::Interleaved);
@@ -335,6 +347,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
     let report = machine.report("v-PR");
     record_sim_report(&rec, &report);
+    pc.finish(&rec, threads as u64);
     let trace = rec.finish(TraceMeta {
         engine: "v-PR".into(),
         path: PATH_SIM,

@@ -1,0 +1,90 @@
+//! Criterion benches of the rayon shim's persistent pool: the fixed cost of
+//! opening a parallel region (scope dispatch) against the spawn-per-scope
+//! discipline the shim used before it grew resident workers, and the
+//! per-item overhead of `par_iter` dispatch under different `with_min_len`
+//! granularities. A `pool_stats` snapshot is printed after the run so
+//! `run_all.sh` can archive the scheduler counters next to the timings.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use rayon::prelude::*;
+use std::time::Duration;
+
+const WIDTH: usize = 2;
+
+/// Fixed cost of a parallel region: `WIDTH` trivial spawns per scope. The
+/// `pooled` variant reuses resident workers; `os_threads` re-creates them
+/// each scope, which is exactly what the old shim did on every call.
+fn bench_scope_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_scope_dispatch");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(WIDTH).build().unwrap();
+    group.bench_function("pooled", |b| {
+        b.iter(|| {
+            let mut out = [0u64; WIDTH];
+            let slots: Vec<&mut u64> = out.iter_mut().collect();
+            pool.scope(|s| {
+                for (j, slot) in slots.into_iter().enumerate() {
+                    s.spawn(move |_| *slot = j as u64 + 1);
+                }
+            });
+            out
+        })
+    });
+    group.bench_function("os_threads", |b| {
+        b.iter(|| {
+            let mut out = [0u64; WIDTH];
+            let slots: Vec<&mut u64> = out.iter_mut().collect();
+            std::thread::scope(|s| {
+                for (j, slot) in slots.into_iter().enumerate() {
+                    s.spawn(move || *slot = j as u64 + 1);
+                }
+            });
+            out
+        })
+    });
+    group.finish();
+}
+
+/// Per-item dispatch cost: a near-empty body over 64 K items, so the numbers
+/// are dominated by chunk claiming rather than user work. `min_len` sweeps
+/// the claim granularity from pathological (1) to coarse (4096); `auto` is
+/// the shim's default split of about eight claims per worker.
+fn bench_par_iter_dispatch(c: &mut Criterion) {
+    const N: usize = 64 * 1024;
+    let mut group = c.benchmark_group("pool_par_iter_dispatch");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(WIDTH).build().unwrap();
+    let mut data = vec![1u32; N];
+    for min_len in [1usize, 64, 4096] {
+        group.bench_with_input(BenchmarkId::new("min_len", min_len), &min_len, |b, &m| {
+            b.iter(|| {
+                pool.install(|| {
+                    data.par_iter_mut().with_min_len(m).for_each(|x| *x = x.wrapping_add(1))
+                })
+            })
+        });
+    }
+    group.bench_function("auto", |b| {
+        b.iter(|| pool.install(|| data.par_iter_mut().for_each(|x| *x = x.wrapping_add(1))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scope_dispatch, bench_par_iter_dispatch);
+
+fn main() {
+    benches();
+    // Scheduler-counter snapshot for `results/` (cumulative over the whole
+    // bench process; `max_active` should not exceed the pool width).
+    let s = rayon::pool_stats();
+    println!("\n== pool_stats ==");
+    println!("workers_spawned {}", s.workers_spawned);
+    println!("jobs {}", s.jobs);
+    println!("tasks_claimed {}", s.tasks_claimed);
+    println!("steals {}", s.steals);
+    println!("parks {}", s.parks);
+    println!("unparks {}", s.unparks);
+    println!("max_active {}", s.max_active);
+    assert!(s.max_active <= WIDTH as u64, "pool exceeded its width bound");
+}

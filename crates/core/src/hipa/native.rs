@@ -3,7 +3,12 @@
 //! One persistent worker per plan thread runs the complete iterative
 //! scatter–gather loop with `std::sync::Barrier` synchronisation
 //! (Algorithm 2: threads outlive the whole computation instead of being
-//! recreated per parallel region). All writes are structurally disjoint —
+//! recreated per parallel region). The compute workers deliberately stay on
+//! dedicated `std::thread::scope` threads rather than the rayon shim's pool:
+//! they block on a barrier three times per iteration, which would wedge a
+//! pool narrower than `threads`, and their spawn cost is amortised over the
+//! whole run. Preprocessing, in contrast, rides the shim's persistent pool
+//! via `crate::par::run_indexed`. All writes are structurally disjoint —
 //! each thread owns its vertex ranges and its message slots — and go
 //! through [`SharedSlice`](crate::disjoint::SharedSlice).
 //!
@@ -26,7 +31,7 @@ use crate::disjoint::SharedSlice;
 use crate::pcpm::PcpmLayout;
 use crate::runs::{NativeOpts, NativeRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
-use hipa_obs::{Recorder, TraceMeta, PATH_NATIVE, RUN_LEVEL};
+use hipa_obs::{PoolCounters, Recorder, TraceMeta, PATH_NATIVE, RUN_LEVEL};
 use hipa_partition::hipa_plan_with_prefix;
 use std::sync::Barrier;
 use std::time::Instant;
@@ -60,6 +65,9 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
 
     let build_threads = opts.effective_build_threads();
 
+    // The pool deltas attribute the build phase's scheduling work (the
+    // compute loop below runs on dedicated barrier threads, not the pool).
+    let pc = PoolCounters::start(&rec);
     let t0 = Instant::now();
     // On the host there is no NUMA topology to honour; the hierarchical plan
     // degenerates to its cache level (one node, `threads` groups). The whole
@@ -256,6 +264,7 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
 
     rec.record("preprocess", RUN_LEVEL, RUN_LEVEL, preprocess.as_nanos() as f64);
     rec.record("compute", RUN_LEVEL, RUN_LEVEL, compute.as_nanos() as f64);
+    pc.finish(&rec, threads as u64);
     let trace = rec.finish(TraceMeta {
         engine: "HiPa".into(),
         path: PATH_NATIVE,

@@ -14,7 +14,7 @@ use crate::pcpm::PcpmLayout;
 use crate::runs::{SimOpts, SimRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_numasim::{PhaseBalance, Placement, PoolId, SimMachine, ThreadPlacement};
-use hipa_obs::{record_sim_report, Recorder, TraceMeta, PATH_SIM, RUN_LEVEL};
+use hipa_obs::{record_sim_report, PoolCounters, Recorder, TraceMeta, PATH_SIM, RUN_LEVEL};
 use hipa_partition::hipa_plan_with_prefix;
 
 /// Design-choice switches for the ablation experiments (DESIGN.md §7). The
@@ -102,7 +102,9 @@ pub fn run_variant(
 
     // ---- Preprocessing (host work; its simulated cost is charged below).
     // Runs on `build_threads` host workers; the structures are bit-identical
-    // to the sequential build, so the simulated run is unaffected. ----
+    // to the sequential build, so the simulated run is unaffected. The pool
+    // deltas attribute the build's real scheduling work. ----
+    let pc = PoolCounters::start(&rec);
     let build_threads = opts.effective_build_threads();
     let prefix = crate::par::degree_prefix_parallel(g.out_degrees(), build_threads);
     let plan = hipa_plan_with_prefix(&prefix, sockets, tpn, vpp);
@@ -472,6 +474,7 @@ pub fn run_variant(
     rec.record("compute", RUN_LEVEL, RUN_LEVEL, total - preprocess_cycles);
     let report = machine.report("HiPa");
     record_sim_report(&rec, &report);
+    pc.finish(&rec, threads as u64);
     let trace = rec.finish(TraceMeta {
         engine: "HiPa".into(),
         path: PATH_SIM,

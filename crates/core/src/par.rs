@@ -24,6 +24,11 @@ const TAB_CHUNK: usize = 16 * 1024;
 /// `threads` workers pulling indices from a shared counter. Inline when one
 /// worker suffices. `f` must tolerate any execution order; callers get
 /// determinism by making each index's work independent.
+///
+/// The `workers` claim-loop jobs land on the rayon shim's persistent pool
+/// (no OS threads are spawned per call since the shim grew resident
+/// workers), and the job count — not the pool width — is what bounds this
+/// helper's concurrency, so the `threads` knob holds on any pool.
 pub fn run_indexed(items: usize, threads: usize, f: impl Fn(usize) + Sync) {
     let workers = threads.min(items);
     if workers <= 1 {

@@ -3,7 +3,8 @@
 //!
 //! Counter naming: memory-hierarchy events are `mem.*` (matching the
 //! `MemCounters` field names), scheduler events keep their `SimReport`
-//! names. DESIGN.md §9 tabulates the mapping.
+//! names, and the rayon shim's pool statistics land under `pool.*` (via
+//! [`PoolCounters`]). DESIGN.md §9 tabulates the mapping.
 
 use hipa_numasim::SimReport;
 
@@ -34,6 +35,49 @@ pub fn record_sim_report(rec: &Recorder, report: &SimReport) {
         ("bandwidth_bound_phases", report.bandwidth_bound_phases),
     ] {
         rec.set_counter(name, value);
+    }
+}
+
+/// Bridges the rayon shim's process-wide scheduler statistics into a run's
+/// `pool.*` trace counters: [`start`](PoolCounters::start) snapshots before
+/// the engine's parallel work, [`finish`](PoolCounters::finish) records the
+/// deltas (plus the pool width the engine ran with). Zero overhead when the
+/// recorder is off: the disabled path never reads the statistics cells.
+///
+/// The shim's counters are cumulative across the whole process, so the
+/// deltas attribute whatever pool activity happened *between* the two calls
+/// to this run — exact for the single-engine benchmark processes the trace
+/// census reads, approximate if unrelated pool work runs concurrently.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    start: Option<rayon::PoolStats>,
+}
+
+impl PoolCounters {
+    /// Snapshots the pool statistics; a no-op (no snapshot, no atomics read)
+    /// when the recorder is disabled.
+    pub fn start(rec: &Recorder) -> PoolCounters {
+        PoolCounters { start: rec.enabled().then(rayon::pool_stats) }
+    }
+
+    /// Records the deltas since [`start`](PoolCounters::start) and the
+    /// engine's pool width into the recorder.
+    pub fn finish(self, rec: &Recorder, width: u64) {
+        let Some(s0) = self.start else {
+            return;
+        };
+        let s1 = rayon::pool_stats();
+        for (name, value) in [
+            ("pool.width", width),
+            ("pool.workers_spawned", s1.workers_spawned - s0.workers_spawned),
+            ("pool.jobs", s1.jobs - s0.jobs),
+            ("pool.tasks_claimed", s1.tasks_claimed - s0.tasks_claimed),
+            ("pool.steals", s1.steals - s0.steals),
+            ("pool.parks", s1.parks - s0.parks),
+            ("pool.unparks", s1.unparks - s0.unparks),
+        ] {
+            rec.set_counter(name, value);
+        }
     }
 }
 
@@ -81,6 +125,37 @@ mod tests {
     fn disabled_recorder_ignores_report() {
         let rec = Recorder::new(false);
         record_sim_report(&rec, &report());
+        assert!(rec.finish(TraceMeta::default()).is_none());
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn pool_counters_record_width_and_deltas() {
+        let rec = Recorder::new(true);
+        let pc = PoolCounters::start(&rec);
+        // Drive some pool work between the snapshots.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {});
+            }
+        });
+        pc.finish(&rec, 2);
+        let trace = rec.finish(TraceMeta::default()).unwrap();
+        assert_eq!(trace.counter("pool.width"), Some(2));
+        assert!(trace.counter("pool.jobs").unwrap() >= 4);
+        assert!(trace.counter("pool.workers_spawned").unwrap() >= 2);
+        assert!(trace.counter("pool.tasks_claimed").is_some());
+        assert!(trace.counter("pool.steals").is_some());
+        assert!(trace.counter("pool.parks").is_some());
+        assert!(trace.counter("pool.unparks").is_some());
+    }
+
+    #[test]
+    fn disabled_recorder_skips_pool_snapshot() {
+        let rec = Recorder::new(false);
+        let pc = PoolCounters::start(&rec);
+        pc.finish(&rec, 4);
         assert!(rec.finish(TraceMeta::default()).is_none());
     }
 }

@@ -25,7 +25,7 @@ pub mod json;
 pub mod recorder;
 pub mod trace;
 
-pub use bridge::record_sim_report;
+pub use bridge::{record_sim_report, PoolCounters};
 pub use json::Json;
 pub use recorder::{Counter, CounterHandle, Recorder, SpanStart, ThreadSpans};
 pub use trace::{

@@ -1,0 +1,235 @@
+//! Lazy slice parallel iterators.
+//!
+//! A [`ParIter`] is a pair (indexed source, `min_len` floor) — nothing is
+//! materialised up front. `for_each` hands the source's index space to
+//! [`parallel_for`](crate::pool), which splits it into per-worker ranges and
+//! claims chunks of at least `min_len` indices at a time, so the
+//! `with_min_len` granularity hint is honored instead of the previous
+//! eager-`Vec` no-op.
+//!
+//! The one soundness obligation lives in [`IndexedSource::get`]: the driver
+//! visits every index exactly once, which is what lets the mutable sources
+//! mint non-aliasing `&mut` references from a raw base pointer.
+
+use crate::pool::{current_pool, parallel_for};
+use std::marker::PhantomData;
+
+/// An indexed view the driver can fetch items from, in any order, each index
+/// exactly once.
+pub trait IndexedSource: Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    /// Fetches the item at `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()`, and each index is fetched at most once across all
+    /// threads for the lifetime of the source: mutable sources return
+    /// `&mut` references whose uniqueness rests on that contract.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// `par_iter`: shared references to slice elements.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    // SAFETY: shared references may alias freely; the body is safe code.
+    unsafe fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// `par_chunks`: shared sub-slices of a fixed width.
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunksSource<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    // SAFETY: shared sub-slices may alias freely; the body is safe code.
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        let hi = self.slice.len().min(lo + self.chunk);
+        &self.slice[lo..hi]
+    }
+}
+
+/// `par_iter_mut`: unique references to slice elements, minted from a raw
+/// base pointer under the each-index-once contract.
+pub struct SliceMutSource<'a, T> {
+    base: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sharing the source across threads only ever yields references to
+// *distinct* indices (the `IndexedSource::get` contract), so no `&mut T`
+// aliases another; `T: Send` lets those references cross threads.
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+impl<'a, T: Send + 'a> IndexedSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    // SAFETY: relies on the trait's each-index-once contract; see the
+    // inner block.
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        // SAFETY: `i < len` keeps the offset inside the original slice, and
+        // the caller fetches each index at most once, so this `&mut` is the
+        // only live reference to the element.
+        unsafe { &mut *self.base.add(i) }
+    }
+}
+
+/// `par_chunks_mut`: unique sub-slices of a fixed width.
+pub struct ChunksMutSource<'a, T> {
+    base: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for `SliceMutSource` — chunk index `i` maps to the element
+// range `[i*chunk, min(len, (i+1)*chunk))`, and distinct chunk indices map
+// to disjoint ranges, so the minted `&mut [T]`s never alias.
+unsafe impl<T: Send> Sync for ChunksMutSource<'_, T> {}
+
+impl<'a, T: Send + 'a> IndexedSource for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    // SAFETY: relies on the trait's each-index-once contract; see the
+    // inner block.
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let hi = self.len.min(lo + self.chunk);
+        // SAFETY: `lo..hi` lies inside the original slice, and the caller
+        // fetches each chunk index at most once, so no two returned slices
+        // overlap.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(lo), hi - lo) }
+    }
+}
+
+/// Adapter pairing each item with its index.
+pub struct Enumerate<S> {
+    inner: S,
+}
+
+impl<S: IndexedSource> IndexedSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    // SAFETY: same index, same contract — forwarded verbatim to the inner
+    // source.
+    unsafe fn get(&self, i: usize) -> (usize, S::Item) {
+        // SAFETY: as above.
+        (i, unsafe { self.inner.get(i) })
+    }
+}
+
+/// A lazy parallel iterator: an indexed source plus a `min_len` claim floor.
+/// Work happens in [`for_each`](ParIter::for_each), on the current pool.
+pub struct ParIter<S> {
+    source: S,
+    min_len: usize,
+}
+
+impl<S: IndexedSource> ParIter<S> {
+    fn new(source: S) -> ParIter<S> {
+        ParIter { source, min_len: 1 }
+    }
+
+    /// Granularity hint: never claim fewer than `min` indices at a time
+    /// (rayon's `IndexedParallelIterator::with_min_len`).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min.max(1));
+        self
+    }
+
+    pub fn enumerate(self) -> ParIter<Enumerate<S>> {
+        ParIter { source: Enumerate { inner: self.source }, min_len: self.min_len }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync + Send,
+    {
+        let source = &self.source;
+        parallel_for(&current_pool(), source.len(), self.min_len, &|i| {
+            // SAFETY: `parallel_for` passes each index in `0..len` exactly
+            // once (disjoint claimed windows), which is `get`'s contract.
+            f(unsafe { source.get(i) })
+        });
+    }
+}
+
+pub mod prelude {
+    use super::*;
+
+    /// `par_iter`/`par_chunks` over shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_iter(&self) -> ParIter<SliceSource<'_, T>>;
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<SliceSource<'_, T>> {
+            ParIter::new(SliceSource { slice: self })
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParIter::new(ChunksSource { slice: self, chunk: chunk_size })
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` over unique slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSource<'_, T>>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>> {
+            let len = self.len();
+            ParIter::new(SliceMutSource { base: self.as_mut_ptr(), len, _marker: PhantomData })
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSource<'_, T>> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            let len = self.len();
+            ParIter::new(ChunksMutSource {
+                base: self.as_mut_ptr(),
+                len,
+                chunk: chunk_size,
+                _marker: PhantomData,
+            })
+        }
+    }
+}

@@ -1,286 +1,36 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! The build environment has no access to crates.io, so the workspace vendors
-//! the subset of rayon's API it uses: [`scope`]/[`Scope::spawn`] fork-join,
-//! [`ThreadPoolBuilder`]/[`ThreadPool::scope`], and the slice parallel
-//! iterators (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`)
-//! with `for_each`/`enumerate`.
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of rayon's API it uses: [`scope`]/[`Scope::spawn`]
+//! fork-join, [`ThreadPoolBuilder`]/[`ThreadPool::scope`]/
+//! [`ThreadPool::install`], and the slice parallel iterators (`par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`) with
+//! `for_each`/`enumerate`/`with_min_len`.
 //!
-//! Everything is backed by `std::thread::scope`: spawned tasks are real OS
-//! threads, so parallel speedups are real on multicore hosts, and the
-//! single-threaded fallback runs inline with zero spawn overhead.
+//! Like the real rayon — and unlike this shim's first incarnation, which
+//! spawned fresh OS threads on every `scope` call — everything runs on
+//! *persistent* worker pools ([`pool`]): resident threads parked between
+//! parallel regions, a lazily-created global pool at host width, and
+//! explicit [`ThreadPool`]s whose `num_threads` genuinely bounds the
+//! concurrency of everything run on them (`scope`, `install`, and any
+//! `par_iter` inside). [`pool_stats`] exposes the scheduler's counters
+//! (jobs, chunk claims, steals, park/unpark transitions) so the workspace's
+//! trace layer can attribute scheduling cost.
 
-use std::sync::Mutex;
+mod iter;
+mod pool;
 
-/// Number of worker threads rayon would use: the host's available
-/// parallelism.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// A fork-join scope; mirrors `rayon::Scope`.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a task that may borrow from the enclosing scope. The closure
-    /// receives the scope again (rayon's signature), enabling nested spawns.
-    pub fn spawn<F>(&self, f: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
-    }
-}
-
-/// Creates a fork-join scope and waits for every spawned task; mirrors
-/// `rayon::scope`.
-pub fn scope<'env, F, R>(f: F) -> R
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-{
-    std::thread::scope(|s| f(&Scope { inner: s }))
-}
-
-/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError(());
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 { current_num_threads() } else { self.num_threads };
-        Ok(ThreadPool { num_threads: n })
-    }
-}
-
-/// A handle mirroring `rayon::ThreadPool`. Tasks are spawned as scoped OS
-/// threads at `scope` time rather than queued on persistent workers; the
-/// fork-join semantics (every spawn joined before `scope` returns) are
-/// identical.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-
-    pub fn scope<'env, F, R>(&self, f: F) -> R
-    where
-        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-    {
-        scope(f)
-    }
-
-    pub fn install<F, R>(&self, f: F) -> R
-    where
-        F: FnOnce() -> R,
-    {
-        f()
-    }
-}
-
-/// Runs `f` over `items`, work-stealing from a shared queue across up to
-/// `current_num_threads()` scoped threads; inline when that is 1.
-fn drive<I, F>(items: Vec<I>, f: F)
-where
-    I: Send,
-    F: Fn(I) + Sync,
-{
-    let workers = current_num_threads().min(items.len());
-    if workers <= 1 {
-        for item in items {
-            f(item);
-        }
-        return;
-    }
-    let queue = Mutex::new(items.into_iter());
-    let f = &f;
-    let queue = &queue;
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(move || loop {
-                let item = queue.lock().unwrap().next();
-                match item {
-                    Some(item) => f(item),
-                    None => break,
-                }
-            });
-        }
-    });
-}
-
-/// An eager parallel iterator over an explicit item list.
-pub struct ParIter<I> {
-    items: Vec<I>,
-}
-
-impl<I: Send> ParIter<I> {
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn(I) + Sync + Send,
-    {
-        drive(self.items, f);
-    }
-
-    pub fn enumerate(self) -> ParIter<(usize, I)> {
-        ParIter { items: self.items.into_iter().enumerate().collect() }
-    }
-
-    /// Granularity hint; a no-op in this implementation.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-}
+pub use iter::{
+    ChunksMutSource, ChunksSource, Enumerate, IndexedSource, ParIter, SliceMutSource, SliceSource,
+};
+pub use pool::{
+    current_num_threads, pool_stats, scope, PoolStats, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
 
 pub mod prelude {
-    use super::ParIter;
-
-    /// `par_iter`/`par_chunks` over shared slices.
-    pub trait ParallelSlice<T: Sync> {
-        fn par_iter(&self) -> ParIter<&T>;
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
-    }
-
-    impl<T: Sync> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> ParIter<&T> {
-            ParIter { items: self.iter().collect() }
-        }
-
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
-            assert!(chunk_size > 0, "chunk size must be positive");
-            ParIter { items: self.chunks(chunk_size).collect() }
-        }
-    }
-
-    /// `par_iter_mut`/`par_chunks_mut` over unique slices.
-    pub trait ParallelSliceMut<T: Send> {
-        fn par_iter_mut(&mut self) -> ParIter<&mut T>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
-    }
-
-    impl<T: Send> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-            ParIter { items: self.iter_mut().collect() }
-        }
-
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
-            assert!(chunk_size > 0, "chunk size must be positive");
-            ParIter { items: self.chunks_mut(chunk_size).collect() }
-        }
-    }
+    pub use crate::iter::prelude::{ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
-mod tests {
-    use super::prelude::*;
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn scope_joins_all_spawns() {
-        let counter = AtomicUsize::new(0);
-        scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|_| {
-                    // ordering: relaxed (test tally; published by the join).
-                    counter.fetch_add(1, Ordering::Relaxed);
-                });
-            }
-        });
-        // ordering: relaxed (read after join — no concurrent writers left).
-        assert_eq!(counter.load(Ordering::Relaxed), 8);
-    }
-
-    #[test]
-    fn nested_spawn_works() {
-        let counter = AtomicUsize::new(0);
-        scope(|s| {
-            s.spawn(|s| {
-                // ordering: relaxed (test tally; published by the join).
-                counter.fetch_add(1, Ordering::Relaxed);
-                s.spawn(|_| {
-                    // ordering: relaxed (test tally; published by the join).
-                    counter.fetch_add(1, Ordering::Relaxed);
-                });
-            });
-        });
-        // ordering: relaxed (read after join — no concurrent writers left).
-        assert_eq!(counter.load(Ordering::Relaxed), 2);
-    }
-
-    #[test]
-    fn pool_scope_borrows_and_writes() {
-        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        assert_eq!(pool.current_num_threads(), 4);
-        let mut out = vec![0usize; 4];
-        {
-            let slots: Vec<(usize, &mut usize)> = out.iter_mut().enumerate().collect();
-            pool.scope(|s| {
-                for (i, slot) in slots {
-                    s.spawn(move |_| *slot = i * i);
-                }
-            });
-        }
-        assert_eq!(out, vec![0, 1, 4, 9]);
-    }
-
-    #[test]
-    fn par_iter_mut_touches_every_element() {
-        let mut v: Vec<u64> = (0..1000).collect();
-        v.par_iter_mut().for_each(|x| *x *= 2);
-        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
-    }
-
-    #[test]
-    fn par_chunks_mut_is_disjoint_and_complete() {
-        let mut v = vec![0u32; 1003];
-        v.par_chunks_mut(100).enumerate().for_each(|(c, chunk)| {
-            for x in chunk {
-                *x = c as u32 + 1;
-            }
-        });
-        assert!(v.iter().all(|&x| x != 0));
-        assert_eq!(v[0], 1);
-        assert_eq!(v[1002], 11);
-    }
-
-    #[test]
-    fn par_chunks_reads_all() {
-        let v: Vec<u64> = (0..500).collect();
-        let sum = AtomicUsize::new(0);
-        v.par_chunks(64).for_each(|c| {
-            // ordering: relaxed (test tally; published by the join).
-            sum.fetch_add(c.iter().sum::<u64>() as usize, Ordering::Relaxed);
-        });
-        // ordering: relaxed (read after join — no concurrent writers left).
-        assert_eq!(sum.load(Ordering::Relaxed), (0..500).sum::<u64>() as usize);
-    }
-}
+mod tests;

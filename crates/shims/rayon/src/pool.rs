@@ -1,0 +1,610 @@
+//! The persistent worker pool backing the shim.
+//!
+//! Workers are resident OS threads, parked on a condvar between parallel
+//! regions (the paper's §3.3 persistent-thread model, Algorithm 2), instead
+//! of the previous spawn-per-`scope` strategy. A scope queues type-erased
+//! jobs on its pool; the caller blocks until the scope's latch drains. While
+//! it waits, a thread that is itself a worker of the *same* pool executes
+//! queued jobs (so nested scopes always make progress and cannot deadlock),
+//! whereas any other thread just sleeps — which is what keeps a
+//! `num_threads(n)` pool from ever running more than `n` jobs at once.
+//!
+//! [`parallel_for`] is the index-space driver behind the parallel iterators:
+//! every worker gets an even share of `0..len` with an atomic claim cursor,
+//! claims it chunk by chunk, and steals from sibling ranges once its own is
+//! drained — the claiming discipline of `hipa_core::par::run_indexed`,
+//! generalized to chunked claims with a `with_min_len` floor.
+//!
+//! Synchronisation story: job hand-off and latch counts are guarded by one
+//! mutex per pool ([`PoolShared::state`]); data written by jobs becomes
+//! visible to the scope caller through that mutex (the caller re-acquires it
+//! to observe the final latch decrement). The only atomics are the claim
+//! cursors and the statistics cells, all `Relaxed`: a cursor needs nothing
+//! but uniqueness of the claimed window, and the counters carry no payload.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Process-wide statistics
+// ---------------------------------------------------------------------------
+
+/// Snapshot of the cumulative process-wide pool counters; see
+/// [`pool_stats`]. All cells only ever grow (except via process restart), so
+/// callers measure a region by subtracting two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Resident worker threads ever spawned (global pool + every
+    /// [`ThreadPool`]).
+    pub workers_spawned: u64,
+    /// Jobs executed: scope spawns plus `parallel_for` range drivers.
+    pub jobs: u64,
+    /// Chunks claimed from the `parallel_for` index cursors.
+    pub tasks_claimed: u64,
+    /// Subset of `tasks_claimed` taken from a *sibling's* range after the
+    /// claimant's own range drained.
+    pub steals: u64,
+    /// Times a thread parked on a pool condvar (idle worker or scope
+    /// waiter).
+    pub parks: u64,
+    /// Times a parked thread woke up.
+    pub unparks: u64,
+    /// High watermark of OS threads concurrently executing pool jobs.
+    pub max_active: u64,
+}
+
+struct StatCells {
+    workers_spawned: AtomicU64,
+    jobs: AtomicU64,
+    tasks_claimed: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    active: AtomicU64,
+    max_active: AtomicU64,
+}
+
+static STATS: StatCells = StatCells {
+    workers_spawned: AtomicU64::new(0),
+    jobs: AtomicU64::new(0),
+    tasks_claimed: AtomicU64::new(0),
+    steals: AtomicU64::new(0),
+    parks: AtomicU64::new(0),
+    unparks: AtomicU64::new(0),
+    active: AtomicU64::new(0),
+    max_active: AtomicU64::new(0),
+};
+
+fn bump(cell: &AtomicU64, n: u64) {
+    // ordering: relaxed (statistics counter — exact count, no payload).
+    cell.fetch_add(n, Ordering::Relaxed);
+}
+
+fn read(cell: &AtomicU64) -> u64 {
+    // ordering: relaxed (statistics read; no cross-cell consistency needed).
+    cell.load(Ordering::Relaxed)
+}
+
+/// Snapshot of the process-wide pool counters. A shim extension, not part of
+/// rayon's API: `hipa-obs` bridges start/finish deltas of these into
+/// `RunTrace` counters so the trace census can attribute scheduling cost.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        workers_spawned: read(&STATS.workers_spawned),
+        jobs: read(&STATS.jobs),
+        tasks_claimed: read(&STATS.tasks_claimed),
+        steals: read(&STATS.steals),
+        parks: read(&STATS.parks),
+        unparks: read(&STATS.unparks),
+        max_active: read(&STATS.max_active),
+    }
+}
+
+thread_local! {
+    /// Nesting depth of pool jobs on this thread: a worker helping a nested
+    /// scope runs jobs inside jobs, and only the 0↔1 transitions touch the
+    /// process-wide active gauge, so `max_active` counts OS threads, not
+    /// stacked frames.
+    static JOB_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn enter_job() {
+    bump(&STATS.jobs, 1);
+    let depth = JOB_DEPTH.with(|c| {
+        let d = c.get();
+        c.set(d + 1);
+        d
+    });
+    if depth == 0 {
+        // ordering: relaxed (concurrency gauge — each RMW returns the exact
+        // count at its slot in the cell's modification order, which is all
+        // the watermark needs; no payload is published through it).
+        let now = STATS.active.fetch_add(1, Ordering::Relaxed) + 1;
+        // ordering: relaxed (same gauge — monotone watermark update).
+        STATS.max_active.fetch_max(now, Ordering::Relaxed);
+    }
+}
+
+fn exit_job() {
+    let depth = JOB_DEPTH.with(|c| {
+        let d = c.get() - 1;
+        c.set(d);
+        d
+    });
+    if depth == 0 {
+        // ordering: relaxed (concurrency gauge decrement).
+        STATS.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool state
+// ---------------------------------------------------------------------------
+
+pub(crate) struct PoolShared {
+    /// Number of resident workers; fixed at construction.
+    pub(crate) width: usize,
+    state: Mutex<PoolState>,
+    /// Idle workers park here; notified once per pushed job and broadcast at
+    /// shutdown.
+    work_cv: Condvar,
+    /// Scope waiters park here; notified on every push (a same-pool helper
+    /// must see new jobs) and whenever a latch reaches zero.
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A queued unit of work: a type-erased task plus the latch of the scope it
+/// belongs to. The task closure is laundered to `'static`; see
+/// [`Scope::spawn`] for why that is sound.
+struct Job {
+    task: Box<dyn FnOnce() + Send>,
+    scope: ScopePtr,
+}
+
+/// Pointer to the stack-pinned [`ScopeCore`] of the owning scope.
+#[derive(Clone, Copy)]
+struct ScopePtr(*const ScopeCore);
+
+// SAFETY: the pointee outlives every job of its scope — `scope_on` blocks in
+// `ScopeCore::wait` until the latch reaches zero before the core is dropped,
+// and the latch counts each job until after it ran — so worker-side
+// dereferences always see a live value.
+unsafe impl Send for ScopePtr {}
+
+/// The latch one `scope_on` call waits on: `pending` counts the scope body
+/// itself (1) plus every unfinished spawned job.
+struct ScopeCore {
+    pool: Arc<PoolShared>,
+    /// Read and written only under `PoolShared::state`; the atomic type
+    /// provides shared mutability through the `&self` methods, not lock-free
+    /// ordering.
+    pending: AtomicUsize,
+    /// First panic out of any spawned job; rethrown by the scope caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeCore {
+    fn new(pool: Arc<PoolShared>) -> ScopeCore {
+        ScopeCore { pool, pending: AtomicUsize::new(1), panic: Mutex::new(None) }
+    }
+
+    /// Queues a job on the pool and counts it on the latch.
+    fn add_job(&self, task: Box<dyn FnOnce() + Send>, this: ScopePtr) {
+        let mut st = self.pool.state.lock().unwrap();
+        // ordering: relaxed (guarded by the pool mutex).
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        st.queue.push_back(Job { task, scope: this });
+        self.pool.work_cv.notify_one();
+        // Helpers waiting on a nested latch must re-check the queue.
+        self.pool.done_cv.notify_all();
+    }
+
+    fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        slot.get_or_insert(payload);
+    }
+
+    /// Counts one unit done; called by job runners and by the scope caller
+    /// once the scope body returns.
+    fn complete(&self) {
+        let _st = self.pool.state.lock().unwrap();
+        // ordering: relaxed (guarded by the pool mutex).
+        if self.pending.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.pool.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks until every unit completes. A worker of the owning pool
+    /// executes queued jobs while it waits (nested scopes make progress
+    /// without exceeding the pool width); any other thread sleeps.
+    fn wait(&self) {
+        let help = worker_of().is_some_and(|p| Arc::ptr_eq(&p, &self.pool));
+        loop {
+            let job = {
+                let mut st = self.pool.state.lock().unwrap();
+                loop {
+                    // ordering: relaxed (guarded by the pool mutex).
+                    if self.pending.load(Ordering::Relaxed) == 0 {
+                        return;
+                    }
+                    if help {
+                        if let Some(job) = st.queue.pop_front() {
+                            break job;
+                        }
+                    }
+                    bump(&STATS.parks, 1);
+                    st = self.pool.done_cv.wait(st).unwrap();
+                    bump(&STATS.unparks, 1);
+                }
+            };
+            run_job(job);
+        }
+    }
+}
+
+/// Runs a dequeued job and completes its latch, capturing panics so the
+/// latch always drains and the scope caller can rethrow.
+fn run_job(job: Job) {
+    let Job { task, scope } = job;
+    enter_job();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+    exit_job();
+    // SAFETY: the owning scope is still waiting on its latch — this job has
+    // not been counted complete yet — so the core pointer is live.
+    let core = unsafe { &*scope.0 };
+    if let Err(payload) = result {
+        core.store_panic(payload);
+    }
+    core.complete();
+}
+
+fn worker_loop(pool: Arc<PoolShared>) {
+    WORKER_OF.with(|w| *w.borrow_mut() = Some(Arc::clone(&pool)));
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                bump(&STATS.parks, 1);
+                st = pool.work_cv.wait(st).unwrap();
+                bump(&STATS.unparks, 1);
+            }
+        };
+        run_job(job);
+    }
+}
+
+fn spawn_pool(width: usize) -> (Arc<PoolShared>, Vec<std::thread::JoinHandle<()>>) {
+    let pool = Arc::new(PoolShared {
+        width: width.max(1),
+        state: Mutex::new(PoolState::default()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    });
+    let handles = (0..pool.width)
+        .map(|i| {
+            bump(&STATS.workers_spawned, 1);
+            let p = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("spawning pool worker")
+        })
+        .collect();
+    (pool, handles)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local pool context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The pool this thread is a resident worker of; set once at worker
+    /// startup, never cleared.
+    static WORKER_OF: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
+    /// Stack of pools entered via [`ThreadPool::install`]/[`ThreadPool::scope`].
+    static INSTALLED: RefCell<Vec<Arc<PoolShared>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn worker_of() -> Option<Arc<PoolShared>> {
+    WORKER_OF.with(|w| w.borrow().clone())
+}
+
+/// The pool implicit parallelism runs on: the innermost installed pool, else
+/// the pool this thread works for, else the lazily-created global pool.
+pub(crate) fn current_pool() -> Arc<PoolShared> {
+    INSTALLED
+        .with(|s| s.borrow().last().cloned())
+        .or_else(worker_of)
+        .unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+static HOST_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Host parallelism, queried from the OS exactly once per process.
+fn host_threads() -> usize {
+    *HOST_THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+static GLOBAL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+
+/// The global pool (width = host parallelism), created on first use; its
+/// workers live for the rest of the process, parked when idle.
+fn global_pool() -> &'static Arc<PoolShared> {
+    GLOBAL.get_or_init(|| spawn_pool(host_threads()).0)
+}
+
+/// Width of the current pool: inside [`ThreadPool::install`]/`scope` (or on
+/// one of its worker threads) the installed pool's thread count, otherwise
+/// the host parallelism — crates.io rayon semantics.
+pub fn current_num_threads() -> usize {
+    INSTALLED
+        .with(|s| s.borrow().last().map(|p| p.width))
+        .or_else(|| worker_of().map(|p| p.width))
+        .unwrap_or_else(host_threads)
+}
+
+struct InstallGuard;
+
+impl InstallGuard {
+    fn push(pool: Arc<PoolShared>) -> InstallGuard {
+        INSTALLED.with(|s| s.borrow_mut().push(pool));
+        InstallGuard
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+/// A fork-join scope; mirrors `rayon::Scope`. `'scope` is invariant, as in
+/// rayon: it is the lifetime spawned closures (and their borrows) must
+/// outlive.
+pub struct Scope<'scope> {
+    core: ScopePtr,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that may borrow from the enclosing scope. The closure
+    /// receives the scope again (rayon's signature), enabling nested spawns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let ptr = self.core;
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            f(&Scope { core: ptr, _marker: PhantomData });
+        });
+        // SAFETY: the closure is laundered to 'static but never outlives its
+        // borrows: `scope_on` cannot return — nor its stack frame unwind —
+        // before `ScopeCore::wait` sees the latch at zero, and the latch
+        // counts this job until after the closure ran (or panicked). The
+        // transmute only erases the lifetime bound; the trait object's
+        // layout and vtable are unchanged.
+        let task: Box<dyn FnOnce() + Send> = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                task,
+            )
+        };
+        // SAFETY: `self.core` points at the live ScopeCore of the enclosing
+        // `scope_on` frame (scopes are only handed out inside that frame).
+        let core = unsafe { &*self.core.0 };
+        core.add_job(task, ptr);
+    }
+}
+
+/// Runs `f` with a fork-join scope on `pool` and waits for every spawned
+/// task; panics from the body or any task are rethrown after all tasks
+/// finished (so no laundered borrow dangles).
+pub(crate) fn scope_on<'scope, F, R>(pool: Arc<PoolShared>, f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let core = ScopeCore::new(pool);
+    let scope = Scope { core: ScopePtr(&core), _marker: PhantomData };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+    // The body's own latch unit is done; spawned jobs may still be running.
+    core.complete();
+    core.wait();
+    let job_panic = core.panic.lock().unwrap().take();
+    match (result, job_panic) {
+        (Ok(r), None) => r,
+        (Err(payload), _) | (Ok(_), Some(payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Creates a fork-join scope on the current pool and waits for every spawned
+/// task; mirrors `rayon::scope`.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    scope_on(current_pool(), f)
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its resident workers; `0` threads means
+    /// host parallelism.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { host_threads() } else { self.num_threads };
+        let (shared, workers) = spawn_pool(n);
+        Ok(ThreadPool { shared, workers })
+    }
+}
+
+/// A handle mirroring `rayon::ThreadPool`: `num_threads` resident workers,
+/// parked between calls, joined on drop.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.shared.width).finish()
+    }
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.width
+    }
+
+    /// Runs `f` with this pool installed as the current pool: nested
+    /// `par_iter`s, free `scope`s, and [`current_num_threads`] inside `f`
+    /// resolve to it.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        let _guard = InstallGuard::push(Arc::clone(&self.shared));
+        f()
+    }
+
+    /// A fork-join scope whose spawns run on this pool — at most
+    /// `num_threads` of them concurrently. The pool is also installed for
+    /// the duration of the scope body.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let _guard = InstallGuard::push(Arc::clone(&self.shared));
+        scope_on(Arc::clone(&self.shared), f)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index-space driver
+// ---------------------------------------------------------------------------
+
+/// Claim-granularity target: without a `with_min_len` floor, each worker's
+/// range splits into about this many claims — enough slack for stealing to
+/// rebalance, few enough that the cursor RMWs stay amortised.
+const CLAIMS_PER_WORKER: usize = 8;
+
+/// Consecutive indices claimed per cursor `fetch_add`: the `with_min_len`
+/// floor, raised to the auto granularity for short inputs.
+pub(crate) fn chunk_size(len: usize, min_len: usize, width: usize) -> usize {
+    let auto = len.div_ceil(width.max(1) * CLAIMS_PER_WORKER).max(1);
+    auto.max(min_len.max(1))
+}
+
+/// Runs `f(i)` for every `i` in `0..len` on the pool: per-worker index
+/// ranges, chunked claims from a relaxed cursor per range, steal from
+/// sibling ranges when the own range drains. Runs inline on the caller when
+/// one worker suffices.
+pub(crate) fn parallel_for<F>(pool: &Arc<PoolShared>, len: usize, min_len: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk_size(len, min_len, pool.width);
+    let workers = pool.width.min(len.div_ceil(chunk));
+    if workers <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let bounds: Vec<usize> = (0..=workers).map(|w| w * len / workers).collect();
+    let cursors: Vec<AtomicUsize> = bounds[..workers].iter().map(|&lo| AtomicUsize::new(lo)).collect();
+    let bounds = &bounds;
+    let cursors = &cursors;
+    scope_on(Arc::clone(pool), |s| {
+        for w in 0..workers {
+            s.spawn(move |_| {
+                for k in 0..workers {
+                    let v = (w + k) % workers;
+                    let hi = bounds[v + 1];
+                    loop {
+                        // ordering: relaxed (chunk-claim cursor — only
+                        // uniqueness of the claimed window matters; results
+                        // become visible to the caller through the scope's
+                        // mutex-guarded latch, not through this counter).
+                        let lo = cursors[v].fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= hi {
+                            break;
+                        }
+                        bump(&STATS.tasks_claimed, 1);
+                        if k > 0 {
+                            bump(&STATS.steals, 1);
+                        }
+                        for i in lo..hi.min(lo + chunk) {
+                            f(i);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}

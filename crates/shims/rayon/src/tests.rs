@@ -1,0 +1,330 @@
+use super::prelude::*;
+use super::*;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[test]
+fn scope_joins_all_spawns() {
+    let counter = AtomicUsize::new(0);
+    scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|_| {
+                // ordering: relaxed (test tally; published by the join).
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(counter.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn nested_spawn_works() {
+    let counter = AtomicUsize::new(0);
+    scope(|s| {
+        s.spawn(|s| {
+            // ordering: relaxed (test tally; published by the join).
+            counter.fetch_add(1, Ordering::Relaxed);
+            s.spawn(|_| {
+                // ordering: relaxed (test tally; published by the join).
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(counter.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn pool_scope_borrows_and_writes() {
+    let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    assert_eq!(pool.current_num_threads(), 4);
+    let mut out = vec![0usize; 4];
+    {
+        let slots: Vec<(usize, &mut usize)> = out.iter_mut().enumerate().collect();
+        pool.scope(|s| {
+            for (i, slot) in slots {
+                s.spawn(move |_| *slot = i * i);
+            }
+        });
+    }
+    assert_eq!(out, vec![0, 1, 4, 9]);
+}
+
+#[test]
+fn par_iter_mut_touches_every_element() {
+    let mut v: Vec<u64> = (0..1000).collect();
+    v.par_iter_mut().for_each(|x| *x *= 2);
+    assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+}
+
+#[test]
+fn par_chunks_mut_is_disjoint_and_complete() {
+    let mut v = vec![0u32; 1003];
+    v.par_chunks_mut(100).enumerate().for_each(|(c, chunk)| {
+        for x in chunk {
+            *x = c as u32 + 1;
+        }
+    });
+    assert!(v.iter().all(|&x| x != 0));
+    assert_eq!(v[0], 1);
+    assert_eq!(v[1002], 11);
+}
+
+#[test]
+fn par_chunks_reads_all() {
+    let v: Vec<u64> = (0..500).collect();
+    let sum = AtomicUsize::new(0);
+    v.par_chunks(64).for_each(|c| {
+        // ordering: relaxed (test tally; published by the join).
+        sum.fetch_add(c.iter().sum::<u64>() as usize, Ordering::Relaxed);
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(sum.load(Ordering::Relaxed), (0..500).sum::<u64>() as usize);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-pool regression tests
+// ---------------------------------------------------------------------------
+
+/// Marks a task's execution window on a local concurrency gauge and records
+/// its high watermark.
+fn track(active: &AtomicUsize, high: &AtomicUsize) {
+    // ordering: relaxed (test gauge — each RMW returns the exact count at
+    // its slot in the modification order, all the watermark needs).
+    let now = active.fetch_add(1, Ordering::Relaxed) + 1;
+    // ordering: relaxed (monotone watermark update on the same gauge).
+    high.fetch_max(now, Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(5));
+    // ordering: relaxed (test gauge decrement).
+    active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The headline regression: a `num_threads(2)` pool runs at most 2 of its 8
+/// spawned tasks concurrently (the old shim ran all 8 on fresh OS threads).
+#[test]
+fn pool_scope_bounds_concurrency() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let active = AtomicUsize::new(0);
+    let high = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|_| {
+                track(&active, &high);
+                // ordering: relaxed (test tally; published by the join).
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(done.load(Ordering::Relaxed), 8);
+    // ordering: relaxed (read after join — no concurrent writers left).
+    let high = high.load(Ordering::Relaxed);
+    assert!(high <= 2, "num_threads(2) pool ran {high} tasks concurrently");
+}
+
+/// `install` routes `par_iter` onto the installed pool: with `num_threads(2)`
+/// the observed concurrency stays ≤ 2 and no item runs on the caller thread
+/// (dispatch happens on the resident workers).
+#[test]
+fn install_bounds_par_iter_concurrency() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let caller = std::thread::current().id();
+    let active = AtomicUsize::new(0);
+    let high = AtomicUsize::new(0);
+    let ids = Mutex::new(HashSet::new());
+    let v: Vec<u32> = (0..64).collect();
+    pool.install(|| {
+        v.par_iter().with_min_len(1).for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            track(&active, &high);
+        });
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    let high = high.load(Ordering::Relaxed);
+    assert!(high <= 2, "par_iter in a num_threads(2) install ran {high}-wide");
+    let ids = ids.into_inner().unwrap();
+    assert!(ids.len() <= 2, "more worker threads than the pool width: {}", ids.len());
+    assert!(!ids.contains(&caller), "items ran on the caller instead of the pool");
+}
+
+/// `current_num_threads` reflects the installed pool (rayon semantics) and
+/// falls back to the cached host width outside any pool.
+#[test]
+fn current_num_threads_tracks_install_context() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    assert_eq!(current_num_threads(), host);
+    let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+    let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+    outer.install(|| {
+        assert_eq!(current_num_threads(), 3);
+        inner.install(|| assert_eq!(current_num_threads(), 5));
+        assert_eq!(current_num_threads(), 3);
+    });
+    assert_eq!(current_num_threads(), host);
+    // Resident workers report their own pool's width.
+    let seen = AtomicUsize::new(0);
+    outer.scope(|s| {
+        s.spawn(|_| {
+            // ordering: relaxed (test tally; published by the join).
+            seen.store(current_num_threads(), Ordering::Relaxed);
+        });
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(seen.load(Ordering::Relaxed), 3);
+}
+
+/// The install context unwinds with the stack: a panic inside `install`
+/// must not leave the pool installed on the caller thread.
+#[test]
+fn install_context_pops_on_panic() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let r = catch_unwind(AssertUnwindSafe(|| pool.install(|| panic!("boom"))));
+    assert!(r.is_err());
+    assert_eq!(current_num_threads(), host);
+}
+
+/// `with_min_len` is no longer a no-op: the chunk-size rule takes the floor,
+/// and a floor covering the whole input collapses to one inline sequential
+/// pass (strictly ascending visit order).
+#[test]
+fn with_min_len_chunk_rule_and_sequential_collapse() {
+    use super::pool::chunk_size;
+    // The floor wins when it is coarser than the auto granularity...
+    assert_eq!(chunk_size(1000, 100, 4), 100);
+    // ...the auto granularity (len / (width × 8), rounded up) wins otherwise...
+    assert_eq!(chunk_size(1000, 1, 4), 32);
+    // ...and degenerate inputs clamp to at least one index per claim.
+    assert_eq!(chunk_size(10, 0, 4), 1);
+    assert_eq!(chunk_size(1, 1, 0), 1);
+
+    let v: Vec<u32> = (0..100).collect();
+    let order = Mutex::new(Vec::new());
+    v.par_iter().with_min_len(100).enumerate().for_each(|(i, _)| {
+        order.lock().unwrap().push(i);
+    });
+    let order = order.into_inner().unwrap();
+    assert_eq!(order, (0..100).collect::<Vec<_>>(), "min_len ≥ len must run inline, in order");
+}
+
+/// Workers are resident: five scopes on a `num_threads(2)` pool reuse the
+/// same two OS threads (the old shim would have spawned twenty).
+#[test]
+fn persistent_workers_are_reused_across_scopes() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let ids = Mutex::new(HashSet::new());
+    for _ in 0..5 {
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            }
+        });
+    }
+    let ids = ids.into_inner().unwrap();
+    assert!(!ids.is_empty());
+    assert!(ids.len() <= 2, "expected ≤2 resident workers, saw {}", ids.len());
+}
+
+/// A nested scope inside a worker of a width-1 pool must not deadlock: the
+/// waiting worker executes the queued jobs itself.
+#[test]
+fn nested_scope_on_saturated_pool_completes() {
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let counter = AtomicUsize::new(0);
+    pool.scope(|s| {
+        s.spawn(|_| {
+            // On a worker thread the free `scope` resolves to the same pool.
+            scope(|inner| {
+                for _ in 0..4 {
+                    inner.spawn(|_| {
+                        // ordering: relaxed (test tally; published by the join).
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // ordering: relaxed (test tally; published by the join).
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(counter.load(Ordering::Relaxed), 5);
+}
+
+/// Oversubscription: far more tasks than workers all run to completion.
+#[test]
+fn oversubscribed_scope_drains() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let counter = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..64 {
+            s.spawn(|_| {
+                // ordering: relaxed (test tally; published by the join).
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(counter.load(Ordering::Relaxed), 64);
+}
+
+/// A panicking task is rethrown by the scope caller after every other task
+/// drained, and the pool stays usable afterwards.
+#[test]
+fn scope_propagates_task_panics_and_survives() {
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    let done = AtomicUsize::new(0);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    // ordering: relaxed (test tally; published by the join).
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    assert!(r.is_err(), "task panic must propagate out of the scope");
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(done.load(Ordering::Relaxed), 4, "surviving tasks drain before the rethrow");
+    let counter = AtomicUsize::new(0);
+    pool.scope(|s| {
+        s.spawn(|_| {
+            // ordering: relaxed (test tally; published by the join).
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    // ordering: relaxed (read after join — no concurrent writers left).
+    assert_eq!(counter.load(Ordering::Relaxed), 1);
+}
+
+/// `pool_stats` counters are cumulative and monotone.
+#[test]
+fn pool_stats_monotone() {
+    let before = pool_stats();
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    pool.scope(|s| {
+        s.spawn(|_| {});
+    });
+    let after = pool_stats();
+    assert!(after.workers_spawned >= before.workers_spawned + 2);
+    assert!(after.jobs >= before.jobs + 1);
+    assert!(after.parks >= before.parks);
+    assert!(after.max_active >= before.max_active);
+}
+
+#[test]
+fn empty_scope_returns_value() {
+    assert_eq!(scope(|_| 42), 42);
+    let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+    assert_eq!(pool.install(|| 7), 7);
+    let empty: Vec<u32> = Vec::new();
+    empty.par_iter().for_each(|_| unreachable!());
+}

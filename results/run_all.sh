@@ -5,6 +5,11 @@ for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations c
   cargo run --release -q -p hipa-bench --bin $bin > results/$bin.txt 2>results/$bin.err
   echo "=== $bin done $(date +%T) ==="
 done
+echo "=== pool bench start $(date +%T) ==="
+# Scheduler microbenches + a pool_stats counter snapshot (scope dispatch
+# cost, per-item claim overhead) from the rayon shim's persistent pool.
+cargo bench -q -p hipa-bench --bench pool > results/pool.txt 2>results/pool.err
+echo "=== pool bench done $(date +%T) ==="
 echo "=== audit start $(date +%T) ==="
 cargo run --release -q -p hipa-audit -- --summary-only > results/audit.txt 2>results/audit.err
 echo "=== audit done $(date +%T) ==="

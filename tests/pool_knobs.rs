@@ -1,0 +1,69 @@
+//! End-to-end proof that the `threads` knob is honoured now that the rayon
+//! shim runs persistent pools: an engine run with `threads = 2` never has
+//! more than two OS threads executing pool work, spawns exactly two resident
+//! workers, and reports `pool.*` counters in its trace.
+//!
+//! The shim's [`rayon::pool_stats`] counters are process-wide and cumulative
+//! (`max_active` is a high-watermark that never resets), so this file holds
+//! a SINGLE `#[test]` — its own test binary, hence its own process — and
+//! every parallel region in that process is width-bounded by 2.
+
+use hipa::prelude::*;
+use rayon::prelude::*;
+
+const THREADS: usize = 2;
+
+#[test]
+fn thread_knob_bounds_pool_concurrency_end_to_end() {
+    // Graph construction stays on the sequential CSR builder, so no pool
+    // exists yet and the deltas below belong to the engine run alone.
+    let g = hipa::graph::datasets::small_test_graph(7);
+    let s0 = rayon::pool_stats();
+    assert_eq!(s0.workers_spawned, 0, "no pool activity before the run");
+
+    let cfg = PageRankConfig::default().with_iterations(6);
+    let opts = NativeOpts::new(THREADS, 1024).with_trace(true);
+    let run = hipa_baselines::vpr::run_native(&g, &cfg, &opts);
+    let s1 = rayon::pool_stats();
+
+    // The regression this file pins down: the old shim spawned `threads`
+    // fresh OS threads per scope (one scope per iteration); the pool spawns
+    // exactly `threads` resident workers once and reuses them.
+    assert_eq!(s1.workers_spawned - s0.workers_spawned, THREADS as u64);
+    assert_eq!(s1.jobs - s0.jobs, (THREADS * run.iterations_run) as u64);
+    // `num_threads(2)` is a hard concurrency bound, not a hint.
+    assert!(
+        s1.max_active <= THREADS as u64,
+        "pool ran {} threads concurrently under a width-{THREADS} pool",
+        s1.max_active
+    );
+
+    // The run's trace carries the pool attribution (hipa-obs bridge).
+    let trace = run.trace.expect("trace requested");
+    let counter = |name: &str| {
+        trace
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    assert_eq!(counter("pool.width"), THREADS as u64);
+    assert_eq!(counter("pool.workers_spawned"), THREADS as u64);
+    assert_eq!(counter("pool.jobs"), (THREADS * run.iterations_run) as u64);
+
+    // `with_min_len` bounds dispatch overhead: 1000 items at min_len 100 on
+    // an installed width-2 pool is exactly ten chunk claims.
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(THREADS).build().unwrap();
+    pool.install(|| {
+        assert_eq!(rayon::current_num_threads(), THREADS);
+        let s2 = rayon::pool_stats();
+        let items = vec![1u32; 1000];
+        items.par_iter().with_min_len(100).for_each(|&x| assert_eq!(x, 1));
+        let s3 = rayon::pool_stats();
+        assert_eq!(s3.tasks_claimed - s2.tasks_claimed, 10);
+    });
+
+    // Still bounded after every region in the process has run.
+    assert!(rayon::pool_stats().max_active <= THREADS as u64);
+}
