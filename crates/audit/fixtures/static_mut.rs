@@ -1,0 +1,9 @@
+//! Seeded violation for rule 5 only: a mutable process-global and an
+//! unmangled export, with none of the other rules' triggers present.
+
+static mut GLOBAL_TICKS: u64 = 0;
+
+#[no_mangle]
+pub extern "C" fn hipa_tick() -> u64 {
+    1
+}

@@ -3,17 +3,20 @@
 //! Every native engine's hot path rests on one hand-upheld invariant:
 //! `SharedSlice` writes are structurally disjoint per thread (see
 //! `crates/core/src/disjoint.rs` and DESIGN.md §10). This crate enforces the
-//! *static* half of that contract with four lint rules over a hand-rolled
+//! *static* half of that contract with five lint rules over a hand-rolled
 //! lexer (no `syn`, no registry access):
 //!
 //! 1. every `unsafe` block/fn/impl carries a `SAFETY:` comment (or a
 //!    `# Safety` doc section on declarations);
 //! 2. raw-pointer casts, `transmute`, and `UnsafeCell` stay confined to the
-//!    audited aliasing modules (`disjoint.rs`, the vendored shims);
+//!    audited aliasing modules (`disjoint.rs`, `prefetch.rs`, the vendored
+//!    shims);
 //! 3. files touching `SharedSlice` carry a `//! disjointness:` contract
 //!    header naming the partition plan that keeps their writes disjoint;
 //! 4. atomic `Ordering` discipline: annotated `Relaxed` only, registered
-//!    Acquire/Release pairs only, `SeqCst` flagged.
+//!    Acquire/Release pairs only, `SeqCst` flagged;
+//! 5. no `static mut` and no `#[no_mangle]`: mutable process-globals and
+//!    unmangled exports bypass the contracts the other rules audit.
 //!
 //! The *dynamic* half is the `check-disjoint` feature on `hipa-core`, which
 //! makes `SharedSlice` tag every element with its writer thread and panic on

@@ -22,11 +22,14 @@ pub const RULE_UNSAFE_SAFETY: &str = "unsafe-needs-safety-comment";
 pub const RULE_RAW_PTR: &str = "raw-pointer-confinement";
 pub const RULE_DISJOINTNESS: &str = "shared-slice-needs-contract-header";
 pub const RULE_ORDERING: &str = "atomic-ordering-discipline";
+pub const RULE_STATIC_MUT: &str = "no-static-mut-or-no-mangle";
 
 /// Modules allowed to contain raw-pointer casts, `transmute`, or
-/// `UnsafeCell`: the one audited aliasing primitive, plus the vendored
-/// shims (third-party stand-ins, reviewed as a unit).
-pub const RAW_PTR_ALLOWLIST: &[&str] = &["crates/core/src/disjoint.rs", "crates/shims/"];
+/// `UnsafeCell`: the one audited aliasing primitive, the prefetch-hint
+/// helper (a single bounds-checked `as *const i8` for `_mm_prefetch`),
+/// plus the vendored shims (third-party stand-ins, reviewed as a unit).
+pub const RAW_PTR_ALLOWLIST: &[&str] =
+    &["crates/core/src/disjoint.rs", "crates/core/src/prefetch.rs", "crates/shims/"];
 
 /// Files exempt from the `//! disjointness:` header requirement: the module
 /// that *defines* `SharedSlice` (its contract is the module itself).
@@ -231,12 +234,52 @@ pub fn check_ordering_discipline(path: &str, lx: &Lexed) -> Vec<Finding> {
     out
 }
 
-/// Runs all four rules over one file.
+/// Rule 5: no mutable process-global state or linkage escapes. `static mut`
+/// is banned outright (the project's shared mutation goes through
+/// `SharedSlice` or atomics, both auditable); `#[no_mangle]` is banned
+/// because an unmangled export bypasses the crate boundary the other rules
+/// audit along. No allowlist — neither construct has a sanctioned use here.
+pub fn check_static_mut(path: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "static" if toks.get(i + 1).is_some_and(|n| n.text == "mut") => {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: RULE_STATIC_MUT,
+                    msg: "`static mut` is banned: use an atomic, a lock, or a \
+                          `SharedSlice` with a documented disjointness contract"
+                        .to_string(),
+                });
+            }
+            // Only flag the attribute form; an identifier named `no_mangle`
+            // in ordinary code has no linkage effect, and attributes are the
+            // only place the token appears in practice.
+            "no_mangle" if lx.line(t.line).is_attr => {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: RULE_STATIC_MUT,
+                    msg: "`#[no_mangle]` is banned: unmangled exports escape the \
+                          audited crate boundary"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Runs all five rules over one file.
 pub fn check_file(path: &str, lx: &Lexed) -> Vec<Finding> {
     let mut out = check_unsafe_safety(path, lx);
     out.extend(check_raw_ptr_confinement(path, lx));
     out.extend(check_disjointness_header(path, lx));
     out.extend(check_ordering_discipline(path, lx));
+    out.extend(check_static_mut(path, lx));
     out
 }
 
@@ -305,6 +348,30 @@ mod tests {
     fn multiplication_after_as_is_not_a_cast() {
         let lx = lex("fn f(x: usize, y: usize) -> usize { (x as usize) * y }");
         assert!(check_raw_ptr_confinement("crates/graph/src/csr.rs", &lx).is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_flagged() {
+        let lx = lex("static mut COUNTER: usize = 0;\n");
+        let f = check_static_mut("x.rs", &lx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_STATIC_MUT);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_static_mut() {
+        let lx = lex("fn f(x: &'static mut u32) -> &'static str { \"s\" }\n");
+        assert!(check_static_mut("x.rs", &lx).is_empty());
+        let imm = lex("static OK: usize = 0;\n");
+        assert!(check_static_mut("x.rs", &imm).is_empty());
+    }
+
+    #[test]
+    fn no_mangle_attr_is_flagged_but_comment_is_not() {
+        let lx = lex("#[no_mangle]\npub extern \"C\" fn f() {}\n");
+        assert_eq!(check_static_mut("x.rs", &lx).len(), 1);
+        let c = lex("// mentions no_mangle in prose only\nfn f() {}\n");
+        assert!(check_static_mut("x.rs", &c).is_empty());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! rule — and the binary exits nonzero on a tree containing them. Positive
 //! tests: the clean fixture and the real workspace audit clean.
 
-use hipa_audit::rules::{RULE_DISJOINTNESS, RULE_ORDERING, RULE_RAW_PTR, RULE_UNSAFE_SAFETY};
+use hipa_audit::rules::{
+    RULE_DISJOINTNESS, RULE_ORDERING, RULE_RAW_PTR, RULE_STATIC_MUT, RULE_UNSAFE_SAFETY,
+};
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> String {
@@ -46,6 +48,14 @@ fn bad_ordering_fixture_trips_rule_4_only() {
 }
 
 #[test]
+fn static_mut_fixture_trips_rule_5_only() {
+    let findings = hipa_audit::audit_source("static_mut.rs", &fixture("static_mut.rs"));
+    assert!(findings.iter().all(|f| f.rule == RULE_STATIC_MUT), "{findings:?}");
+    // The mutable global and the unmangled export each fire once.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     assert!(rules_fired("clean.rs").is_empty());
 }
@@ -74,8 +84,13 @@ fn audit_binary_exits_nonzero_on_seeded_violations() {
     let tmp = std::env::temp_dir().join(format!("hipa-audit-fixture-{}", std::process::id()));
     let src_dir = tmp.join("src");
     std::fs::create_dir_all(&src_dir).unwrap();
-    for name in ["missing_safety.rs", "stray_raw_ptr.rs", "missing_contract.rs", "bad_ordering.rs"]
-    {
+    for name in [
+        "missing_safety.rs",
+        "stray_raw_ptr.rs",
+        "missing_contract.rs",
+        "bad_ordering.rs",
+        "static_mut.rs",
+    ] {
         std::fs::write(src_dir.join(name), fixture(name)).unwrap();
     }
     let report = hipa_audit::audit_tree(&tmp).expect("scan temp tree");
@@ -85,7 +100,9 @@ fn audit_binary_exits_nonzero_on_seeded_violations() {
     let rules: std::collections::BTreeSet<_> = report.findings.iter().map(|f| f.rule).collect();
     assert_eq!(
         rules,
-        [RULE_UNSAFE_SAFETY, RULE_RAW_PTR, RULE_DISJOINTNESS, RULE_ORDERING].into_iter().collect()
+        [RULE_UNSAFE_SAFETY, RULE_RAW_PTR, RULE_DISJOINTNESS, RULE_ORDERING, RULE_STATIC_MUT]
+            .into_iter()
+            .collect()
     );
     // And the real binary: nonzero on the seeded tree, zero on the
     // workspace.

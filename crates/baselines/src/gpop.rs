@@ -16,6 +16,7 @@
 use crate::pcpm_common::{run_native, run_sim, PcpmParams};
 use hipa_core::{Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
+use hipa_numasim::MachineSpec;
 
 const PARAMS: PcpmParams = PcpmParams {
     label: "GPOP",
@@ -47,11 +48,139 @@ impl Engine for Gpop {
     }
 }
 
+// ---- §4.1 framework-tax model -------------------------------------------
+//
+// The paper observes a fixed ordering on every dataset: p-PR beats GPOP,
+// which beats the vertex-centric baselines. The gap between the two
+// partition-centric codes is pure *framework tax* — they run the same
+// scatter/gather schedule on the same bins. The model below predicts that
+// tax per iteration from three shape statistics (partition count, average
+// degree, bin fill), composed with the machine's cost model, and is
+// validated against the measured `RunTrace` scatter+gather phase cycles in
+// the test suite and the `kernels` census binary.
+
+/// Graph-shape statistics that drive GPOP's framework tax at a given cache
+/// partition size. One linear CSR pass; neighbours are sorted, so distinct
+/// destination partitions per source are countable in-line.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphShape {
+    pub vertices: u64,
+    pub edges: u64,
+    /// Cache partitions at the configured partition size.
+    pub partitions: u64,
+    /// `edges / vertices`.
+    pub avg_degree: f64,
+    /// Edges per compressed bin message when *every* edge is binned
+    /// (GPOP's contract): `edges / distinct (source, dest-partition) pairs`.
+    pub bin_fill: f64,
+    /// Fraction of edges whose endpoints share a partition — the direct
+    /// in-cache path p-PR keeps and GPOP routes through the bins.
+    pub intra_fraction: f64,
+}
+
+impl GraphShape {
+    pub fn measure(g: &DiGraph, partition_bytes: usize) -> GraphShape {
+        let n = g.num_vertices() as u64;
+        let m = g.num_edges() as u64;
+        let vpp = (partition_bytes / hipa_graph::VERTEX_BYTES).max(1) as u64;
+        let csr = g.out_csr();
+        let mut msgs = 0u64;
+        let mut intra = 0u64;
+        for v in 0..g.num_vertices() as u32 {
+            let home = v as u64 / vpp;
+            let mut last = u64::MAX;
+            for &dst in csr.neighbors(v) {
+                let p = dst as u64 / vpp;
+                if p != last {
+                    msgs += 1;
+                    last = p;
+                }
+                if p == home {
+                    intra += 1;
+                }
+            }
+        }
+        GraphShape {
+            vertices: n,
+            edges: m,
+            partitions: if n == 0 { 0 } else { n.div_ceil(vpp) },
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            bin_fill: if msgs == 0 { 1.0 } else { m as f64 / msgs as f64 },
+            intra_fraction: if m == 0 { 0.0 } else { intra as f64 / m as f64 },
+        }
+    }
+}
+
+/// The predicted framework tax per iteration, decomposed, in simulated
+/// wall cycles (aggregate thread work divided by the thread count).
+#[derive(Debug, Clone, Copy)]
+pub struct GpopTax {
+    /// User-function dispatch, id decoding and state checks on every bin
+    /// message and gathered edge (`extra_ops_per_edge`).
+    pub dispatch: f64,
+    /// 8-byte id+value bin entries instead of p-PR's 4-byte pure values,
+    /// paid once on the scatter write and once on the gather read.
+    pub payload: f64,
+    /// Per-partition Flags/State metadata, read and written in both phases.
+    pub metadata: f64,
+    /// Intra-partition edges lose the in-cache fast path and pay the full
+    /// bin machinery (extra messages, src-id stream, dest-list stream).
+    pub intra_reroute: f64,
+}
+
+impl GpopTax {
+    pub fn total(&self) -> f64 {
+        self.dispatch + self.payload + self.metadata + self.intra_reroute
+    }
+}
+
+/// Predicts the extra simulated wall cycles per iteration GPOP-lite pays
+/// over p-PR on a graph of `shape`, on `spec` with `threads` workers.
+///
+/// Both engines stream their bins from interleaved (NUMA-oblivious) pages,
+/// so the per-line cost blends local and remote streaming by socket count.
+/// The shared PCPM base (intra/inter demand traffic, finalise streams,
+/// spawn/barrier overheads) cancels in the GPOP − p-PR subtraction and is
+/// deliberately absent here. Validated to a factor-of-two band against the
+/// measured phase cycles — a roofline-grade model, not a simulator.
+pub fn predict_tax(shape: &GraphShape, spec: &MachineSpec, threads: usize) -> GpopTax {
+    let c = &spec.cost;
+    let line = spec.llc.line_bytes as f64;
+    let m = shape.edges as f64;
+    let msgs_gpop = m / shape.bin_fill;
+    let inter = m * (1.0 - shape.intra_fraction);
+    // Inter-only bins are assumed to fill like the all-edge bins.
+    let msgs_ppr = inter / shape.bin_fill;
+    let extra_msgs = (msgs_gpop - msgs_ppr).max(0.0);
+    let intra = m - inter;
+
+    // NUMA-oblivious streaming: pages interleave round-robin, so
+    // (sockets-1)/sockets of the lines are remote.
+    let s = spec.topology.sockets.max(1) as f64;
+    let stream_line = (c.dram_stream_local + (s - 1.0) * c.dram_stream_remote) / s;
+    // Bins are written and re-read once per iteration; once they overflow
+    // the combined LLC that traffic streams from DRAM.
+    let bin_bytes = PARAMS.payload_bytes as f64 * msgs_gpop + 4.0 * m;
+    let llc_total = (spec.llc.size_bytes * spec.topology.sockets) as f64;
+    let per_byte = if bin_bytes > llc_total { stream_line / line } else { c.llc_hit / line };
+
+    let t = threads.max(1) as f64;
+    let x = PARAMS.extra_ops_per_edge as f64;
+    let dispatch = x * (msgs_gpop + m) * c.op / t;
+    let payload = (PARAMS.payload_bytes as f64 - 4.0) * 2.0 * msgs_gpop * per_byte / t;
+    let metadata =
+        2.0 * 2.0 * (shape.partitions * PARAMS.meta_bytes_per_part as u64) as f64 * per_byte / t;
+    // Extra messages pay the p-PR-width bin round trip (4 B src id + 2×4 B
+    // value; the 8-byte delta is in `payload`) plus one op each; the intra
+    // edges' destination ids now ride the gather-side dest stream.
+    let intra_reroute = ((extra_msgs * 12.0 + intra * 4.0) * per_byte + extra_msgs * c.op) / t;
+    GpopTax { dispatch, payload, metadata, intra_reroute }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hipa_core::reference::{max_rel_error, reference_pagerank};
-    use hipa_numasim::MachineSpec;
 
     #[test]
     fn gpop_native_matches_reference() {
@@ -97,6 +226,87 @@ mod tests {
         assert!(
             sim_gpop.report.mem.dram_bytes(64) > sim_ppr.report.mem.dram_bytes(64),
             "GPOP should generate more traffic than p-PR at equal partition size"
+        );
+    }
+
+    /// A graph whose bins overflow tiny_test's combined LLC, so the tax is
+    /// stream-dominated (the regime the model targets).
+    fn tax_graph() -> DiGraph {
+        DiGraph::from_edge_list(&hipa_graph::gen::rmat(
+            &hipa_graph::gen::RmatParams {
+                scale: 12,
+                edges: 40_000,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+                simplify: true,
+                shuffle_ids: true,
+            },
+            97,
+        ))
+    }
+
+    fn region_cycles(trace: &hipa_obs::RunTrace, phase: &str) -> f64 {
+        let key = format!("{phase} [region]");
+        trace
+            .phase_totals()
+            .iter()
+            .find(|t| t.phase == key)
+            .map(|t| t.total)
+            .unwrap_or_else(|| panic!("no {key} samples"))
+    }
+
+    #[test]
+    fn shape_statistics_are_consistent() {
+        let g = tax_graph();
+        let shape = GraphShape::measure(&g, 2048);
+        assert_eq!(shape.vertices, g.num_vertices() as u64);
+        assert_eq!(shape.edges, g.num_edges() as u64);
+        assert_eq!(shape.partitions, (g.num_vertices() as u64).div_ceil(512));
+        assert!(shape.bin_fill >= 1.0, "fill {} below 1", shape.bin_fill);
+        assert!((0.0..=1.0).contains(&shape.intra_fraction));
+        // The measured message count must match what the GPOP layout builds.
+        let layout = hipa_core::PcpmLayout::build(g.out_csr(), 512, PARAMS.include_intra_in_bins);
+        let msgs = shape.edges as f64 / shape.bin_fill;
+        assert!((msgs - layout.total_msgs as f64).abs() < 0.5, "msgs {msgs} vs layout");
+    }
+
+    /// The tentpole validation: the shape-driven tax prediction lands within
+    /// a factor of two of the measured GPOP − p-PR scatter+gather cycle
+    /// delta per iteration on the simulated machine.
+    #[test]
+    fn predicted_tax_matches_measured_phase_cycles() {
+        let g = tax_graph();
+        let cfg = PageRankConfig::default().with_iterations(4);
+        let opts = SimOpts::new(MachineSpec::tiny_test())
+            .with_threads(4)
+            .with_partition_bytes(2048)
+            .with_trace(true);
+        let gpop = Gpop.run_sim(&g, &cfg, &opts);
+        let ppr = crate::Ppr.run_sim(&g, &cfg, &opts);
+        // All-binned vs intra-direct changes the f32 summation order, so the
+        // two baselines agree numerically, not bitwise.
+        let oracle = reference_pagerank(&g, &cfg);
+        assert!(max_rel_error(&gpop.ranks, &oracle) < 1e-3);
+        assert!(max_rel_error(&ppr.ranks, &oracle) < 1e-3);
+        let gt = gpop.trace.as_ref().expect("gpop trace");
+        let pt = ppr.trace.as_ref().expect("ppr trace");
+        let measured = (region_cycles(gt, "scatter") + region_cycles(gt, "gather")
+            - region_cycles(pt, "scatter")
+            - region_cycles(pt, "gather"))
+            / cfg.iterations as f64;
+        let shape = GraphShape::measure(&g, 2048);
+        let tax = predict_tax(&shape, &MachineSpec::tiny_test(), 4);
+        let ratio = tax.total() / measured;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "predicted {:.0} vs measured {measured:.0} cycles/iter (ratio {ratio:.2}): \
+             dispatch {:.0} payload {:.0} metadata {:.0} intra {:.0}",
+            tax.total(),
+            tax.dispatch,
+            tax.payload,
+            tax.metadata,
+            tax.intra_reroute,
         );
     }
 }

@@ -32,6 +32,7 @@
 use crate::common::{base_value, dangling_mass, inv_deg_array_par};
 use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
+use hipa_core::prefetch::{prefetch_read, LineFilter, PREFETCH_DISTANCE};
 use hipa_core::{
     DanglingPolicy, NativeOpts, NativeRun, PageRankConfig, PcpmLayout, SimOpts, SimRun,
 };
@@ -66,6 +67,11 @@ pub fn run_native(
     opts: &NativeOpts,
     params: &PcpmParams,
 ) -> NativeRun {
+    if let Some(run) =
+        hipa_core::preorder::native(g, cfg, opts, |g, cfg, opts| run_native(g, cfg, opts, params))
+    {
+        return run;
+    }
     let n = g.num_vertices();
     let rec = Recorder::new(opts.trace);
     if n == 0 {
@@ -86,6 +92,9 @@ pub fn run_native(
         };
     }
     let threads = opts.threads.max(1);
+    // Adaptive hint gate — see the sim path: hints arm only when the
+    // partition's random-access span spills the (assumed) L2.
+    let do_prefetch = opts.prefetch && opts.partition_bytes > hipa_core::prefetch::NATIVE_L2_BYTES;
     let tol = convergence::effective_tolerance(cfg.tolerance);
     // Residuals feed the stop rule *or* the trace's convergence trajectory.
     let track = tol.is_some() || rec.enabled();
@@ -171,7 +180,22 @@ pub fn run_native(
                                 }
                             }
                             for pair in layout.png_of(p) {
-                                for (k, &src) in layout.png_sources(pair).iter().enumerate() {
+                                let srcs = layout.png_sources(pair);
+                                // Warm the bin write cursor once per pair,
+                                // run ahead on the random rank/inv_deg reads.
+                                if do_prefetch {
+                                    vals_s.prefetch(pair.slot_start as usize);
+                                }
+                                let mut pf = LineFilter::new();
+                                for (k, &src) in srcs.iter().enumerate() {
+                                    if do_prefetch {
+                                        if let Some(&ahead) = srcs.get(k + PREFETCH_DISTANCE) {
+                                            if pf.admit(ahead as usize) {
+                                                prefetch_read(rank, ahead as usize);
+                                                prefetch_read(inv_deg, ahead as usize);
+                                            }
+                                        }
+                                    }
                                     let val = rank[src as usize] * inv_deg[src as usize];
                                     // SAFETY: one writer per slot.
                                     unsafe { vals_s.write(pair.slot_start as usize + k, val) };
@@ -220,7 +244,21 @@ pub fn run_native(
                                 break;
                             }
                             claims += 1;
-                            for k in layout.part_slot_ranges[q].clone() {
+                            let sr = layout.part_slot_ranges[q].clone();
+                            let mut pf = LineFilter::new();
+                            for k in sr.clone() {
+                                // Run ahead on the accumulator lines the slot
+                                // `PREFETCH_DISTANCE` messages onward will hit.
+                                if do_prefetch {
+                                    let ka = k + PREFETCH_DISTANCE as u64;
+                                    if ka < sr.end {
+                                        for &dst in layout.dests_of(ka) {
+                                            if pf.admit(dst as usize) {
+                                                acc_s.prefetch(dst as usize);
+                                            }
+                                        }
+                                    }
+                                }
                                 let val = vals[k as usize];
                                 for &dst in layout.dests_of(k) {
                                     // SAFETY: destinations lie in q, claimed
@@ -302,6 +340,11 @@ pub fn run_native(
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmParams) -> SimRun {
+    if let Some(run) =
+        hipa_core::preorder::sim(g, cfg, opts, |g, cfg, opts| run_sim(g, cfg, opts, params))
+    {
+        return run;
+    }
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     let rec = Recorder::new(opts.trace);
@@ -327,6 +370,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
     }
     let threads = opts.threads.clamp(1, machine.spec().topology.logical_cpus());
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
+    // Adaptive hint gate (DESIGN.md §12): PCPM's partition-resident random
+    // accesses don't need hints; they arm when the partition spills the L2.
+    let do_prefetch = opts.prefetch && opts.partition_bytes > opts.machine.l2.size_bytes;
     let m = g.num_edges();
 
     // Host-side build on `build_threads` workers; the simulated preprocessing
@@ -488,7 +534,20 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                                 payload * pair.slot_start as usize,
                                 payload * srcs.len(),
                             );
+                            // Mirror the native kernel's hints: warm the bin
+                            // write cursor, run ahead on the random reads.
+                            if do_prefetch {
+                                ctx.prefetch(vals_r, payload * pair.slot_start as usize, payload);
+                            }
+                            let mut pf = LineFilter::new();
                             for (k, &src) in srcs.iter().enumerate() {
+                                if do_prefetch {
+                                    if let Some(&ahead) = srcs.get(k + PREFETCH_DISTANCE) {
+                                        if pf.admit(ahead as usize) {
+                                            ctx.prefetch(contrib_r, 4 * ahead as usize, 4);
+                                        }
+                                    }
+                                }
                                 ctx.read(contrib_r, 4 * src as usize, 4);
                                 vals[pair.slot_start as usize + k] = contrib[src as usize];
                             }
@@ -498,6 +557,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                     p += threads;
                 }
                 rec.record("scatter.claims", j as i64, it as i64, claims as f64);
+                if rec.enabled() {
+                    rec.record("scatter", j as i64, it as i64, ctx.thread_cycles());
+                }
                 claims_counter.add(claims);
             });
         }
@@ -540,7 +602,20 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                         if dhi > dlo {
                             ctx.stream_read(dest_verts_r, 4 * dlo, 4 * (dhi - dlo));
                         }
+                        let mut pf = LineFilter::new();
                         for k in slo..shi {
+                            // Run ahead on the accumulator lines the slot
+                            // `PREFETCH_DISTANCE` messages onward will hit.
+                            if do_prefetch {
+                                let ka = k + PREFETCH_DISTANCE;
+                                if ka < shi {
+                                    for &dst in layout.dests_of(ka as u64) {
+                                        if pf.admit(dst as usize) {
+                                            ctx.prefetch(acc_r, 4 * dst as usize, 4);
+                                        }
+                                    }
+                                }
+                            }
                             let val = vals[k];
                             let dests = layout.dests_of(k as u64);
                             for &dst in dests {
@@ -592,6 +667,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, params: &PcpmP
                 }
                 partials[j] = dpart;
                 rec.record("gather.claims", j as i64, it as i64, claims as f64);
+                if rec.enabled() {
+                    rec.record("gather", j as i64, it as i64, ctx.thread_cycles());
+                }
                 claims_counter.add(claims);
             });
         }

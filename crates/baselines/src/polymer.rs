@@ -25,6 +25,7 @@
 use crate::common::{base_value, dangling_mass, inv_deg_array};
 use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
+use hipa_core::prefetch::{prefetch_read, LineFilter, PREFETCH_DISTANCE};
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
@@ -93,6 +94,9 @@ fn decompose(g: &DiGraph, nodes: usize, threads: usize) -> Decomp {
 }
 
 pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
+    if let Some(run) = hipa_core::preorder::native(g, cfg, opts, run_native) {
+        return run;
+    }
     let n = g.num_vertices();
     let rec = Recorder::new(opts.trace);
     if n == 0 {
@@ -113,6 +117,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
         };
     }
     let threads = opts.threads.max(1);
+    let do_prefetch = opts.prefetch;
     let tol = convergence::effective_tolerance(cfg.tolerance);
     // Residuals feed the stop rule *or* the trace's convergence trajectory.
     let track = tol.is_some() || rec.enabled();
@@ -218,9 +223,27 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                         let span_t = spans.start();
                         let mut dpart = 0.0f64;
                         let mut delta = 0.0f64;
+                        // Flat lookahead over the range's contiguous CSR
+                        // target window (power-law lists are mostly shorter
+                        // than PREFETCH_DISTANCE, so per-list hints would
+                        // rarely fire).
+                        let tgts = in_csr.targets_raw();
+                        let ehi = in_csr.offset(pull.end) as usize;
+                        let mut e = in_csr.offset(pull.start) as usize;
+                        let mut pf = LineFilter::new();
                         for v in pull.start as usize..pull.end as usize {
                             let mut acc = 0.0f32;
                             for &u in in_csr.neighbors(v as u32) {
+                                if do_prefetch {
+                                    let ea = e + PREFETCH_DISTANCE;
+                                    if ea < ehi {
+                                        let au = tgts[ea] as usize;
+                                        if pf.admit(au) {
+                                            prefetch_read(mirror, au);
+                                        }
+                                    }
+                                }
+                                e += 1;
                                 acc += mirror[u as usize];
                             }
                             let new = base + d * acc;
@@ -283,6 +306,9 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
+    if let Some(run) = hipa_core::preorder::sim(g, cfg, opts, run_sim) {
+        return run;
+    }
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     let rec = Recorder::new(opts.trace);
@@ -309,6 +335,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
     let topo = machine.spec().topology;
     let nodes = topo.sockets;
     let threads = opts.threads.clamp(nodes.min(topo.logical_cpus()), topo.logical_cpus());
+    let do_prefetch = opts.prefetch;
     let m = g.num_edges();
     // The simulated path models its own thread lifecycle (`create_pool` per
     // region); the pool deltas attribute any real shim-pool work it does.
@@ -414,6 +441,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                     contrib[v] = rank[v] * inv_deg[v];
                 }
                 ctx.compute((hi - lo) as u64);
+                if rec.enabled() {
+                    rec.record("contribute", j as i64, it as i64, ctx.thread_cycles());
+                }
             });
         }
         rec.record("contribute", RUN_LEVEL, it as i64, machine.cycles() - contribute_c0);
@@ -436,6 +466,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 ctx.stream_write(mirror_rs[*node], 4 * lo, 4 * (hi - lo));
                 mirrors[*node][lo..hi].copy_from_slice(&contrib[lo..hi]);
                 ctx.compute((hi - lo) as u64 / 8);
+                if rec.enabled() {
+                    rec.record("replicate", j as i64, it as i64, ctx.thread_cycles());
+                }
             });
         }
         rec.record("replicate", RUN_LEVEL, it as i64, machine.cycles() - replicate_c0);
@@ -477,9 +510,24 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 let mr = mirror_rs[*node];
                 let mut dpart = 0.0f64;
                 let mut delta = 0.0f64;
+                // Flat lookahead over the contiguous target window: hints
+                // the mirror line of the edge PREFETCH_DISTANCE onward.
+                let tgts = in_csr.targets_raw();
+                let mut e = elo;
+                let mut pf = LineFilter::new();
                 for v in lo..hi {
                     let mut acc = 0.0f32;
                     for &u in in_csr.neighbors(v as u32) {
+                        if do_prefetch {
+                            let ea = e + PREFETCH_DISTANCE;
+                            if ea < ehi {
+                                let au = tgts[ea] as usize;
+                                if pf.admit(au) {
+                                    ctx.prefetch(mr, 4 * au, 4);
+                                }
+                            }
+                        }
+                        e += 1;
                         // One random read per edge, always node-local, plus
                         // the framework's atomic writeAdd into the
                         // accumulator (Polymer applies updates with CAS).
@@ -500,6 +548,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 }
                 partials[j] = dpart;
                 delta_partials[j] = delta;
+                if rec.enabled() {
+                    rec.record("pull", j as i64, it as i64, ctx.thread_cycles());
+                }
             });
         }
         rec.record("pull", RUN_LEVEL, it as i64, machine.cycles() - pull_c0);

@@ -21,6 +21,7 @@
 use crate::common::{base_value, dangling_mass};
 use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
+use hipa_core::prefetch::{prefetch_read, LineFilter, PREFETCH_DISTANCE};
 use hipa_core::{DanglingPolicy, Engine, NativeOpts, NativeRun, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::DiGraph;
 use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
@@ -59,6 +60,9 @@ fn in_degrees(g: &DiGraph) -> Vec<u32> {
 }
 
 pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
+    if let Some(run) = hipa_core::preorder::native(g, cfg, opts, run_native) {
+        return run;
+    }
     let n = g.num_vertices();
     let rec = Recorder::new(opts.trace);
     if n == 0 {
@@ -79,6 +83,7 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
         };
     }
     let threads = opts.threads.max(1);
+    let do_prefetch = opts.prefetch;
     let tol = convergence::effective_tolerance(cfg.tolerance);
     // Residuals feed the stop rule *or* the trace's convergence trajectory.
     let track = tol.is_some() || rec.enabled();
@@ -127,9 +132,27 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
                         let span_t = spans.start();
                         let mut dpart = 0.0f64;
                         let mut delta = 0.0f64;
+                        // Flat lookahead over the range's contiguous CSR
+                        // target window: per-list lookahead would rarely
+                        // fire on power-law degrees (< PREFETCH_DISTANCE).
+                        let tgts = in_csr.targets_raw();
+                        let ehi = in_csr.offset(r.end) as usize;
+                        let mut e = in_csr.offset(r.start) as usize;
+                        let mut pf = LineFilter::new();
                         for v in r.start as usize..r.end as usize {
                             let mut acc = 0.0f32;
                             for &u in in_csr.neighbors(v as u32) {
+                                if do_prefetch {
+                                    let ea = e + PREFETCH_DISTANCE;
+                                    if ea < ehi {
+                                        let au = tgts[ea] as usize;
+                                        if pf.admit(au) {
+                                            prefetch_read(cur, au);
+                                            prefetch_read(degs, au);
+                                        }
+                                    }
+                                }
+                                e += 1;
                                 // No stored contributions: divide per edge
                                 // ("without storing the partial sum", §4.1).
                                 acc += cur[u as usize] / degs[u as usize] as f32;
@@ -193,6 +216,9 @@ pub fn run_native(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> Nativ
 }
 
 pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
+    if let Some(run) = hipa_core::preorder::sim(g, cfg, opts, run_sim) {
+        return run;
+    }
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     let rec = Recorder::new(opts.trace);
@@ -217,6 +243,7 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
         };
     }
     let threads = opts.threads.clamp(1, machine.spec().topology.logical_cpus());
+    let do_prefetch = opts.prefetch;
     let m = g.num_edges();
     // The simulated path models its own thread lifecycle (`create_pool` per
     // region); the pool deltas attribute any real shim-pool work it does.
@@ -299,9 +326,26 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 }
                 let mut dpart = 0.0f64;
                 let mut delta = 0.0f64;
+                // Flat lookahead over the contiguous target window (see the
+                // native kernel): hints the rank/degree lines of the edge
+                // PREFETCH_DISTANCE positions onward.
+                let tgts = in_csr.targets_raw();
+                let mut e = elo;
+                let mut pf = LineFilter::new();
                 for v in lo..hi {
                     let mut acc = 0.0f32;
                     for &u in in_csr.neighbors(v as u32) {
+                        if do_prefetch {
+                            let ea = e + PREFETCH_DISTANCE;
+                            if ea < ehi {
+                                let au = tgts[ea] as usize;
+                                if pf.admit(au) {
+                                    ctx.prefetch(cur_r, 4 * au, 4);
+                                    ctx.prefetch(deg_r, 4 * au, 4);
+                                }
+                            }
+                        }
+                        e += 1;
                         // The heart of v-PR's cost profile: two random reads
                         // per in-edge plus a division — no stored
                         // contribution array ("without storing the partial
@@ -322,6 +366,9 @@ pub fn run_sim(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts) -> SimRun {
                 }
                 partials[j] = dpart;
                 delta_partials[j] = delta;
+                if rec.enabled() {
+                    rec.record("pull", j as i64, it as i64, ctx.thread_cycles());
+                }
             });
         }
         rec.record("pull", RUN_LEVEL, it as i64, machine.cycles() - pull_c0);

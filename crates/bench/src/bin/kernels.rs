@@ -1,0 +1,226 @@
+//! Hot-kernel census (DESIGN.md §12): the trace-driven kernel pass in one
+//! binary — software-prefetch A/B, reorder-strategy A/B, the cross-path
+//! bitwise-equality matrix, and the GPOP framework-tax model check.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin kernels [--fast] [--csv]
+//! ```
+//!
+//! Expected directions: prefetch hints cut simulated scatter/gather cycles
+//! (random DRAM latency is charged at stream rates once hidden) while every
+//! rank stays bitwise identical; frequency sub-clustering keeps the
+//! partition census fixed but lifts private-cache hit rates; the tax model
+//! lands within a factor of two of the measured GPOP − p-PR phase delta.
+
+use hipa_baselines::gpop::{predict_tax, GraphShape};
+use hipa_baselines::{Gpop, Polymer, Ppr, Vpr};
+use hipa_bench::{scaled_partition, skylake, BinArgs};
+use hipa_core::{Engine, HiPa, NativeOpts, PageRankConfig, ReorderStrategy, SimOpts, SimRun};
+use hipa_graph::stats::partition_census;
+use hipa_obs::RunTrace;
+use hipa_report::{fmt_count, fmt_pct, fmt_secs, Table};
+
+/// Sum of a phase's region-level samples (wall cycles of that region).
+fn region_cycles(trace: &RunTrace, phase: &str) -> f64 {
+    let key = format!("{phase} [region]");
+    trace.phase_totals().iter().find(|t| t.phase == key).map(|t| t.total).unwrap_or(0.0)
+}
+
+/// Wall cycles of an engine's hot kernels (scatter+gather for the PCPM
+/// engines, pull for the vertex-centric ones).
+fn kernel_cycles(run: &SimRun, phases: &[&str]) -> f64 {
+    let t = run.trace.as_ref().expect("traced run");
+    phases.iter().map(|p| region_cycles(t, p)).sum()
+}
+
+fn scatter_gather_cycles(run: &SimRun) -> f64 {
+    kernel_cycles(run, &["scatter", "gather"])
+}
+
+/// One prefetch A/B configuration: engine, paper thread count, partition
+/// size (bytes, pre-scaling), and the engine's hot-kernel phase names.
+struct AbRow {
+    engine: Box<dyn Engine>,
+    threads: usize,
+    paper_bytes: usize,
+    phases: &'static [&'static str],
+}
+
+fn ab_rows() -> Vec<AbRow> {
+    const PCPM: &[&str] = &["scatter", "gather"];
+    const PULL: &[&str] = &["pull"];
+    vec![
+        // Paper-tuned PCPM configs (§4.1): partitions fit L2, so the
+        // adaptive gate keeps hints off and the A/B is exactly 1.00x.
+        AbRow { engine: Box::new(HiPa), threads: 40, paper_bytes: 256 << 10, phases: PCPM },
+        AbRow { engine: Box::new(Ppr), threads: 20, paper_bytes: 256 << 10, phases: PCPM },
+        AbRow { engine: Box::new(Gpop), threads: 20, paper_bytes: 1 << 20, phases: PCPM },
+        // Oversized partitions spill L2; the gate arms and hints recover
+        // the loss.
+        AbRow { engine: Box::new(HiPa), threads: 40, paper_bytes: 4 << 20, phases: PCPM },
+        AbRow { engine: Box::new(Ppr), threads: 20, paper_bytes: 4 << 20, phases: PCPM },
+        AbRow { engine: Box::new(Gpop), threads: 20, paper_bytes: 8 << 20, phases: PCPM },
+        // Vertex-centric pull kernels read ranks at whole-graph span:
+        // always armed, largest wins.
+        AbRow { engine: Box::new(Vpr), threads: 40, paper_bytes: 256 << 10, phases: PULL },
+        AbRow { engine: Box::new(Polymer), threads: 40, paper_bytes: 256 << 10, phases: PULL },
+    ]
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let iters = args.iterations();
+    let mut csv = String::new();
+
+    // ---- 1. Software-prefetch A/B (simulated machine) ----
+    let mut t1 = Table::new(
+        &format!("Prefetch A/B on the simulated Xeon 4210 ({iters} iterations)"),
+        &["dataset", "engine", "partition", "off", "on", "speedup", "kernel speedup", "hints"],
+    );
+    for ds in args.datasets() {
+        let g = ds.build();
+        for row in ab_rows() {
+            let cfg = PageRankConfig::default().with_iterations(iters);
+            let base = SimOpts::new(skylake())
+                .with_threads(row.threads)
+                .with_partition_bytes(scaled_partition(row.paper_bytes))
+                .with_trace(true);
+            let off = row.engine.run_sim(&g, &cfg, &base.clone().with_prefetch(false));
+            let on = row.engine.run_sim(&g, &cfg, &base);
+            assert_eq!(off.ranks, on.ranks, "prefetch must not change ranks");
+            let kernels_off = kernel_cycles(&off, row.phases);
+            let kernels_on = kernel_cycles(&on, row.phases);
+            t1.row(vec![
+                ds.name().to_string(),
+                row.engine.name().to_string(),
+                format!("{}K", row.paper_bytes >> 10),
+                fmt_secs(off.compute_seconds()),
+                fmt_secs(on.compute_seconds()),
+                format!("{:.2}x", off.compute_cycles / on.compute_cycles),
+                format!("{:.2}x", kernels_off / kernels_on),
+                fmt_count(on.report.mem.prefetches),
+            ]);
+        }
+    }
+    t1.print();
+    csv.push_str(&t1.to_csv());
+
+    // ---- 2. Reorder strategies under HiPa (simulated machine) ----
+    let strategies = [
+        ReorderStrategy::None,
+        ReorderStrategy::DegreeDesc,
+        ReorderStrategy::FrequencyClusters,
+        ReorderStrategy::Random(77),
+    ];
+    let vpp = scaled_partition(256 << 10) / 4;
+    let mut t2 = Table::new(
+        &format!("Reorder strategies, HiPa sim, 40 threads ({iters} iterations)"),
+        &["dataset", "strategy", "intra share", "compression", "sim time", "L1 hit", "remote"],
+    );
+    for ds in args.datasets() {
+        let g = ds.build();
+        for strat in strategies {
+            let cfg = PageRankConfig::default().with_iterations(iters);
+            let opts = SimOpts::new(skylake())
+                .with_threads(40)
+                .with_partition_bytes(scaled_partition(256 << 10))
+                .with_reorder(strat);
+            let run = HiPa.run_sim(&g, &cfg, &opts);
+            // Census of the order the engine actually computed on.
+            let pre = hipa_core::preorder::prepare(&g, strat, scaled_partition(256 << 10));
+            let census = partition_census(pre.graph.out_csr(), vpp);
+            let m = &run.report.mem;
+            t2.row(vec![
+                ds.name().to_string(),
+                strat.name().to_string(),
+                fmt_pct(
+                    census.intra_total as f64
+                        / (census.intra_total + census.inter_total).max(1) as f64,
+                ),
+                format!("{:.2}x", census.compression_ratio()),
+                fmt_secs(run.compute_seconds()),
+                fmt_pct(m.l1_hits as f64 / (m.reads + m.writes).max(1) as f64),
+                fmt_pct(m.remote_fraction()),
+            ]);
+        }
+    }
+    t2.print();
+    csv.push_str(&t2.to_csv());
+
+    // ---- 3. Bitwise-equality matrix: native == sim, prefetch on == off,
+    // for every engine × strategy ----
+    let engines: Vec<Box<dyn Engine>> =
+        vec![Box::new(HiPa), Box::new(Ppr), Box::new(Vpr), Box::new(Gpop), Box::new(Polymer)];
+    let eq_strategies: &[ReorderStrategy] = if args.fast {
+        &[ReorderStrategy::None, ReorderStrategy::FrequencyClusters]
+    } else {
+        &strategies
+    };
+    let g = hipa_graph::datasets::Dataset::Journal.build();
+    let eq_iters = 5;
+    let mut combos = 0;
+    for engine in &engines {
+        for &strat in eq_strategies {
+            let cfg = PageRankConfig::default().with_iterations(eq_iters);
+            let nat = NativeOpts::new(4, scaled_partition(256 << 10)).with_reorder(strat);
+            let sim = SimOpts::new(skylake())
+                .with_threads(4)
+                .with_partition_bytes(scaled_partition(256 << 10))
+                .with_reorder(strat);
+            let runs = [
+                engine.run_native(&g, &cfg, &nat).ranks,
+                engine.run_native(&g, &cfg, &nat.clone().with_prefetch(false)).ranks,
+                engine.run_sim(&g, &cfg, &sim).ranks,
+                engine.run_sim(&g, &cfg, &sim.clone().with_prefetch(false)).ranks,
+            ];
+            for r in &runs[1..] {
+                assert_eq!(
+                    &runs[0],
+                    r,
+                    "bitwise equality broken: {} / {}",
+                    engine.name(),
+                    strat.name()
+                );
+            }
+            combos += 1;
+        }
+    }
+    println!(
+        "equality matrix: {combos} engine x strategy combinations, 4 paths each \
+         (native/sim x prefetch on/off) -- all ranks bitwise identical\n"
+    );
+
+    // ---- 4. GPOP framework-tax model vs measured phase cycles ----
+    let mut t4 = Table::new(
+        "GPOP framework tax: shape-model prediction vs measured GPOP - p-PR \
+         scatter+gather cycles (20 threads, 1 MB partitions)",
+        &["dataset", "predicted/iter", "measured/iter", "ratio", "dispatch", "payload", "meta"],
+    );
+    for ds in args.datasets() {
+        let g = ds.build();
+        let part = scaled_partition(1 << 20);
+        let cfg = PageRankConfig::default().with_iterations(iters);
+        let opts =
+            SimOpts::new(skylake()).with_threads(20).with_partition_bytes(part).with_trace(true);
+        let gpop = Gpop.run_sim(&g, &cfg, &opts);
+        let ppr = Ppr.run_sim(&g, &cfg, &opts);
+        let measured = (scatter_gather_cycles(&gpop) - scatter_gather_cycles(&ppr)) / iters as f64;
+        let shape = GraphShape::measure(&g, part);
+        let tax = predict_tax(&shape, &skylake(), 20);
+        t4.row(vec![
+            ds.name().to_string(),
+            fmt_count(tax.total() as u64),
+            fmt_count(measured.max(0.0) as u64),
+            format!("{:.2}", tax.total() / measured.max(1.0)),
+            fmt_count(tax.dispatch as u64),
+            fmt_count(tax.payload as u64),
+            fmt_count(tax.metadata as u64),
+        ]);
+    }
+    t4.print();
+    csv.push_str(&t4.to_csv());
+
+    if args.csv {
+        print!("{csv}");
+    }
+}

@@ -99,6 +99,13 @@ fn host_build_table(args: &BinArgs, iters: usize) {
         ]);
     }
     table.print();
+    if host_cores == 1 {
+        println!(
+            "note: single-core container -- the parallel build exercises the \
+             multi-worker code path but cannot show a wall-clock speedup; \
+             treat the seq/par columns as a correctness check here.\n"
+        );
+    }
     if args.csv {
         print!("{}", table.to_csv());
     }

@@ -160,6 +160,30 @@ impl<'a, T> SharedSlice<'a, T> {
         unsafe { *self.data[i].get() }
     }
 
+    /// Hints that element `i` will be accessed soon (the `SharedSlice`
+    /// counterpart of [`crate::prefetch::prefetch_read`]). A prefetch hint
+    /// performs no memory access and has no architectural effect, so this
+    /// is *safe* under any concurrent writes and never touches the
+    /// `check-disjoint` tag table. Out-of-range `i` is ignored; compiles to
+    /// nothing without the `prefetch` feature or off x86_64.
+    #[inline(always)]
+    pub fn prefetch(&self, i: usize) {
+        #[cfg(all(feature = "prefetch", target_arch = "x86_64"))]
+        if i < self.data.len() {
+            // SAFETY: `i` is in-bounds so the pointer is valid to form;
+            // `_mm_prefetch` is a hint that performs no access, so no
+            // aliasing or race obligations arise.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    self.data[i].get() as *const i8,
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(all(feature = "prefetch", target_arch = "x86_64")))]
+        let _ = i;
+    }
+
     /// Applies `f` to element `i` in place (read-modify-write).
     ///
     /// # Safety

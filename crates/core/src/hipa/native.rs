@@ -29,6 +29,7 @@ use crate::config::{DanglingPolicy, PageRankConfig};
 use crate::convergence;
 use crate::disjoint::SharedSlice;
 use crate::pcpm::PcpmLayout;
+use crate::prefetch::{prefetch_read, LineFilter, PREFETCH_DISTANCE};
 use crate::runs::{NativeOpts, NativeRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_obs::{PoolCounters, Recorder, TraceMeta, PATH_NATIVE, RUN_LEVEL};
@@ -37,6 +38,9 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
+    if let Some(run) = crate::preorder::native(g, cfg, opts, run) {
+        return run;
+    }
     let n = g.num_vertices();
     let rec = Recorder::new(opts.trace);
     if n == 0 {
@@ -100,6 +104,9 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
         plan.threads().map(|(_, _, t)| t.part_range.clone()).collect();
     let num_parts: usize = thread_parts.iter().map(|r| r.len()).sum();
     let degs = g.out_degrees();
+    // Adaptive hint gate — see the sim path: hints arm only when the
+    // partition's random-access span spills the (assumed) L2.
+    let do_prefetch = opts.prefetch && opts.partition_bytes > crate::prefetch::NATIVE_L2_BYTES;
 
     let t1 = Instant::now();
     {
@@ -153,7 +160,22 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                                 }
                             }
                             for pair in layout.png_of(p) {
-                                for (k, &src) in layout.png_sources(pair).iter().enumerate() {
+                                let srcs = layout.png_sources(pair);
+                                if do_prefetch {
+                                    // Warm this bin's write cursor: the slot
+                                    // run starts on a cold line per pair.
+                                    vals_s.prefetch(pair.slot_start as usize);
+                                }
+                                let mut pf = LineFilter::new();
+                                for (k, &src) in srcs.iter().enumerate() {
+                                    if do_prefetch {
+                                        if let Some(&ahead) = srcs.get(k + PREFETCH_DISTANCE) {
+                                            if pf.admit(ahead as usize) {
+                                                rank_s.prefetch(ahead as usize);
+                                                prefetch_read(inv_deg, ahead as usize);
+                                            }
+                                        }
+                                    }
                                     // SAFETY: src is in this thread's range
                                     // and rank is only written post-barrier.
                                     let r = unsafe { rank_s.get(src as usize) };
@@ -173,7 +195,22 @@ pub fn run(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts) -> NativeRun {
                         let mut delta = 0.0f64;
                         for q in parts.clone() {
                             let sr = layout.part_slot_ranges[q].clone();
-                            for k in sr {
+                            let mut pf = LineFilter::new();
+                            for k in sr.clone() {
+                                if do_prefetch {
+                                    // Run ahead on the neighbour-offset runs:
+                                    // warm the accumulators of the slot
+                                    // PREFETCH_DISTANCE messages out (each
+                                    // dest line is prefetched exactly once).
+                                    let ka = k + PREFETCH_DISTANCE as u64;
+                                    if ka < sr.end {
+                                        for &dst in layout.dests_of(ka) {
+                                            if pf.admit(dst as usize) {
+                                                acc_s.prefetch(dst as usize);
+                                            }
+                                        }
+                                    }
+                                }
                                 // SAFETY: the inbox of q is only read by q's
                                 // owner after the scatter barrier.
                                 let val = unsafe { vals_s.get(k as usize) };

@@ -11,6 +11,7 @@ use crate::config::{DanglingPolicy, PageRankConfig};
 use crate::convergence;
 use crate::hipa::placement::vertex_ends;
 use crate::pcpm::PcpmLayout;
+use crate::prefetch::{LineFilter, PREFETCH_DISTANCE};
 use crate::runs::{SimOpts, SimRun};
 use hipa_graph::{DiGraph, VERTEX_BYTES};
 use hipa_numasim::{PhaseBalance, Placement, PoolId, SimMachine, ThreadPlacement};
@@ -66,6 +67,11 @@ pub fn run_variant(
     opts: &SimOpts,
     variant: &HiPaVariant,
 ) -> SimRun {
+    if let Some(run) =
+        crate::preorder::sim(g, cfg, opts, |g, cfg, opts| run_variant(g, cfg, opts, variant))
+    {
+        return run;
+    }
     let n = g.num_vertices();
     let mut machine = SimMachine::new(opts.machine.clone());
     let rec = Recorder::new(opts.trace);
@@ -99,6 +105,11 @@ pub fn run_variant(
     );
     let tpn = threads / sockets;
     let vpp = (opts.partition_bytes / VERTEX_BYTES).max(1);
+    // Adaptive hint gate (DESIGN.md §12): PCPM sizes partitions so the
+    // random-access working set (one partition's contribution/accumulator
+    // span) is cache-resident — hints there only burn issue slots. They arm
+    // exactly when the configured partition spills the L2.
+    let do_prefetch = opts.prefetch && opts.partition_bytes > opts.machine.l2.size_bytes;
 
     // ---- Preprocessing (host work; its simulated cost is charged below).
     // Runs on `build_threads` host workers; the structures are bit-identical
@@ -355,12 +366,29 @@ pub fn run_variant(
                         let srcs = layout.png_sources(pair);
                         ctx.stream_read(png_src_r, 4 * pair.src_start as usize, 4 * srcs.len());
                         ctx.stream_write(vals_r, 4 * pair.slot_start as usize, 4 * srcs.len());
+                        // Mirror the native kernel's hints: warm the bin
+                        // write cursor once per pair, run ahead on the
+                        // random contribution reads.
+                        if do_prefetch {
+                            ctx.prefetch(vals_r, 4 * pair.slot_start as usize, 4);
+                        }
+                        let mut pf = LineFilter::new();
                         for (k, &src) in srcs.iter().enumerate() {
+                            if do_prefetch {
+                                if let Some(&ahead) = srcs.get(k + PREFETCH_DISTANCE) {
+                                    if pf.admit(ahead as usize) {
+                                        ctx.prefetch(contrib_r, 4 * ahead as usize, 4);
+                                    }
+                                }
+                            }
                             ctx.read(contrib_r, 4 * src as usize, 4);
                             vals[pair.slot_start as usize + k] = contrib[src as usize];
                         }
                         ctx.compute(srcs.len() as u64);
                     }
+                }
+                if rec.enabled() {
+                    rec.record("scatter", j as i64, it as i64, ctx.thread_cycles());
                 }
             });
         }
@@ -402,7 +430,21 @@ pub fn run_variant(
                         if dhi > dlo {
                             ctx.stream_read(dest_verts_r, 4 * dlo, 4 * (dhi - dlo));
                         }
+                        let mut pf = LineFilter::new();
                         for k in slo..shi {
+                            // Run ahead on the accumulator lines the slot
+                            // `PREFETCH_DISTANCE` messages onward will hit
+                            // (mirrors the native kernel's hints).
+                            if do_prefetch {
+                                let ka = k + PREFETCH_DISTANCE;
+                                if ka < shi {
+                                    for &dst in layout.dests_of(ka as u64) {
+                                        if pf.admit(dst as usize) {
+                                            ctx.prefetch(acc_r, 4 * dst as usize, 4);
+                                        }
+                                    }
+                                }
+                            }
                             let val = vals[k];
                             let dests = layout.dests_of(k as u64);
                             for &dst in dests {
@@ -451,6 +493,9 @@ pub fn run_variant(
                 }
                 partials[j] = dpart;
                 delta_partials[j] = delta;
+                if rec.enabled() {
+                    rec.record("gather", j as i64, it as i64, ctx.thread_cycles());
+                }
             });
         }
         rec.record("gather", RUN_LEVEL, it as i64, machine.cycles() - gather_c0);

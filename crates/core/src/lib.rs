@@ -24,6 +24,8 @@ pub mod disjoint;
 pub mod hipa;
 pub mod par;
 pub mod pcpm;
+pub mod prefetch;
+pub mod preorder;
 pub mod reference;
 pub mod runs;
 
@@ -32,4 +34,4 @@ pub use hipa::sim::HiPaVariant;
 pub use hipa::HiPa;
 pub use pcpm::PcpmLayout;
 pub use reference::reference_pagerank;
-pub use runs::{Engine, NativeOpts, NativeRun, SimOpts, SimRun};
+pub use runs::{Engine, NativeOpts, NativeRun, ReorderStrategy, SimOpts, SimRun};

@@ -1,0 +1,136 @@
+//! Reorder-preprocessing wrapper shared by every engine entry point.
+//!
+//! When [`NativeOpts::reorder`] / [`SimOpts::reorder`] names a strategy,
+//! the engine's entry function calls [`native`] / [`sim`] first: the graph
+//! is relabelled with the requested permutation, the engine runs unchanged
+//! on the relabelled graph (with `reorder` reset to `None` so the recursion
+//! terminates), and the resulting ranks are mapped back to the caller's
+//! original vertex ids. PageRank is invariant under relabelling up to f32
+//! summation order, so a reordered run is *numerically* equivalent but not
+//! bit-equal to the input-order run; what stays bitwise-equal is every
+//! (native, sim) pair and every (prefetch on, off) pair *within* one
+//! strategy — the equality matrix in `tests/kernel_equality.rs` enforces
+//! exactly that.
+//!
+//! The relabel pass itself runs on the host: the native wrapper adds its
+//! wall time to [`NativeRun::preprocess`]; the sim wrapper (like
+//! `build_threads`) leaves the simulated preprocessing cycles unchanged —
+//! the modelled machine sees only the relabelled graph, not the relabel.
+
+use crate::config::PageRankConfig;
+use crate::runs::{NativeOpts, NativeRun, ReorderStrategy, SimOpts, SimRun};
+use hipa_graph::reorder::{by_degree_desc, by_frequency_clusters, random_permutation, Permutation};
+use hipa_graph::{DiGraph, Edge, EdgeList};
+
+/// A prepared reordering: the permutation and the relabelled graph.
+pub struct Preorder {
+    pub perm: Permutation,
+    pub graph: DiGraph,
+}
+
+impl Preorder {
+    /// Ranks of the relabelled run re-indexed by original vertex id.
+    pub fn map_ranks_back(&self, ranks: &[f32]) -> Vec<f32> {
+        (0..ranks.len() as u32).map(|old| ranks[self.perm.map(old) as usize]).collect()
+    }
+}
+
+/// Computes the permutation for `strategy` and relabels `g` with it.
+/// `partition_bytes` sizes the frequency-clustering blocks exactly like the
+/// engines size cache partitions (`|P| = bytes / 4`).
+pub fn prepare(g: &DiGraph, strategy: ReorderStrategy, partition_bytes: usize) -> Preorder {
+    let n = g.num_vertices();
+    let perm = match strategy {
+        ReorderStrategy::None => Permutation::identity(n),
+        ReorderStrategy::DegreeDesc => by_degree_desc(g.out_csr()),
+        // Hotness = in-degree: how often a vertex's accumulator is written
+        // in the gather/pull kernels.
+        ReorderStrategy::FrequencyClusters => {
+            by_frequency_clusters(g.in_csr(), (partition_bytes / hipa_graph::VERTEX_BYTES).max(1))
+        }
+        ReorderStrategy::Random(seed) => random_permutation(n, seed),
+    };
+    let el = EdgeList::new(n, g.out_csr().iter_edges().map(|(s, d)| Edge::new(s, d)).collect());
+    let graph = DiGraph::from_edge_list(&perm.apply(&el));
+    Preorder { perm, graph }
+}
+
+/// Native-path wrapper: `Some(run)` when a reorder was requested (the
+/// caller returns it immediately), `None` when the engine should proceed on
+/// the input order.
+pub fn native<F>(g: &DiGraph, cfg: &PageRankConfig, opts: &NativeOpts, f: F) -> Option<NativeRun>
+where
+    F: FnOnce(&DiGraph, &PageRankConfig, &NativeOpts) -> NativeRun,
+{
+    if opts.reorder == ReorderStrategy::None {
+        return None;
+    }
+    let t0 = std::time::Instant::now();
+    let pre = prepare(g, opts.reorder, opts.partition_bytes);
+    let relabel = t0.elapsed();
+    let inner = opts.clone().with_reorder(ReorderStrategy::None);
+    let mut run = f(&pre.graph, cfg, &inner);
+    run.ranks = pre.map_ranks_back(&run.ranks);
+    run.preprocess += relabel;
+    Some(run)
+}
+
+/// Sim-path wrapper; see [`native`].
+pub fn sim<F>(g: &DiGraph, cfg: &PageRankConfig, opts: &SimOpts, f: F) -> Option<SimRun>
+where
+    F: FnOnce(&DiGraph, &PageRankConfig, &SimOpts) -> SimRun,
+{
+    if opts.reorder == ReorderStrategy::None {
+        return None;
+    }
+    let pre = prepare(g, opts.reorder, opts.partition_bytes);
+    let inner = opts.clone().with_reorder(ReorderStrategy::None);
+    let mut run = f(&pre.graph, cfg, &inner);
+    run.ranks = pre.map_ranks_back(&run.ranks);
+    Some(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_prepare_roundtrips_ranks() {
+        let g = hipa_graph::datasets::small_test_graph(48);
+        let pre = prepare(&g, ReorderStrategy::None, 1024);
+        let ranks: Vec<f32> = (0..g.num_vertices()).map(|v| v as f32).collect();
+        assert_eq!(pre.map_ranks_back(&ranks), ranks);
+        assert_eq!(pre.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn map_back_inverts_the_relabel() {
+        let g = hipa_graph::datasets::small_test_graph(49);
+        let pre = prepare(&g, ReorderStrategy::Random(3), 1024);
+        // Rank of relabelled vertex `new` is `new as f32`; mapping back must
+        // give every original vertex the rank of its new id.
+        let ranks: Vec<f32> = (0..g.num_vertices()).map(|v| v as f32).collect();
+        let back = pre.map_ranks_back(&ranks);
+        for old in 0..g.num_vertices() as u32 {
+            assert_eq!(back[old as usize], pre.perm.map(old) as f32);
+        }
+    }
+
+    #[test]
+    fn relabelled_graph_preserves_degrees() {
+        let g = hipa_graph::datasets::small_test_graph(50);
+        for strat in [
+            ReorderStrategy::DegreeDesc,
+            ReorderStrategy::FrequencyClusters,
+            ReorderStrategy::Random(7),
+        ] {
+            let pre = prepare(&g, strat, 1024);
+            assert_eq!(pre.graph.num_vertices(), g.num_vertices());
+            assert_eq!(pre.graph.num_edges(), g.num_edges());
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(pre.graph.out_degree(pre.perm.map(v)), g.out_degree(v), "{strat:?}");
+                assert_eq!(pre.graph.in_degree(pre.perm.map(v)), g.in_degree(v), "{strat:?}");
+            }
+        }
+    }
+}

@@ -18,6 +18,44 @@ use hipa_numasim::{MachineSpec, SimReport};
 use hipa_obs::RunTrace;
 use std::time::Duration;
 
+/// Vertex-relabelling preprocessing applied before an engine runs (the
+/// §2.1 temporal-locality toolbox, plumbed as a run option — see
+/// [`crate::preorder`]). The engine computes on the relabelled graph and
+/// the wrapper maps the ranks back to original vertex ids, so callers see
+/// ranks indexed exactly as their input. Native and sim paths relabel
+/// identically, preserving the native==sim bitwise-equality invariant
+/// within each strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorderStrategy {
+    /// Run on the input order unchanged (the default).
+    #[default]
+    None,
+    /// Global hub clustering: `hipa_graph::reorder::by_degree_desc`.
+    DegreeDesc,
+    /// Cagra-style frequency sub-clustering *within* partition boundaries:
+    /// `hipa_graph::reorder::by_frequency_clusters` with the run's
+    /// `partition_bytes / 4` vertices per partition. Packs each partition's
+    /// hot (high in-degree) vertices at its front so the frequently-written
+    /// accumulator lines fit the private caches; the partition census is
+    /// unchanged.
+    FrequencyClusters,
+    /// Adversarial baseline: `hipa_graph::reorder::random_permutation` with
+    /// this seed (destroys locality; for A/B censuses).
+    Random(u64),
+}
+
+impl ReorderStrategy {
+    /// Short label for census tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReorderStrategy::None => "input",
+            ReorderStrategy::DegreeDesc => "degree-desc",
+            ReorderStrategy::FrequencyClusters => "freq-clusters",
+            ReorderStrategy::Random(_) => "random",
+        }
+    }
+}
+
 /// Options for the native path.
 #[derive(Debug, Clone)]
 pub struct NativeOpts {
@@ -34,11 +72,27 @@ pub struct NativeOpts {
     /// [`NativeRun::trace`]. Ranks and timings semantics are unchanged;
     /// off by default so the hot paths see a no-op recorder.
     pub trace: bool,
+    /// Issue software-prefetch hints in the scatter/gather hot loops
+    /// (default on). Hints never change ranks — this knob exists for A/B
+    /// timing censuses. Compiled out entirely without hipa-core's
+    /// `prefetch` feature or off x86_64 (see [`crate::prefetch`]).
+    pub prefetch: bool,
+    /// Vertex-relabelling preprocessing (default [`ReorderStrategy::None`]).
+    /// The relabel pass runs on the host and is counted in
+    /// [`NativeRun::preprocess`].
+    pub reorder: ReorderStrategy,
 }
 
 impl NativeOpts {
     pub fn new(threads: usize, partition_bytes: usize) -> Self {
-        NativeOpts { threads, partition_bytes, build_threads: 0, trace: false }
+        NativeOpts {
+            threads,
+            partition_bytes,
+            build_threads: 0,
+            trace: false,
+            prefetch: true,
+            reorder: ReorderStrategy::None,
+        }
     }
 
     pub fn with_build_threads(mut self, build_threads: usize) -> Self {
@@ -48,6 +102,16 @@ impl NativeOpts {
 
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    pub fn with_reorder(mut self, reorder: ReorderStrategy) -> Self {
+        self.reorder = reorder;
         self
     }
 
@@ -86,12 +150,30 @@ pub struct SimOpts {
     /// traffic counts are identical with tracing on or off — the recorder
     /// observes the simulation, it is not part of the simulated program.
     pub trace: bool,
+    /// Model software-prefetch hints in the scatter/gather loops (default
+    /// on, mirroring the native path). The sim charges an explicit
+    /// `mem.prefetch` counter plus issue/DRAM-stream costs per hint — see
+    /// `hipa_numasim`'s `ThreadCtx::prefetch`.
+    pub prefetch: bool,
+    /// Vertex-relabelling preprocessing (default [`ReorderStrategy::None`]).
+    /// Like `build_threads`, the relabel itself runs on the host and is
+    /// excluded from the simulated preprocessing cycles; the simulated
+    /// iterations then run on the relabelled graph.
+    pub reorder: ReorderStrategy,
 }
 
 impl SimOpts {
     pub fn new(machine: MachineSpec) -> Self {
         let threads = machine.topology.logical_cpus();
-        SimOpts { machine, threads, partition_bytes: 256 * 1024, build_threads: 0, trace: false }
+        SimOpts {
+            machine,
+            threads,
+            partition_bytes: 256 * 1024,
+            build_threads: 0,
+            trace: false,
+            prefetch: true,
+            reorder: ReorderStrategy::None,
+        }
     }
 
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -111,6 +193,16 @@ impl SimOpts {
 
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    pub fn with_reorder(mut self, reorder: ReorderStrategy) -> Self {
+        self.reorder = reorder;
         self
     }
 

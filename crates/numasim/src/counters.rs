@@ -27,6 +27,10 @@ pub struct MemCounters {
     pub atomics: u64,
     /// Arithmetic operations charged via `ThreadCtx::compute`.
     pub compute_ops: u64,
+    /// Software-prefetch hints issued via `ThreadCtx::prefetch` (line
+    /// granular). A prefetched line that misses still shows up in the
+    /// DRAM counters — the hint hides latency, it does not erase traffic.
+    pub prefetches: u64,
 }
 
 impl MemCounters {
@@ -78,6 +82,7 @@ impl MemCounters {
         self.wb_remote += o.wb_remote;
         self.atomics += o.atomics;
         self.compute_ops += o.compute_ops;
+        self.prefetches += o.prefetches;
     }
 }
 

@@ -421,6 +421,82 @@ impl<'m> ThreadCtx<'m> {
         self.clock += cycles;
     }
 
+    /// Software-prefetch hint for `len` bytes at `offset` in `region` — the
+    /// model of `hipa_core::prefetch` on the native path. Per line: the
+    /// issue cost (one non-blocking uop, an ALU-op equivalent) is charged,
+    /// the `mem.prefetches` counter ticks, and the line is pulled up to L2
+    /// (a T1-style hint — the tiny L1 is left to the demand stream). Unlike
+    /// a demand
+    /// access, a line that misses all the way to DRAM does **not** pay the
+    /// random-access latency — the hint was issued far enough ahead that
+    /// the DRAM round-trip overlaps the intervening work. What cannot be
+    /// hidden is channel occupancy: the fill charges its transfer time,
+    /// `line_bytes / node_bw` for a local line or `line_bytes /
+    /// interconnect_bw` for a remote one. The DRAM line counters still tick
+    /// (traffic is real); the *stream* roofline bytes are left alone on
+    /// purpose — demand random misses don't contribute there either, and a
+    /// prefetched line is the same line the demand path would have fetched,
+    /// so counting it would penalise the hinted run for identical traffic.
+    /// Demand hit counters (`l1_hits`…) are untouched: they keep measuring
+    /// demand accesses only.
+    pub fn prefetch(&mut self, region: RegionId, offset: usize, len: usize) {
+        debug_assert!(len > 0);
+        let line_bytes = self.m.spec.l1.line_bytes as u64;
+        let base = self.m.space.addr(region, 0);
+        let addr = base + offset as u64;
+        let first = addr / line_bytes;
+        let last = (addr + len as u64 - 1) / line_bytes;
+        let max_off = self.m.space.region_len(region).saturating_sub(1);
+        for line in first..=last {
+            let off = ((line * line_bytes).max(base) - base) as usize;
+            self.prefetch_line(region, off.min(max_off), line);
+        }
+    }
+
+    fn prefetch_line(&mut self, region: RegionId, offset: usize, line: u64) {
+        let m = &mut *self.m;
+        let cost = &m.spec.cost;
+        m.mem.prefetches += 1;
+        // Issue cost: one non-blocking uop in a spare issue slot — an
+        // ALU-op equivalent, not a full L1-hit latency.
+        self.clock += cost.op;
+        if m.l1[self.core].probe(line, self.l1w, false) {
+            return;
+        }
+        // Fills stop at L2 (a T1-style hint): promoting to the (small) L1
+        // would evict the stream buffers the demand loops depend on; the
+        // demand access promotes the line itself when it arrives.
+        if m.l2[self.core].probe(line, self.l2w, false) {
+            return;
+        }
+        let llc_ways = WayRange::full(self.m.spec.llc.assoc);
+        if self.m.llc[self.socket].probe(line, llc_ways, false) {
+            self.fill_l2(line, false);
+            return;
+        }
+        // DRAM: latency is overlapped by the lookahead window; the thread
+        // pays only the line's channel-transfer time.
+        let owner = self.m.space_mut().touch(region, offset, self.socket);
+        let local = owner == self.socket;
+        let lb = self.m.spec.l1.line_bytes as f64;
+        let cost = &self.m.spec.cost;
+        self.clock += if local {
+            lb / cost.node_bw_bytes_per_cycle
+        } else {
+            lb / cost.interconnect_bw_bytes_per_cycle
+        };
+        self.m.region_dram[region.index()] += 1;
+        if local {
+            self.m.mem.dram_local += 1;
+        } else {
+            self.m.mem.dram_remote += 1;
+        }
+        if self.m.spec.llc_inclusive {
+            self.fill_llc(line, false);
+        }
+        self.fill_l2(line, false);
+    }
+
     fn access(&mut self, region: RegionId, offset: usize, len: usize, write: bool, stream: bool) {
         debug_assert!(len > 0);
         let line_bytes = self.m.spec.l1.line_bytes as u64;

@@ -29,6 +29,7 @@ pub fn record_sim_report(rec: &Recorder, report: &SimReport) {
         ("mem.wb_remote", m.wb_remote),
         ("mem.atomics", m.atomics),
         ("mem.compute_ops", m.compute_ops),
+        ("mem.prefetch", m.prefetches),
         ("threads_created", report.threads_created),
         ("migrations", report.migrations),
         ("phases", report.phases),
@@ -99,6 +100,7 @@ mod tests {
                 writes: 50,
                 dram_remote: 7,
                 atomics: 3,
+                prefetches: 11,
                 ..Default::default()
             },
             threads_created: 40,
@@ -118,7 +120,8 @@ mod tests {
         assert_eq!(trace.counter("mem.dram_remote"), Some(7));
         assert_eq!(trace.counter("threads_created"), Some(40));
         assert_eq!(trace.counter("bandwidth_bound_phases"), Some(5));
-        assert_eq!(trace.counters.len(), 15);
+        assert_eq!(trace.counter("mem.prefetch"), Some(11));
+        assert_eq!(trace.counters.len(), 16);
     }
 
     #[test]

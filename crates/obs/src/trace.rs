@@ -142,6 +142,66 @@ impl RunTrace {
         out
     }
 
+    /// Flamegraph-style collapsed-stack export of the span samples: one
+    /// `stack value` line per aggregated frame, stacks joined with `;`,
+    /// values rounded to integers in the trace's [`Self::time_unit`]
+    /// (`flamegraph.pl` / inferno input format).
+    ///
+    /// Stack shaping follows the repo-wide span conventions:
+    ///
+    /// * per-thread samples become leaves `engine;path;compute;PHASE;tJ`;
+    /// * region samples (iteration-level, no thread) become
+    ///   `engine;path;compute;PHASE`, skipped when the phase also has
+    ///   per-thread samples (the threads carry the detail, and wall time
+    ///   must not double under aggregate thread time);
+    /// * whole-run samples become roots `engine;path;PHASE`, except the
+    ///   `compute` rollup, which is dropped whenever any iteration-level
+    ///   frame was emitted (its children already cover it);
+    /// * dotted phases (`scatter.claims`, `pool.*`) are metric samples, not
+    ///   time spans, and are excluded.
+    pub fn to_collapsed(&self) -> String {
+        let root = format!("{};{}", self.meta.engine, self.meta.path);
+        let mut frames: Vec<(String, f64)> = Vec::new();
+        let mut bump = |stack: String, v: f64| match frames.iter_mut().find(|(s, _)| *s == stack) {
+            Some((_, total)) => *total += v,
+            None => frames.push((stack, v)),
+        };
+        let mut threaded_phases: Vec<&str> = Vec::new();
+        let mut iter_level = false;
+        for s in &self.spans {
+            if s.phase.contains('.') {
+                continue;
+            }
+            if s.thread != RUN_LEVEL {
+                if !threaded_phases.contains(&s.phase.as_str()) {
+                    threaded_phases.push(&s.phase);
+                }
+                iter_level = true;
+            } else if s.iter != RUN_LEVEL {
+                iter_level = true;
+            }
+        }
+        for s in &self.spans {
+            if s.phase.contains('.') {
+                continue;
+            }
+            if s.thread != RUN_LEVEL {
+                bump(format!("{root};compute;{};t{}", s.phase, s.thread), s.value);
+            } else if s.iter != RUN_LEVEL {
+                if !threaded_phases.contains(&s.phase.as_str()) {
+                    bump(format!("{root};compute;{}", s.phase), s.value);
+                }
+            } else if !(s.phase == "compute" && iter_level) {
+                bump(format!("{root};{}", s.phase), s.value);
+            }
+        }
+        let mut out = String::new();
+        for (stack, v) in frames {
+            out.push_str(&format!("{stack} {}\n", v.round() as i64));
+        }
+        out
+    }
+
     // ---- JSON ----
 
     fn to_value(&self) -> Json {
@@ -455,6 +515,55 @@ mod tests {
         let region = totals.iter().find(|p| p.phase == "scatter [region]").unwrap();
         assert_eq!(region.samples, 1);
         assert!((region.total - 310.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_export_shapes_stacks_and_aggregates() {
+        let mut t = sample_trace();
+        t.spans.push(SpanSample { phase: "scatter".into(), thread: 0, iter: 1, value: 99.5 });
+        t.spans.push(SpanSample {
+            phase: "compute".into(),
+            thread: RUN_LEVEL,
+            iter: RUN_LEVEL,
+            value: 700.0,
+        });
+        t.spans.push(SpanSample { phase: "scatter.claims".into(), thread: 0, iter: 0, value: 8.0 });
+        let folded = t.to_collapsed();
+        let lines: Vec<&str> = folded.lines().collect();
+        // preprocess is a root; compute's rollup is dropped (its children
+        // carry the detail); the dotted metric is excluded.
+        assert!(lines.contains(&"HiPa;native;preprocess 1500"));
+        assert!(!folded.contains("claims"));
+        assert!(!lines.iter().any(|l| l.starts_with("HiPa;native;compute ")));
+        // scatter thread 0 aggregates across iterations (100.5 + 99.5).
+        assert!(lines.contains(&"HiPa;native;compute;scatter;t0 200"), "{folded}");
+        assert!(lines.contains(&"HiPa;native;compute;scatter;t1 200"));
+        assert!(lines.contains(&"HiPa;native;compute;gather;t0 50"));
+        // The scatter region sample is skipped: per-thread samples exist.
+        assert!(!lines.iter().any(|l| l.starts_with("HiPa;native;compute;scatter ")), "{folded}");
+    }
+
+    #[test]
+    fn collapsed_export_falls_back_to_region_and_run_frames() {
+        let mut t = sample_trace();
+        // Drop the per-thread samples: only preprocess + a scatter region
+        // sample remain, plus a compute rollup.
+        t.spans.retain(|s| s.thread == RUN_LEVEL);
+        t.spans.push(SpanSample {
+            phase: "compute".into(),
+            thread: RUN_LEVEL,
+            iter: RUN_LEVEL,
+            value: 700.0,
+        });
+        let folded = t.to_collapsed();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"HiPa;native;compute;scatter 310"), "{folded}");
+        // compute rollup still dropped: an iteration-level frame exists.
+        assert!(!lines.iter().any(|l| l.starts_with("HiPa;native;compute ")));
+        // With no iteration-level frames at all, the rollup survives.
+        t.spans.retain(|s| s.iter == RUN_LEVEL);
+        let folded = t.to_collapsed();
+        assert!(folded.lines().any(|l| l == "HiPa;native;compute 700"), "{folded}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/bin/bash
 cd /root/repo
-for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence trace; do
+for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence trace kernels; do
   echo "=== $bin start $(date +%T) ==="
   cargo run --release -q -p hipa-bench --bin $bin > results/$bin.txt 2>results/$bin.err
   echo "=== $bin done $(date +%T) ==="
@@ -10,6 +10,11 @@ echo "=== pool bench start $(date +%T) ==="
 # cost, per-item claim overhead) from the rayon shim's persistent pool.
 cargo bench -q -p hipa-bench --bench pool > results/pool.txt 2>results/pool.err
 echo "=== pool bench done $(date +%T) ==="
+echo "=== kernels bench start $(date +%T) ==="
+# Native prefetch A/B + reorder-prepare cost (the simulated A/B in
+# results/kernels.txt is the authoritative measurement; see DESIGN.md 12).
+cargo bench -q -p hipa-bench --bench kernels > results/kernels_bench.txt 2>results/kernels_bench.err
+echo "=== kernels bench done $(date +%T) ==="
 echo "=== audit start $(date +%T) ==="
 cargo run --release -q -p hipa-audit -- --summary-only > results/audit.txt 2>results/audit.err
 echo "=== audit done $(date +%T) ==="

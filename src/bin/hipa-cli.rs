@@ -34,19 +34,24 @@ const USAGE: &str = "usage:
   hipa-cli stats <GRAPH> [--partition SIZE]
   hipa-cli pagerank <GRAPH> [--engine NAME] [--threads N] [--iterations N]
            [--tolerance X] [--partition SIZE] [--top K] [--trace-out FILE]
+           [--reorder ORDER] [--no-prefetch]
   hipa-cli simulate <GRAPH> [--machine skylake|haswell|tiny] [--cache-scale N]
            [--engine NAME] [--threads N] [--iterations N] [--tolerance X]
-           [--partition SIZE] [--trace-out FILE]
+           [--partition SIZE] [--trace-out FILE] [--reorder ORDER] [--no-prefetch]
   hipa-cli bfs <GRAPH> [--source V]
   hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--tolerance X]
-           [--partition SIZE] [--trace-out FILE]
+           [--partition SIZE] [--trace-out FILE] [--reorder ORDER] [--no-prefetch]
   hipa-cli convert <IN> -o <OUT>
 
 GRAPH = path (.bin or edge-list text) or dataset:<journal|pld|wiki|kron|twitter|mpi>
 SIZE  = bytes, with optional K/M suffix (e.g. 256K, 1M)
 NAME  = hipa | ppr | vpr | gpop | polymer
+ORDER = input | degree-desc | freq-clusters | random[:SEED]  (vertex relabelling
+        before the run; ranks are mapped back to the input labelling)
 FILE  = --trace-out writes a JSON RunTrace (per-phase timings, residual
-        trajectory, counters); pretty-print it with hipa-bench's trace bin";
+        trajectory, counters); pretty-print it with hipa-bench's trace bin.
+        A .folded sidecar holds flamegraph-style collapsed stacks.
+--no-prefetch disables the hot-loop software-prefetch hints (DESIGN.md 12)";
 
 type Result<T> = std::result::Result<T, String>;
 
@@ -60,9 +65,15 @@ impl Args {
     fn parse(args: &[String]) -> Result<Self> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
+        // Valueless switches; everything else under `--` takes a value.
+        const BOOL_FLAGS: &[&str] = &["no-prefetch"];
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    flags.push((key.to_string(), "true".into()));
+                    continue;
+                }
                 let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 flags.push((key.to_string(), val.clone()));
             } else if a == "-o" {
@@ -77,6 +88,28 @@ impl Args {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// `--reorder NAME` as a [`ReorderStrategy`]; absent = input order.
+    fn get_reorder(&self) -> Result<ReorderStrategy> {
+        Ok(match self.get("reorder") {
+            None | Some("input") | Some("none") => ReorderStrategy::None,
+            Some("degree-desc") => ReorderStrategy::DegreeDesc,
+            Some("freq-clusters") => ReorderStrategy::FrequencyClusters,
+            Some(s) => match s.strip_prefix("random") {
+                Some("") => ReorderStrategy::Random(42),
+                Some(seed) => ReorderStrategy::Random(
+                    seed.strip_prefix(':')
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| format!("--reorder: bad seed in '{s}'"))?,
+                ),
+                None => return Err(format!("unknown reorder strategy '{s}'")),
+            },
+        })
     }
 
     fn get_usize(&self, key: &str, default: usize) -> Result<usize> {
@@ -109,14 +142,19 @@ impl Args {
 }
 
 /// Writes one or more `RunTrace`s as JSON (single object for one trace, an
-/// array otherwise) to `path`.
+/// array otherwise) to `path`, plus a `path.folded` sidecar with the
+/// flamegraph-style collapsed stacks of every trace (`flamegraph.pl` /
+/// inferno input; see `RunTrace::to_collapsed`).
 fn write_traces(path: &str, traces: &[hipa::obs::RunTrace]) -> Result<()> {
     let json = match traces {
         [one] => one.to_json(),
         many => hipa::obs::RunTrace::array_to_json(many),
     };
     std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
-    eprintln!("wrote {} trace(s) to {path}", traces.len());
+    let folded: String = traces.iter().map(|t| t.to_collapsed()).collect();
+    let fpath = format!("{path}.folded");
+    std::fs::write(&fpath, folded).map_err(|e| format!("writing {fpath}: {e}"))?;
+    eprintln!("wrote {} trace(s) to {path} (+ collapsed stacks in {fpath})", traces.len());
     Ok(())
 }
 
@@ -249,7 +287,10 @@ fn pagerank(a: &Args) -> Result<()> {
         cfg = cfg.with_tolerance(t);
     }
     let trace_out = a.get("trace-out");
-    let opts = NativeOpts::new(threads, part).with_trace(trace_out.is_some());
+    let opts = NativeOpts::new(threads, part)
+        .with_trace(trace_out.is_some())
+        .with_prefetch(!a.has("no-prefetch"))
+        .with_reorder(a.get_reorder()?);
     let run = engine.run_native(&g, &cfg, &opts);
     let stop = if run.converged { " (converged)" } else { "" };
     println!(
@@ -291,7 +332,9 @@ fn simulate(a: &Args) -> Result<()> {
     let opts = SimOpts::new(machine)
         .with_threads(threads)
         .with_partition_bytes(part.max(64))
-        .with_trace(trace_out.is_some());
+        .with_trace(trace_out.is_some())
+        .with_prefetch(!a.has("no-prefetch"))
+        .with_reorder(a.get_reorder()?);
     let run = engine.run_sim(&g, &cfg, &opts);
     let stop = if run.converged { ", converged" } else { "" };
     println!("machine:        {}", run.report.machine);
@@ -335,7 +378,10 @@ fn compare(a: &Args) -> Result<()> {
     let mut traces: Vec<hipa::obs::RunTrace> = Vec::new();
     let mut hipa_ranks: Option<Vec<f32>> = None;
     for e in hipa::baselines::all_engines() {
-        let opts = NativeOpts::new(threads, part).with_trace(trace_out.is_some());
+        let opts = NativeOpts::new(threads, part)
+            .with_trace(trace_out.is_some())
+            .with_prefetch(!a.has("no-prefetch"))
+            .with_reorder(a.get_reorder()?);
         let run = e.run_native(&g, &cfg, &opts);
         let dev = match &hipa_ranks {
             None => {
@@ -437,5 +483,32 @@ mod tests {
     fn missing_value_is_an_error() {
         let raw: Vec<String> = ["--threads"].iter().map(|s| s.to_string()).collect();
         assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let raw: Vec<String> =
+            ["--no-prefetch", "--threads", "2", "g.bin"].iter().map(|s| s.to_string()).collect();
+        let a = Args::parse(&raw).unwrap();
+        assert!(a.has("no-prefetch"));
+        assert_eq!(a.get("threads"), Some("2"));
+        assert_eq!(a.positional, vec!["g.bin"]);
+    }
+
+    #[test]
+    fn reorder_strategies_parse() {
+        let parse = |v: Option<&str>| {
+            let raw: Vec<String> =
+                v.iter().flat_map(|v| ["--reorder".to_string(), v.to_string()]).collect();
+            Args::parse(&raw).unwrap().get_reorder()
+        };
+        assert_eq!(parse(None).unwrap(), ReorderStrategy::None);
+        assert_eq!(parse(Some("input")).unwrap(), ReorderStrategy::None);
+        assert_eq!(parse(Some("degree-desc")).unwrap(), ReorderStrategy::DegreeDesc);
+        assert_eq!(parse(Some("freq-clusters")).unwrap(), ReorderStrategy::FrequencyClusters);
+        assert_eq!(parse(Some("random")).unwrap(), ReorderStrategy::Random(42));
+        assert_eq!(parse(Some("random:7")).unwrap(), ReorderStrategy::Random(7));
+        assert!(parse(Some("random:x")).is_err());
+        assert!(parse(Some("sorted")).is_err());
     }
 }

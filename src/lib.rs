@@ -51,7 +51,9 @@ pub use hipa_report as report;
 /// The most common imports.
 pub mod prelude {
     pub use hipa_baselines::{Gpop, Polymer, Ppr, Vpr};
-    pub use hipa_core::{DanglingPolicy, Engine, HiPa, NativeOpts, PageRankConfig, SimOpts};
+    pub use hipa_core::{
+        DanglingPolicy, Engine, HiPa, NativeOpts, PageRankConfig, ReorderStrategy, SimOpts,
+    };
     pub use hipa_graph::{datasets::Dataset, Csr, DiGraph, EdgeList};
     pub use hipa_numasim::{MachineSpec, SimMachine};
 }

@@ -31,23 +31,40 @@ fn counters_are_internally_consistent() {
     let g = journal_small();
     let cfg = PageRankConfig::default().with_iterations(4);
     for e in all_engines() {
-        let run = e.run_sim(
-            &g,
-            &cfg,
-            &SimOpts::new(MachineSpec::tiny_test()).with_threads(4).with_partition_bytes(512),
-        );
-        let m = &run.report.mem;
-        let accesses = m.reads + m.writes;
-        let served = m.l1_hits + m.l2_hits + m.llc_hits + m.dram_local + m.dram_remote;
-        assert_eq!(
-            accesses,
-            served,
-            "{}: every access must be served at exactly one level",
-            e.name()
-        );
-        assert!(run.report.cycles > 0.0);
-        assert!(run.compute_cycles > 0.0);
-        assert!(run.preprocess_cycles > 0.0);
+        for prefetch in [false, true] {
+            let run = e.run_sim(
+                &g,
+                &cfg,
+                &SimOpts::new(MachineSpec::tiny_test())
+                    .with_threads(4)
+                    .with_partition_bytes(512)
+                    .with_prefetch(prefetch),
+            );
+            let m = &run.report.mem;
+            let accesses = m.reads + m.writes;
+            let served = m.l1_hits + m.l2_hits + m.llc_hits + m.dram_local + m.dram_remote;
+            if prefetch {
+                // DRAM lines pulled by hints have no matching demand access,
+                // so `served` may exceed demand by at most the hint count.
+                assert!(
+                    served >= accesses && served - accesses <= m.prefetches,
+                    "{}: served {served} vs accesses {accesses} (+{} hints)",
+                    e.name(),
+                    m.prefetches
+                );
+            } else {
+                assert_eq!(
+                    accesses,
+                    served,
+                    "{}: every demand access must be served at exactly one level",
+                    e.name()
+                );
+                assert_eq!(m.prefetches, 0, "{}: hints off must issue none", e.name());
+            }
+            assert!(run.report.cycles > 0.0);
+            assert!(run.compute_cycles > 0.0);
+            assert!(run.preprocess_cycles > 0.0);
+        }
     }
 }
 
