@@ -19,9 +19,10 @@ pub mod wspmv;
 pub use bfs::{bfs_levels, bfs_partition_centric};
 pub use cc::{label_propagation, wcc_by_propagation, LabelPropagation};
 pub use ppr::{
-    personalized_from_seed, personalized_pagerank, PersonalizedConfig, PersonalizedResult,
+    personalized_from_seed, personalized_pagerank, teleport_from_seeds, PersonalizedConfig,
+    PersonalizedResult, PprSolver,
 };
 pub use prdelta::{pagerank_delta, PrDeltaConfig, PrDeltaResult};
-pub use spmv::{spmv_partition_centric, spmv_reference};
+pub use spmv::{spmv_partition_centric, spmv_reference, SpmvWorkspace};
 pub use spmv_sim::{spmv_sim, SpmvSimRun};
 pub use wspmv::{wspmv_partition_centric, wspmv_reference, WeightedPcpm};

@@ -5,9 +5,20 @@
 //! Implemented as power iteration over the same partition-centric SpMV the
 //! other extensions use: `r ← (1-d)·p + d·Aᵀ(r ⊘ outdeg)`, with dangling
 //! mass optionally redirected to the preference vector.
+//!
+//! [`PprSolver`] is the resident form: it owns one [`SpmvWorkspace`]
+//! (layout/plan/pool built once) plus the precomputed inverse-degree and
+//! dangling-vertex tables, and solves many preference vectors against them —
+//! one at a time ([`solve`](PprSolver::solve)) or as a batch
+//! ([`solve_batch`](PprSolver::solve_batch)) where every power iteration
+//! advances the whole batch through **one** multi-vector graph sweep.
+//! Vectors freeze individually at their own convergence iteration, so each
+//! batch member's result is bitwise identical to a solo run.
 
-use crate::spmv::spmv_partition_centric;
+use crate::spmv::SpmvWorkspace;
+use hipa_core::PcpmPrepared;
 use hipa_graph::DiGraph;
+use std::sync::Arc;
 
 /// Configuration for personalized PageRank.
 #[derive(Debug, Clone)]
@@ -45,17 +56,9 @@ pub struct PersonalizedResult {
     pub converged: bool,
 }
 
-/// Runs personalized PageRank with an explicit preference distribution
-/// (`teleport` must be non-negative; it is normalised internally).
-///
-/// # Panics
-/// Panics if `teleport` has the wrong length or sums to zero.
-pub fn personalized_pagerank(
-    g: &DiGraph,
-    teleport: &[f32],
-    cfg: &PersonalizedConfig,
-) -> PersonalizedResult {
-    let n = g.num_vertices();
+/// Panics unless `teleport` is a valid unnormalised preference vector for an
+/// `n`-vertex graph: right length, non-negative, positive total mass.
+fn validate_teleport(teleport: &[f32], n: usize) {
     assert_eq!(teleport.len(), n, "teleport length mismatch");
     let mass: f64 = teleport
         .iter()
@@ -65,59 +68,196 @@ pub fn personalized_pagerank(
         })
         .sum();
     assert!(mass > 0.0, "teleport distribution must have positive mass");
-    if n == 0 {
-        return PersonalizedResult { ranks: Vec::new(), iterations_run: 0, converged: true };
-    }
-    let p: Vec<f32> = teleport.iter().map(|&x| (x as f64 / mass) as f32).collect();
-    let d = cfg.damping;
-    let inv_deg: Vec<f32> = (0..n)
-        .map(|v| {
-            let deg = g.out_degree(v as u32);
-            if deg == 0 {
-                0.0
-            } else {
-                1.0 / deg as f32
-            }
-        })
-        .collect();
+}
 
-    let mut rank = p.clone();
-    let mut iterations_run = 0usize;
-    let mut converged = false;
-    for _ in 0..cfg.iterations {
-        let x: Vec<f32> = (0..n).map(|v| rank[v] * inv_deg[v]).collect();
-        let y = spmv_partition_centric(g, &x, cfg.threads, cfg.verts_per_partition);
-        let dangling: f64 = if cfg.redistribute_dangling {
-            (0..n).filter(|&v| g.out_degree(v as u32) == 0).map(|v| rank[v] as f64).sum()
-        } else {
-            0.0
-        };
-        let mut delta = 0.0f64;
-        let mut next = vec![0.0f32; n];
-        for v in 0..n {
-            let nv = (1.0 - d) * p[v] + d * (y[v] + (dangling as f32) * p[v]);
-            delta += (nv - rank[v]).abs() as f64;
-            next[v] = nv;
+/// Uniform preference vector over a seed set. Non-panicking validation for
+/// request paths taking user-supplied seeds (the serve layer): `Err` on an
+/// empty set or any out-of-range seed.
+pub fn teleport_from_seeds(num_vertices: usize, seeds: &[u32]) -> Result<Vec<f32>, String> {
+    if seeds.is_empty() {
+        return Err("empty personalization seed set".to_string());
+    }
+    let mut p = vec![0.0f32; num_vertices];
+    for &s in seeds {
+        if (s as usize) >= num_vertices {
+            return Err(format!("seed vertex {s} out of range: graph has {num_vertices} vertices"));
         }
-        rank = next;
-        iterations_run += 1;
-        if let Some(tol) = cfg.tolerance {
-            if delta < tol as f64 {
-                converged = true;
+        p[s as usize] += 1.0;
+    }
+    Ok(p)
+}
+
+/// A resident personalized-PageRank engine over one graph snapshot: the
+/// expensive preprocessing (PCPM layout, `hipa_plan`, worker pool, inverse
+/// degrees, dangling list) happens once in [`new`](Self::new) and is reused
+/// by every subsequent solve — the one-shot path used to redo all of it on
+/// **every power iteration**.
+pub struct PprSolver {
+    ws: SpmvWorkspace,
+    cfg: PersonalizedConfig,
+}
+
+impl PprSolver {
+    /// Preprocesses `g` per `cfg` (threads, partition size). The expensive
+    /// call; solves after it cost only the iterations themselves.
+    pub fn new(g: &DiGraph, cfg: &PersonalizedConfig) -> Self {
+        PprSolver {
+            ws: SpmvWorkspace::new(g, cfg.threads, cfg.verts_per_partition),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Wraps an existing shared preprocessed state (threads / partition size
+    /// come from the state, the iteration schedule from `cfg`).
+    pub fn from_prepared(prepared: Arc<PcpmPrepared>, cfg: &PersonalizedConfig) -> Self {
+        let mut cfg = cfg.clone();
+        cfg.threads = prepared.threads;
+        cfg.verts_per_partition = prepared.verts_per_partition;
+        PprSolver { ws: SpmvWorkspace::from_prepared(prepared), cfg }
+    }
+
+    pub fn prepared(&self) -> &Arc<PcpmPrepared> {
+        self.ws.prepared()
+    }
+
+    /// Solves one preference vector. Equivalent to a batch of one.
+    pub fn solve(&mut self, teleport: &[f32]) -> PersonalizedResult {
+        self.solve_slices(&[teleport]).pop().expect("batch of one")
+    }
+
+    /// Personalization concentrated on one seed vertex (panics on an
+    /// out-of-range seed, like [`personalized_from_seed`]).
+    pub fn solve_seed(&mut self, seed: u32) -> PersonalizedResult {
+        let n = self.ws.num_vertices();
+        assert!(
+            (seed as usize) < n,
+            "personalization seed {seed} out of range: graph has {n} vertices"
+        );
+        let mut p = vec![0.0f32; n];
+        p[seed as usize] = 1.0;
+        self.solve(&p)
+    }
+
+    /// Solves a batch of preference vectors through shared multi-vector
+    /// sweeps: each power iteration makes **one** pass over the graph for
+    /// the whole batch, amortizing the scatter/gather traffic across all
+    /// still-active vectors. A vector that converges freezes (its slot is
+    /// skipped from then on), so `results[b]` is bitwise identical to
+    /// `solve(&teleports[b])`.
+    pub fn solve_batch(&mut self, teleports: &[Vec<f32>]) -> Vec<PersonalizedResult> {
+        let slices: Vec<&[f32]> = teleports.iter().map(|t| t.as_slice()).collect();
+        self.solve_slices(&slices)
+    }
+
+    fn solve_slices(&mut self, teleports: &[&[f32]]) -> Vec<PersonalizedResult> {
+        let prep = Arc::clone(self.ws.prepared());
+        let n = prep.num_vertices;
+        let k = teleports.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        // Normalise every preference vector (f64 mass, as the one-shot path
+        // always did).
+        let mut p = vec![0.0f32; k * n];
+        for (b, t) in teleports.iter().enumerate() {
+            validate_teleport(t, n);
+            let mass: f64 = t.iter().map(|&x| x as f64).sum();
+            for v in 0..n {
+                p[b * n + v] = (t[v] as f64 / mass) as f32;
+            }
+        }
+
+        let d = self.cfg.damping;
+        let mut rank = p.clone();
+        let mut x = vec![0.0f32; k * n];
+        let mut y = vec![0.0f32; k * n];
+        let mut active = vec![true; k];
+        let mut iters = vec![0usize; k];
+        let mut conv = vec![false; k];
+        for _ in 0..self.cfg.iterations {
+            if !active.iter().any(|&a| a) {
                 break;
             }
+            for b in 0..k {
+                if active[b] {
+                    let base = b * n;
+                    for v in 0..n {
+                        x[base + v] = rank[base + v] * prep.inv_deg[v];
+                    }
+                }
+            }
+            self.ws.run_batch_into(&x, &mut y, &active);
+            for b in 0..k {
+                if !active[b] {
+                    continue;
+                }
+                let base = b * n;
+                // Dangling mass from the precomputed list — ascending, so
+                // the f64 summation order matches the full-scan it replaces.
+                let dangling: f64 = if self.cfg.redistribute_dangling {
+                    prep.dangling.iter().map(|&v| rank[base + v as usize] as f64).sum()
+                } else {
+                    0.0
+                };
+                let mut delta = 0.0f64;
+                for v in 0..n {
+                    let nv = (1.0 - d) * p[base + v]
+                        + d * (y[base + v] + (dangling as f32) * p[base + v]);
+                    delta += (nv - rank[base + v]).abs() as f64;
+                    rank[base + v] = nv;
+                }
+                iters[b] += 1;
+                if let Some(tol) = self.cfg.tolerance {
+                    if delta < tol as f64 {
+                        conv[b] = true;
+                        active[b] = false;
+                    }
+                }
+            }
         }
+        (0..k)
+            .map(|b| PersonalizedResult {
+                ranks: rank[b * n..(b + 1) * n].to_vec(),
+                iterations_run: iters[b],
+                converged: conv[b],
+            })
+            .collect()
     }
-    PersonalizedResult { ranks: rank, iterations_run, converged }
+}
+
+/// Runs personalized PageRank with an explicit preference distribution
+/// (`teleport` must be non-negative; it is normalised internally).
+///
+/// One-shot wrapper over [`PprSolver`]: preprocesses once for the whole run
+/// (not once per iteration, as this path historically did), solves, drops.
+///
+/// # Panics
+/// Panics if `teleport` has the wrong length or sums to zero.
+pub fn personalized_pagerank(
+    g: &DiGraph,
+    teleport: &[f32],
+    cfg: &PersonalizedConfig,
+) -> PersonalizedResult {
+    validate_teleport(teleport, g.num_vertices());
+    PprSolver::new(g, cfg).solve(teleport)
 }
 
 /// Convenience: personalization concentrated on a single seed vertex.
+///
+/// # Panics
+/// Panics if `seed >= g.num_vertices()` — the seed is user input on the
+/// serving path, which pre-validates via [`teleport_from_seeds`] instead.
 pub fn personalized_from_seed(
     g: &DiGraph,
     seed: u32,
     cfg: &PersonalizedConfig,
 ) -> PersonalizedResult {
-    let mut p = vec![0.0f32; g.num_vertices()];
+    let n = g.num_vertices();
+    assert!(
+        (seed as usize) < n,
+        "personalization seed {seed} out of range: graph has {n} vertices"
+    );
+    let mut p = vec![0.0f32; n];
     p[seed as usize] = 1.0;
     personalized_pagerank(g, &p, cfg)
 }
@@ -183,5 +323,54 @@ mod tests {
     fn rejects_zero_teleport() {
         let g = DiGraph::from_edge_list(&cycle(4));
         personalized_pagerank(&g, &[0.0; 4], &PersonalizedConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_seed() {
+        let g = DiGraph::from_edge_list(&cycle(4));
+        personalized_from_seed(&g, 4, &PersonalizedConfig::default());
+    }
+
+    #[test]
+    fn teleport_from_seeds_validates() {
+        assert!(teleport_from_seeds(4, &[]).is_err());
+        assert!(teleport_from_seeds(4, &[0, 4]).unwrap_err().contains("out of range"));
+        let p = teleport_from_seeds(4, &[1, 3, 3]).unwrap();
+        assert_eq!(p, vec![0.0, 1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn solver_reuse_is_bitwise_stable() {
+        let g = hipa_graph::datasets::small_test_graph(132);
+        let mut solver = PprSolver::new(&g, &PersonalizedConfig::default());
+        let a = solver.solve_seed(3);
+        let b = solver.solve_seed(3);
+        assert_eq!(a.ranks, b.ranks, "repeat solves on one solver must be bitwise equal");
+        let one_shot = personalized_from_seed(&g, 3, &PersonalizedConfig::default());
+        assert_eq!(a.ranks, one_shot.ranks, "solver equals the one-shot path");
+        assert_eq!(a.iterations_run, one_shot.iterations_run);
+    }
+
+    #[test]
+    fn batch_members_freeze_independently() {
+        // A cycle seed converges slowly, the uniform vector fast; batching
+        // them must not perturb either (bitwise vs solo).
+        let g = hipa_graph::datasets::small_test_graph(133);
+        let n = g.num_vertices();
+        let cfg = PersonalizedConfig { iterations: 80, ..Default::default() };
+        let mut solver = PprSolver::new(&g, &cfg);
+        let teleports: Vec<Vec<f32>> = vec![
+            teleport_from_seeds(n, &[0]).unwrap(),
+            vec![1.0; n],
+            teleport_from_seeds(n, &[1, 2, 3]).unwrap(),
+        ];
+        let batch = solver.solve_batch(&teleports);
+        for (b, t) in teleports.iter().enumerate() {
+            let solo = solver.solve(t);
+            assert_eq!(batch[b].ranks, solo.ranks, "batch slot {b}");
+            assert_eq!(batch[b].iterations_run, solo.iterations_run, "batch slot {b}");
+            assert_eq!(batch[b].converged, solo.converged, "batch slot {b}");
+        }
     }
 }

@@ -60,6 +60,12 @@ pub fn pagerank_delta(g: &DiGraph, cfg: &PrDeltaConfig) -> PrDeltaResult {
     let vpp = cfg.verts_per_partition.max(1);
     let num_parts = n.div_ceil(vpp);
     let mut frontier: Vec<u32> = (0..n as u32).collect();
+    // Round-persistent counting-sort buffers: the frontier is grouped by
+    // partition into one flat array instead of a fresh `Vec<Vec<u32>>` of
+    // per-partition buckets per round.
+    let mut part_starts = vec![0usize; num_parts + 1];
+    let mut cursor = vec![0usize; num_parts + 1];
+    let mut grouped = vec![0u32; n];
     let mut activations = 0u64;
     let mut rounds = 0usize;
 
@@ -68,22 +74,32 @@ pub fn pagerank_delta(g: &DiGraph, cfg: &PrDeltaConfig) -> PrDeltaResult {
         activations += frontier.len() as u64;
         // Process the frontier partition by partition: sources of one
         // partition scatter together, keeping source reads cache-resident.
-        let mut by_part: Vec<Vec<u32>> = vec![Vec::new(); num_parts];
+        // Counting sort is stable and the frontier is built in ascending
+        // vertex order, so the grouped order is identical to what the old
+        // per-partition buckets produced.
+        part_starts.fill(0);
         for &v in &frontier {
-            by_part[v as usize / vpp].push(v);
+            part_starts[v as usize / vpp + 1] += 1;
         }
-        for part in &by_part {
-            for &v in part {
-                let dv = delta[v as usize];
-                rank[v as usize] += dv;
-                let deg = g.out_degree(v);
-                if deg == 0 {
-                    continue; // Eq. 1 drops dangling mass.
-                }
-                let push = d * dv / deg as f32;
-                for &u in g.out_csr().neighbors(v) {
-                    pending[u as usize] += push;
-                }
+        for p in 1..=num_parts {
+            part_starts[p] += part_starts[p - 1];
+        }
+        cursor.copy_from_slice(&part_starts);
+        for &v in &frontier {
+            let p = v as usize / vpp;
+            grouped[cursor[p]] = v;
+            cursor[p] += 1;
+        }
+        for &v in &grouped[..frontier.len()] {
+            let dv = delta[v as usize];
+            rank[v as usize] += dv;
+            let deg = g.out_degree(v);
+            if deg == 0 {
+                continue; // Eq. 1 drops dangling mass.
+            }
+            let push = d * dv / deg as f32;
+            for &u in g.out_csr().neighbors(v) {
+                pending[u as usize] += push;
             }
         }
         // Build the next frontier; sub-threshold deltas are absorbed into
@@ -149,6 +165,81 @@ mod tests {
         let loose = pagerank_delta(&g, &PrDeltaConfig { threshold: 1e-5, ..Default::default() });
         assert!(loose.activations < tight.activations);
         assert!(loose.converged && tight.converged);
+    }
+
+    /// The pre-refactor round loop (fresh `Vec<Vec<u32>>` buckets per
+    /// round), kept as an oracle: the counting-sort rewrite must not change
+    /// a single bit of the ranks nor the activation/round counts.
+    fn pagerank_delta_bucketed_oracle(g: &DiGraph, cfg: &PrDeltaConfig) -> PrDeltaResult {
+        let n = g.num_vertices();
+        if n == 0 {
+            return PrDeltaResult { ranks: Vec::new(), rounds: 0, activations: 0, converged: true };
+        }
+        let d = cfg.damping;
+        let base = (1.0 - d) / n as f32;
+        let mut rank = vec![0.0f32; n];
+        let mut delta: Vec<f32> = vec![base; n];
+        let mut pending = vec![0.0f32; n];
+        let vpp = cfg.verts_per_partition.max(1);
+        let num_parts = n.div_ceil(vpp);
+        let mut frontier: Vec<u32> = (0..n as u32).collect();
+        let mut activations = 0u64;
+        let mut rounds = 0usize;
+        while !frontier.is_empty() && rounds < cfg.max_rounds {
+            rounds += 1;
+            activations += frontier.len() as u64;
+            let mut by_part: Vec<Vec<u32>> = vec![Vec::new(); num_parts];
+            for &v in &frontier {
+                by_part[v as usize / vpp].push(v);
+            }
+            for part in &by_part {
+                for &v in part {
+                    let dv = delta[v as usize];
+                    rank[v as usize] += dv;
+                    let deg = g.out_degree(v);
+                    if deg == 0 {
+                        continue;
+                    }
+                    let push = d * dv / deg as f32;
+                    for &u in g.out_csr().neighbors(v) {
+                        pending[u as usize] += push;
+                    }
+                }
+            }
+            frontier.clear();
+            for v in 0..n {
+                let p = pending[v];
+                if p != 0.0 {
+                    if p.abs() > cfg.threshold {
+                        delta[v] = p;
+                        frontier.push(v as u32);
+                    } else {
+                        rank[v] += p;
+                    }
+                    pending[v] = 0.0;
+                }
+            }
+        }
+        PrDeltaResult { ranks: rank, rounds, activations, converged: frontier.is_empty() }
+    }
+
+    #[test]
+    fn counting_sort_rounds_match_bucketed_oracle_bitwise() {
+        for seed in [90u64, 92, 93] {
+            let g = hipa_graph::datasets::small_test_graph(seed);
+            for cfg in [
+                PrDeltaConfig::default(),
+                PrDeltaConfig { threshold: 1e-5, verts_per_partition: 64, ..Default::default() },
+                PrDeltaConfig { verts_per_partition: 7, max_rounds: 9, ..Default::default() },
+            ] {
+                let got = pagerank_delta(&g, &cfg);
+                let want = pagerank_delta_bucketed_oracle(&g, &cfg);
+                assert_eq!(got.ranks, want.ranks, "seed {seed}: ranks drifted");
+                assert_eq!(got.activations, want.activations, "seed {seed}");
+                assert_eq!(got.rounds, want.rounds, "seed {seed}");
+                assert_eq!(got.converged, want.converged, "seed {seed}");
+            }
+        }
     }
 
     #[test]

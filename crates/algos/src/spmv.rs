@@ -7,15 +7,26 @@
 //! or with the partition-centric compressed scatter/gather layout plus
 //! per-thread partition ownership (HiPa methodology).
 //!
-//! disjointness: HiPa plan (`hipa_plan`) — each worker writes the PNG
-//! message slots sourced from its own partitions (scatter) and the `y`
-//! entries of its own partitions (gather); the phases are barrier-separated
-//! and each element keeps a single writer thread across both.
+//! [`SpmvWorkspace`] is the resident form: it builds the layout, the
+//! `hipa_plan` ownership map and the worker pool **once** and runs many
+//! sweeps (`run`), including multi-vector batches (`run_batch_into`) that
+//! amortize one graph pass across a batch of input vectors. The historical
+//! one-shot entry point [`spmv_partition_centric`] is a thin wrapper that
+//! builds a workspace, runs once, and drops it — bitwise-identical output.
+//!
+//! disjointness: HiPa plan (`hipa_plan`) — each scatter job writes the PNG
+//! message slots sourced from its own partitions plus the `y` entries of its
+//! own partitions (intra-edges stay inside the source partition), and each
+//! gather job writes the `y` entries of its own partitions; the two phases
+//! are separated by a pool-scope join and each phase wraps its outputs in a
+//! fresh `SharedSlice`, so every element has a single writer job (= thread)
+//! per slice lifetime.
 
 use hipa_core::disjoint::SharedSlice;
-use hipa_core::PcpmLayout;
+use hipa_core::PcpmPrepared;
 use hipa_graph::DiGraph;
-use hipa_partition::hipa_plan;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Sequential reference: `y[v] = Σ_{u -> v} x[u]` via the in-CSR.
 pub fn spmv_reference(g: &DiGraph, x: &[f32]) -> Vec<f32> {
@@ -32,13 +43,204 @@ pub fn spmv_reference(g: &DiGraph, x: &[f32]) -> Vec<f32> {
     y
 }
 
+/// A resident partition-centric SpMV engine: one preprocessed state
+/// ([`PcpmPrepared`]: layout + plan + degree tables), one persistent worker
+/// pool, and a reusable message-slot scratch buffer. Build once, run many
+/// times — each [`run`](Self::run) costs only the sweep itself, none of the
+/// preprocessing the one-shot path used to repeat per call.
+///
+/// Accumulation order per element matches the PageRank engines (intra
+/// contributions in source order during scatter, then inbox messages in
+/// ascending slot order during gather), per input vector independently, so
+/// every entry is bitwise-deterministic for any thread count, any batch
+/// width, and identical between the one-shot and resident paths.
+pub struct SpmvWorkspace {
+    prepared: Arc<PcpmPrepared>,
+    /// Resident workers (`None` when a single worker runs the sweep inline).
+    pool: Option<rayon::ThreadPool>,
+    /// Message-slot values, `batch_width × total_msgs`, reused across runs.
+    vals: Vec<f32>,
+}
+
+impl SpmvWorkspace {
+    /// Preprocesses `g` and spins up the resident pool. The expensive call —
+    /// everything after it is sweep-only.
+    pub fn new(g: &DiGraph, threads: usize, verts_per_partition: usize) -> Self {
+        Self::from_prepared(Arc::new(PcpmPrepared::build(g, threads, verts_per_partition)))
+    }
+
+    /// Wraps an existing shared preprocessed state (the serve layer shares
+    /// one `Arc<PcpmPrepared>` between the solver and its bookkeeping).
+    pub fn from_prepared(prepared: Arc<PcpmPrepared>) -> Self {
+        let pool = (prepared.threads > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(prepared.threads)
+                .build()
+                .expect("pool build cannot fail")
+        });
+        SpmvWorkspace { prepared, pool, vals: Vec::new() }
+    }
+
+    /// The shared preprocessed state this workspace sweeps against.
+    pub fn prepared(&self) -> &Arc<PcpmPrepared> {
+        &self.prepared
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.prepared.num_vertices
+    }
+
+    /// One SpMV: `y = Aᵀx`.
+    pub fn run(&mut self, x: &[f32]) -> Vec<f32> {
+        let n = self.prepared.num_vertices;
+        assert_eq!(x.len(), n, "vector length mismatch");
+        let mut y = vec![0.0f32; n];
+        self.run_batch_into(x, &mut y, &[true]);
+        y
+    }
+
+    /// Batched SpMV over `k` stacked vectors: `xs`/`ys` hold vector `b` at
+    /// `b*n..(b+1)*n`, `k = active.len()`. One graph pass serves the whole
+    /// batch; vectors with `active[b] == false` are skipped (their `ys`
+    /// range is left untouched), which lets an iterative caller freeze
+    /// converged batch members. Each active vector's output is bitwise
+    /// identical to a solo [`run`](Self::run) on the same input.
+    pub fn run_batch_into(&mut self, xs: &[f32], ys: &mut [f32], active: &[bool]) {
+        let n = self.prepared.num_vertices;
+        let k = active.len();
+        assert_eq!(xs.len(), k * n, "input batch length mismatch");
+        assert_eq!(ys.len(), k * n, "output batch length mismatch");
+        if n == 0 || !active.iter().any(|&a| a) {
+            return;
+        }
+        for b in 0..k {
+            if active[b] {
+                ys[b * n..(b + 1) * n].fill(0.0);
+            }
+        }
+
+        let prep = &*self.prepared;
+        let layout = &prep.layout;
+        let tm = layout.total_msgs as usize;
+        self.vals.resize(k * tm, 0.0);
+
+        // Phase 1 — scatter: intra-edges apply directly into the owner's own
+        // partitions of `ys`; inter-edges write their compressed message
+        // slots. The pool-scope join is the barrier.
+        {
+            let y_s = SharedSlice::new(ys);
+            let vals_s = SharedSlice::new(&mut self.vals);
+            let scatter_part = |my: Range<usize>| {
+                for p in my {
+                    let vr = layout.partition_vertices(p);
+                    for v in vr.start as usize..vr.end as usize {
+                        for &dst in layout.intra_of(v as u32) {
+                            for b in 0..k {
+                                if active[b] {
+                                    // SAFETY: intra destinations stay in
+                                    // this job's own partitions.
+                                    unsafe {
+                                        y_s.update(b * n + dst as usize, |a| *a += xs[b * n + v])
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    for pair in layout.png_of(p) {
+                        for (i, &src) in layout.png_sources(pair).iter().enumerate() {
+                            let slot = pair.slot_start as usize + i;
+                            for b in 0..k {
+                                if active[b] {
+                                    // SAFETY: one writer per slot — slots
+                                    // are sourced from exactly one
+                                    // partition.
+                                    unsafe {
+                                        vals_s.write(b * tm + slot, xs[b * n + src as usize])
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            match &self.pool {
+                Some(pool) => pool.scope(|s| {
+                    for my in prep.thread_parts.iter().cloned() {
+                        let f = &scatter_part;
+                        s.spawn(move |_| f(my));
+                    }
+                }),
+                None => {
+                    for my in prep.thread_parts.iter().cloned() {
+                        scatter_part(my);
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — gather: each owner streams its partitions' inboxes
+        // (read-only now) and accumulates into its own `ys` entries.
+        {
+            let y_s = SharedSlice::new(ys);
+            let vals: &[f32] = &self.vals;
+            let gather_part = |my: Range<usize>| {
+                for q in my {
+                    for slot in layout.part_slot_ranges[q].clone() {
+                        let base = slot as usize;
+                        for &dst in layout.dests_of(slot) {
+                            for b in 0..k {
+                                if active[b] {
+                                    // SAFETY: destinations lie in q, owned
+                                    // by this job alone.
+                                    unsafe {
+                                        y_s.update(b * n + dst as usize, |a| {
+                                            *a += vals[b * tm + base]
+                                        })
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            match &self.pool {
+                Some(pool) => pool.scope(|s| {
+                    for my in prep.thread_parts.iter().cloned() {
+                        let f = &gather_part;
+                        s.spawn(move |_| f(my));
+                    }
+                }),
+                None => {
+                    for my in prep.thread_parts.iter().cloned() {
+                        gather_part(my);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience batch form: one input vector per element, outputs in the
+    /// same order.
+    pub fn run_batch(&mut self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let n = self.prepared.num_vertices;
+        let k = xs.len();
+        let mut flat_x = vec![0.0f32; k * n];
+        for (b, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), n, "vector length mismatch in batch slot {b}");
+            flat_x[b * n..(b + 1) * n].copy_from_slice(x);
+        }
+        let mut flat_y = vec![0.0f32; k * n];
+        self.run_batch_into(&flat_x, &mut flat_y, &vec![true; k]);
+        (0..k).map(|b| flat_y[b * n..(b + 1) * n].to_vec()).collect()
+    }
+}
+
 /// Partition-centric SpMV: scatter `x` through the compressed message bins,
 /// gather per destination partition, with `threads` workers owning disjoint
 /// partition groups (one-to-many, as in HiPa §3.2).
 ///
-/// Accumulation order per element matches the PageRank engines (intra
-/// contributions in source order, then inbox messages in slot order), so the
-/// result is deterministic for any thread count.
+/// One-shot wrapper over [`SpmvWorkspace`]: builds the full preprocessed
+/// state, sweeps once, drops it. Prefer a workspace for anything iterative.
 pub fn spmv_partition_centric(
     g: &DiGraph,
     x: &[f32],
@@ -50,64 +252,7 @@ pub fn spmv_partition_centric(
     if n == 0 {
         return Vec::new();
     }
-    let threads = threads.max(1);
-    let layout = PcpmLayout::build(g.out_csr(), verts_per_partition.max(1), false);
-    let plan = hipa_plan(g.out_degrees(), 1, threads, verts_per_partition.max(1));
-    let parts: Vec<std::ops::Range<usize>> =
-        plan.threads().map(|(_, _, t)| t.part_range.clone()).collect();
-
-    let mut y = vec![0.0f32; n];
-    let mut vals = vec![0.0f32; layout.total_msgs as usize];
-    {
-        let y_s = SharedSlice::new(&mut y);
-        let vals_s = SharedSlice::new(&mut vals);
-        let barrier = std::sync::Barrier::new(threads);
-        std::thread::scope(|scope| {
-            for j in 0..threads {
-                let y_s = &y_s;
-                let vals_s = &vals_s;
-                let barrier = &barrier;
-                let layout = &layout;
-                let my = parts[j].clone();
-                scope.spawn(move || {
-                    // Scatter: intra applies + message bins.
-                    for p in my.clone() {
-                        let vr = layout.partition_vertices(p);
-                        for v in vr.start as usize..vr.end as usize {
-                            let xv = x[v];
-                            for &dst in layout.intra_of(v as u32) {
-                                // SAFETY: intra stays in this thread's own
-                                // partitions.
-                                unsafe { y_s.update(dst as usize, |a| *a += xv) };
-                            }
-                        }
-                        for pair in layout.png_of(p) {
-                            for (k, &src) in layout.png_sources(pair).iter().enumerate() {
-                                // SAFETY: one writer per slot.
-                                unsafe {
-                                    vals_s.write(pair.slot_start as usize + k, x[src as usize])
-                                };
-                            }
-                        }
-                    }
-                    barrier.wait();
-                    // Gather own inboxes.
-                    for q in my {
-                        for k in layout.part_slot_ranges[q].clone() {
-                            // SAFETY: only q's owner reads q's inbox after
-                            // the barrier.
-                            let val = unsafe { vals_s.get(k as usize) };
-                            for &dst in layout.dests_of(k) {
-                                // SAFETY: destinations lie in q.
-                                unsafe { y_s.update(dst as usize, |a| *a += val) };
-                            }
-                        }
-                    }
-                });
-            }
-        });
-    }
-    y
+    SpmvWorkspace::new(g, threads, verts_per_partition).run(x)
 }
 
 #[cfg(test)]
@@ -156,6 +301,43 @@ mod tests {
         let a = spmv_partition_centric(&g, &x, 1, 128);
         let b = spmv_partition_centric(&g, &x, 6, 128);
         assert_eq!(a, b, "bitwise determinism across thread counts");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        let g = hipa_graph::datasets::small_test_graph(82);
+        let x: Vec<f32> = (0..g.num_vertices()).map(|i| ((i * 13) % 11) as f32 * 0.5).collect();
+        let one_shot = spmv_partition_centric(&g, &x, 4, 128);
+        let mut ws = SpmvWorkspace::new(&g, 4, 128);
+        for round in 0..3 {
+            assert_eq!(ws.run(&x), one_shot, "round {round}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_solo_runs_bitwise() {
+        let g = hipa_graph::datasets::small_test_graph(83);
+        let n = g.num_vertices();
+        let xs: Vec<Vec<f32>> = (0..5)
+            .map(|b| (0..n).map(|i| ((i * (b + 2) + b) % 9) as f32 * 0.125).collect())
+            .collect();
+        let mut ws = SpmvWorkspace::new(&g, 3, 256);
+        let batch = ws.run_batch(&xs);
+        for (b, x) in xs.iter().enumerate() {
+            assert_eq!(batch[b], ws.run(x), "batch slot {b}");
+        }
+    }
+
+    #[test]
+    fn inactive_batch_slots_are_untouched() {
+        let g = hipa_graph::datasets::small_test_graph(84);
+        let n = g.num_vertices();
+        let xs = vec![0.5f32; 3 * n];
+        let mut ys = vec![-1.0f32; 3 * n];
+        let mut ws = SpmvWorkspace::new(&g, 2, 128);
+        ws.run_batch_into(&xs, &mut ys, &[true, false, true]);
+        assert!(ys[n..2 * n].iter().all(|&v| v == -1.0), "frozen slot must stay untouched");
+        assert_eq!(&ys[..n], &ws.run(&xs[..n])[..]);
     }
 
     #[test]

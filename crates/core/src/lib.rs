@@ -26,12 +26,14 @@ pub mod par;
 pub mod pcpm;
 pub mod prefetch;
 pub mod preorder;
+pub mod prepared;
 pub mod reference;
 pub mod runs;
 
 pub use config::{DanglingPolicy, PageRankConfig};
 pub use hipa::sim::HiPaVariant;
 pub use hipa::HiPa;
-pub use pcpm::PcpmLayout;
+pub use pcpm::{layout_builds_total, PcpmLayout};
+pub use prepared::PcpmPrepared;
 pub use reference::reference_pagerank;
 pub use runs::{Engine, NativeOpts, NativeRun, ReorderStrategy, SimOpts, SimRun};

@@ -28,11 +28,28 @@
 use crate::par::run_indexed;
 use hipa_graph::Csr;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Vertices per parallel build chunk. Fixed (not thread-derived) so the
 /// chunk decomposition is deterministic; the built layout is identical for
 /// any chunking regardless (see [`PcpmLayout::build_par_ext`]).
 const CHUNK_VERTS: usize = 4096;
+
+/// Process-wide tally of layout constructions. Bumped once per build —
+/// at the head of the sequential builder and of the parallel builder's
+/// non-delegating path, so a parallel build that falls back to the
+/// sequential one still counts exactly once.
+static LAYOUT_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`PcpmLayout`] builds since process start (monotonic). The serve
+/// census reads deltas of this to prove that a batch of requests reused one
+/// resident layout instead of rebuilding per call.
+pub fn layout_builds_total() -> u64 {
+    // ordering: relaxed (monotonic statistics counter; callers read deltas
+    // after the builds they issued have returned — no payload is published
+    // through it).
+    LAYOUT_BUILDS.load(Ordering::Relaxed)
+}
 
 /// The built layout. All index arrays are `u64`-offset CSR-style.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +142,8 @@ impl PcpmLayout {
         compress_inter: bool,
     ) -> Self {
         assert!(verts_per_partition >= 1);
+        // ordering: relaxed (statistics tally; see `layout_builds_total`).
+        LAYOUT_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = csr.num_vertices();
         let num_partitions = n.div_ceil(verts_per_partition).max(1);
         let part_of = |v: u32| v as usize / verts_per_partition;
@@ -353,6 +372,8 @@ impl PcpmLayout {
             );
         }
         assert!(verts_per_partition >= 1);
+        // ordering: relaxed (statistics tally; see `layout_builds_total`).
+        LAYOUT_BUILDS.fetch_add(1, Ordering::Relaxed);
         let num_partitions = n.div_ceil(verts_per_partition).max(1);
         let part_of = |v: u32| v as usize / verts_per_partition;
 

@@ -1,0 +1,100 @@
+//! Resident preprocessed state for repeated partition-centric passes.
+//!
+//! The paper's §3.3 persistent-thread model amortizes preprocessing across
+//! iterations; [`PcpmPrepared`] is the data half of that contract for the
+//! extension algorithms and the rank server. It bundles everything a
+//! partition-centric sweep needs that depends only on the graph — the PCPM
+//! layout, the per-thread partition ownership from `hipa_plan`, the inverse
+//! out-degrees and the dangling-vertex list — so callers (iterative
+//! personalized PageRank, `hipa-serve`) build it **once** and run many
+//! sweeps against it instead of paying full preprocessing per call.
+
+use crate::par::inv_deg_parallel;
+use crate::pcpm::PcpmLayout;
+use hipa_graph::DiGraph;
+use hipa_partition::hipa_plan;
+use std::ops::Range;
+
+/// Immutable per-graph preprocessing shared by every sweep over one graph
+/// snapshot. Build with [`PcpmPrepared::build`]; share via `Arc`.
+#[derive(Debug, Clone)]
+pub struct PcpmPrepared {
+    /// The compressed scatter/gather layout (one build, counted by
+    /// [`crate::pcpm::layout_builds_total`]).
+    pub layout: PcpmLayout,
+    /// Partition ranges owned by each of the `threads` workers: disjoint,
+    /// ascending, covering all partitions (degree-balanced by `hipa_plan`).
+    pub thread_parts: Vec<Range<usize>>,
+    /// Worker count the ownership map was planned for.
+    pub threads: usize,
+    /// Partition size in vertices.
+    pub verts_per_partition: usize,
+    /// `1/outdeg` per vertex (0 for dangling vertices).
+    pub inv_deg: Vec<f32>,
+    /// Dangling vertices in ascending order — summing rank mass over this
+    /// list visits vertices in the same order as a full `0..n` scan, so
+    /// results stay bitwise identical to the scan it replaces.
+    pub dangling: Vec<u32>,
+    pub num_vertices: usize,
+    pub num_edges: usize,
+}
+
+impl PcpmPrepared {
+    /// Preprocesses `g` for `threads`-worker partition-centric sweeps with
+    /// `verts_per_partition`-vertex cache partitions. This is the expensive
+    /// step (layout + plan + degree tables) that resident callers pay once.
+    pub fn build(g: &DiGraph, threads: usize, verts_per_partition: usize) -> Self {
+        let threads = threads.max(1);
+        let vpp = verts_per_partition.max(1);
+        let layout = PcpmLayout::build(g.out_csr(), vpp, false);
+        let plan = hipa_plan(g.out_degrees(), 1, threads, vpp);
+        let thread_parts = plan.threads().map(|(_, _, t)| t.part_range.clone()).collect();
+        PcpmPrepared {
+            layout,
+            thread_parts,
+            threads,
+            verts_per_partition: vpp,
+            inv_deg: inv_deg_parallel(g, threads),
+            dangling: g.dangling_vertices(),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcpm::layout_builds_total;
+
+    #[test]
+    fn prepared_matches_graph_shape() {
+        let g = hipa_graph::datasets::small_test_graph(60);
+        let p = PcpmPrepared::build(&g, 4, 128);
+        assert_eq!(p.num_vertices, g.num_vertices());
+        assert_eq!(p.num_edges, g.num_edges());
+        assert_eq!(p.inv_deg.len(), g.num_vertices());
+        assert_eq!(p.thread_parts.len(), 4);
+        // Ownership covers all partitions, disjoint and ascending.
+        let mut covered = 0usize;
+        for (i, r) in p.thread_parts.iter().enumerate() {
+            assert_eq!(r.start, covered, "thread {i} range not contiguous");
+            covered = r.end;
+        }
+        assert_eq!(covered, p.layout.num_partitions);
+        // Dangling list is ascending and matches out-degrees.
+        assert!(p.dangling.windows(2).all(|w| w[0] < w[1]));
+        for &v in &p.dangling {
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn build_bumps_layout_counter_once() {
+        let g = hipa_graph::datasets::small_test_graph(61);
+        let before = layout_builds_total();
+        let _p = PcpmPrepared::build(&g, 2, 64);
+        let after = layout_builds_total();
+        assert_eq!(after - before, 1, "one prepared build = one layout build");
+    }
+}

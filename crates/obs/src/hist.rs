@@ -1,0 +1,208 @@
+//! A lock-free fixed-bucket latency histogram.
+//!
+//! The serve layer records one sample per request (nanoseconds, but any
+//! `u64` works) from many client threads concurrently and asks for
+//! p50/p95/p99 afterwards. Buckets are HDR-style — a power-of-two exponent
+//! with 16 linear sub-buckets — so the quantile error is bounded at ~6.25%
+//! of the value, with a fixed 1024-counter footprint and no allocation on
+//! the record path. Because buckets are plain commutative counters, the
+//! histogram's state (and thus every quantile) depends only on the multiset
+//! of recorded samples, never on thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two range (4 mantissa bits ⇒ ≤ 1/16 relative
+/// quantile error).
+const SUB: usize = 16;
+/// Exponent ranges: values up to `2^64 - 1`.
+const EXPS: usize = 64;
+const BUCKETS: usize = EXPS * SUB;
+
+/// Concurrent histogram; `record` from any thread, read quantiles whenever.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of a value: values below 16 get exact unit buckets, larger
+/// ones land in (exponent, top-4-mantissa-bits).
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (e - 4)) & 0xF) as usize;
+    (e - 3) * SUB + sub
+}
+
+/// Upper edge (inclusive) of a bucket — the value reported for quantiles
+/// falling into it, an overestimate by at most one sub-bucket width.
+fn upper_edge(b: usize) -> u64 {
+    if b < SUB {
+        return b as u64;
+    }
+    let e = b / SUB + 3;
+    let sub = (b % SUB) as u128;
+    // Lower edge is (16 + sub) << (e - 4); the bucket spans one sub-step.
+    // u128 keeps the top exponent's edge from overflowing before saturation.
+    (((SUB as u128 + sub + 1) << (e - 4)) - 1).min(u64::MAX as u128) as u64
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        // ordering: relaxed (commutative statistics counters — totals are
+        // read after the recording threads are joined/drained, and no other
+        // data is published through them).
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: relaxed (see above).
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // ordering: relaxed (see above).
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: relaxed (see above).
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        // ordering: relaxed (statistics read after recording settled).
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        // ordering: relaxed (statistics read after recording settled).
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        // ordering: relaxed (statistics read after recording settled).
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper edge of the bucket
+    /// holding the `⌈q·count⌉`-th smallest sample (so `quantile(0.5)` is an
+    /// upper bound on the median within one sub-bucket). Exact for values
+    /// `< 16`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, c) in self.buckets.iter().enumerate() {
+            // ordering: relaxed (statistics read after recording settled).
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return upper_edge(b);
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_aligned() {
+        // Every value maps to a bucket whose upper edge is >= the value and
+        // within the promised relative error.
+        for v in (0u64..4096).chain([1 << 20, (1 << 40) + 12345, u64::MAX]) {
+            let b = bucket_of(v);
+            let hi = upper_edge(b);
+            assert!(hi >= v || b == BUCKETS - 1, "v={v} b={b} hi={hi}");
+            if v >= 16 && b < BUCKETS - 1 {
+                assert!((hi - v) as f64 <= v as f64 / 16.0 + 1.0, "v={v} hi={hi}");
+            }
+        }
+        // Bucket index is monotone in the value.
+        let mut prev = 0;
+        for v in 0u64..100_000 {
+            let b = bucket_of(v);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5, 5, 5, 9, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), 45);
+        assert_eq!(h.mean(), 5);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_percentile() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let est = h.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(est as f64 <= truth as f64 * 1.07 + 1.0, "q={q}: {est} too far above {truth}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_in_count() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 97);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert!(h.quantile(1.0) >= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+    }
+}

@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 
 pub mod bridge;
+pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod trace;
 
 pub use bridge::{record_sim_report, PoolCounters};
+pub use hist::Histogram;
 pub use json::Json;
 pub use recorder::{Counter, CounterHandle, Recorder, SpanStart, ThreadSpans};
 pub use trace::{

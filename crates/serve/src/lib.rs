@@ -1,0 +1,40 @@
+//! `hipa-serve` — PageRank as a service on the HiPa substrate.
+//!
+//! The paper's §3.3 persistent-thread model (Algorithm 2) is exactly a
+//! resident engine; this crate is the serving layer ROADMAP asks for on top
+//! of it. A [`Server`] holds one immutable preprocessed state per graph
+//! epoch — the graph, the PCPM layout + `hipa_plan` ownership
+//! ([`hipa_core::PcpmPrepared`]), the resident worker pool, and converged
+//! global ranks — and serves three request classes through an admission
+//! queue and a batch scheduler:
+//!
+//! * **Top-k lookups** ([`Request::TopK`]) answered directly from the
+//!   resident global ranks;
+//! * **Personalized PageRank** ([`Request::Ppr`]): many user source sets are
+//!   grouped and advanced through **one multi-vector partition-centric
+//!   sweep** per power iteration ([`hipa_algos::PprSolver::solve_batch`]),
+//!   amortizing the graph pass across the batch — and, because batch
+//!   members freeze individually at their own convergence, every response
+//!   is bitwise identical to a solo solve, so batching is invisible to
+//!   clients;
+//! * **Edge streaming** ([`Request::AddEdges`]): updates are committed as
+//!   *delta epochs* — all reads drained in the same scheduling cycle are
+//!   answered against the old state first, then the graph is rebuilt and
+//!   re-ranked via PageRank-Delta ([`hipa_algos::pagerank_delta`]) and the
+//!   epoch counter advances.
+//!
+//! Invalid user input (out-of-range personalization seeds or edge
+//! endpoints) yields [`Response::Error`] instead of a server panic. Latency
+//! histograms (p50/p95/p99), throughput and queue-depth gauges accumulate
+//! in [`ServeStats`] and export into a `RunTrace` via `hipa-obs`
+//! ([`ServeStats::export_into`]); the deterministic open-loop load
+//! generator lives in [`loadgen`].
+#![forbid(unsafe_code)]
+
+pub mod loadgen;
+pub mod server;
+pub mod stats;
+
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use server::{edge_list_of, Request, Response, ServeConfig, Server, Ticket};
+pub use stats::ServeStats;

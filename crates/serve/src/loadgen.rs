@@ -1,0 +1,186 @@
+//! Deterministic open-loop load generator for the rank server.
+//!
+//! Simulated users submit requests on a seeded arrival schedule
+//! (exponential inter-arrival gaps) *without waiting for responses* — the
+//! open-loop discipline — and collect their tickets at the end, so measured
+//! latency includes queue wait under the offered load, not just service
+//! time. Request content is a pure function of `(seed, user, request
+//! index)`: two runs with the same config offer byte-identical request
+//! streams, which is what makes serve censuses and determinism tests
+//! reproducible.
+
+use crate::server::{Request, Response, Server};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Simulated users (client threads submitting concurrently).
+    pub users: usize,
+    /// Requests each user submits.
+    pub requests_per_user: usize,
+    /// Master seed; user `u` derives its stream from `seed ^ u`.
+    pub seed: u64,
+    /// Request-mix weights (top-k lookups : personalized PageRank : edge
+    /// updates). Zero disables a class.
+    pub mix: (u32, u32, u32),
+    /// `k` for top-k and PPR responses.
+    pub topk: usize,
+    /// PPR source-set size range `1..=max`.
+    pub ppr_sources_max: usize,
+    /// Probability a PPR request carries an intentionally invalid seed
+    /// (exercises the error path; the server must answer, not die).
+    pub invalid_share: f64,
+    /// Mean inter-arrival gap per user, nanoseconds (0 = submit as fast as
+    /// possible).
+    pub mean_gap_ns: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            users: 8,
+            requests_per_user: 32,
+            seed: 42,
+            mix: (90, 9, 1),
+            topk: 10,
+            ppr_sources_max: 3,
+            invalid_share: 0.02,
+            mean_gap_ns: 200_000,
+        }
+    }
+}
+
+/// Outcome of one load run (latency percentiles live in
+/// [`Server::stats`]).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub wall: Duration,
+    pub completed: u64,
+    pub errors: u64,
+    pub throughput_rps: f64,
+}
+
+/// The request user `u` makes at its `i`-th step — pure function of the
+/// config and `(u, i)`, shared by the load run and any replay.
+pub fn request_for(cfg: &LoadConfig, num_vertices: usize, user: usize, i: usize) -> Request {
+    // One RNG per (user, step): the request content is independent of how
+    // many draws earlier requests consumed.
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ (user as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64) << 20,
+    );
+    let n = num_vertices as u32;
+    let (w_topk, w_ppr, w_edges) = cfg.mix;
+    let total = (w_topk + w_ppr + w_edges).max(1);
+    let roll = rng.gen_range(0..total);
+    if roll < w_topk {
+        Request::TopK { k: cfg.topk }
+    } else if roll < w_topk + w_ppr {
+        let count = rng.gen_range(1..=cfg.ppr_sources_max.max(1));
+        let invalid = rng.gen::<f64>() < cfg.invalid_share;
+        let sources: Vec<u32> = (0..count)
+            .map(|j| {
+                if invalid && j == 0 {
+                    n + rng.gen_range(0..10)
+                } else {
+                    rng.gen_range(0..n.max(1))
+                }
+            })
+            .collect();
+        Request::Ppr { sources, k: cfg.topk }
+    } else {
+        let count = rng.gen_range(1..=4usize);
+        let edges: Vec<(u32, u32)> =
+            (0..count).map(|_| (rng.gen_range(0..n.max(1)), rng.gen_range(0..n.max(1)))).collect();
+        Request::AddEdges { edges }
+    }
+}
+
+/// Runs the seeded open-loop load against `server` and waits for every
+/// response. Latency histograms and queue gauges accumulate in
+/// `server.stats()`.
+pub fn run_load(server: &Server, cfg: &LoadConfig) -> LoadReport {
+    let n = server.num_vertices();
+    let t0 = Instant::now();
+    let (completed, errors) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.users)
+            .map(|user| {
+                scope.spawn(move || {
+                    let mut gap_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(user as u64));
+                    let mut tickets = Vec::with_capacity(cfg.requests_per_user);
+                    for i in 0..cfg.requests_per_user {
+                        if cfg.mean_gap_ns > 0 {
+                            let u: f64 = gap_rng.gen();
+                            let gap = (-(1.0 - u).ln() * cfg.mean_gap_ns as f64) as u64;
+                            std::thread::sleep(Duration::from_nanos(gap));
+                        }
+                        tickets.push(server.submit(request_for(cfg, n, user, i)));
+                    }
+                    let mut done = 0u64;
+                    let mut errs = 0u64;
+                    for t in tickets {
+                        match t.wait() {
+                            Response::Error { .. } => {
+                                done += 1;
+                                errs += 1;
+                            }
+                            _ => done += 1,
+                        }
+                    }
+                    (done, errs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("user thread"))
+            .fold((0u64, 0u64), |(c, e), (dc, de)| (c + dc, e + de))
+    });
+    let wall = t0.elapsed();
+    let secs = wall.as_secs_f64();
+    LoadReport {
+        wall,
+        completed,
+        errors,
+        throughput_rps: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use hipa_graph::gen::cycle;
+
+    #[test]
+    fn request_streams_are_deterministic() {
+        let cfg = LoadConfig::default();
+        for user in 0..3 {
+            for i in 0..5 {
+                let a = format!("{:?}", request_for(&cfg, 100, user, i));
+                let b = format!("{:?}", request_for(&cfg, 100, user, i));
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn load_run_completes_every_request() {
+        let server = Server::start(
+            cycle(64),
+            ServeConfig { threads: 2, verts_per_partition: 16, ..Default::default() },
+        );
+        let cfg = LoadConfig {
+            users: 4,
+            requests_per_user: 10,
+            mean_gap_ns: 1_000,
+            ..Default::default()
+        };
+        let report = run_load(&server, &cfg);
+        assert_eq!(report.completed, 40);
+        assert_eq!(server.stats().total_served(), 40);
+        assert!(server.stats().queue_depth.count() > 0, "drains must be observed");
+    }
+}

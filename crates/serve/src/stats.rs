@@ -1,0 +1,112 @@
+//! Serve-side metrics: per-class latency histograms, request counters,
+//! queue-depth gauges — all exportable into a `RunTrace` through the
+//! existing `hipa-obs` recorder.
+
+use hipa_obs::{Counter, Histogram, Recorder, RUN_LEVEL};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared statistics of one [`Server`](crate::Server) lifetime. Clients and
+/// the scheduler record concurrently; everything is commutative counters or
+/// histograms, so totals depend only on what was served, not on timing.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Request latency (submit → response), nanoseconds, per request class.
+    pub topk_latency: Histogram,
+    pub ppr_latency: Histogram,
+    pub edges_latency: Histogram,
+    /// Requests answered per class (errors count toward their class too).
+    pub topk_served: Counter,
+    pub ppr_served: Counter,
+    pub edges_served: Counter,
+    /// Requests answered with [`Response::Error`](crate::Response::Error).
+    pub errors: Counter,
+    /// Multi-vector PPR sweeps run (one per batch chunk).
+    pub ppr_batches: Counter,
+    /// PPR source-set requests that went through a batched sweep — with
+    /// `ppr_batches` this gives the realized amortization factor.
+    pub ppr_batched_sources: Counter,
+    /// Delta re-rank epochs committed.
+    pub epochs: Counter,
+    /// Admission-queue depth observed at each scheduler drain.
+    pub queue_depth: Histogram,
+    /// The per-drain depth series, in drain order (for trace export).
+    pub queue_depth_series: Mutex<Vec<u64>>,
+}
+
+impl ServeStats {
+    pub fn total_served(&self) -> u64 {
+        self.topk_served.get() + self.ppr_served.get() + self.edges_served.get()
+    }
+
+    /// Records one scheduler drain observing `depth` queued requests.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth.record(depth);
+        self.queue_depth_series.lock().unwrap().push(depth);
+    }
+
+    /// Writes every statistic into `rec` under the `serve.` counter
+    /// namespace plus a `queue.depth` metric series (dotted phases are
+    /// excluded from flamegraph export by convention). `wall` is the
+    /// measurement window for the throughput counter.
+    pub fn export_into(&self, rec: &Recorder, wall: Duration) {
+        rec.set_counter("serve.topk.served", self.topk_served.get());
+        rec.set_counter("serve.ppr.served", self.ppr_served.get());
+        rec.set_counter("serve.edges.served", self.edges_served.get());
+        rec.set_counter("serve.errors", self.errors.get());
+        rec.set_counter("serve.ppr.batches", self.ppr_batches.get());
+        rec.set_counter("serve.ppr.batched_sources", self.ppr_batched_sources.get());
+        rec.set_counter("serve.epochs", self.epochs.get());
+        for (name, h) in [
+            ("topk", &self.topk_latency),
+            ("ppr", &self.ppr_latency),
+            ("edges", &self.edges_latency),
+        ] {
+            if h.is_empty() {
+                continue;
+            }
+            rec.set_counter(&format!("serve.{name}.p50_ns"), h.quantile(0.50));
+            rec.set_counter(&format!("serve.{name}.p95_ns"), h.quantile(0.95));
+            rec.set_counter(&format!("serve.{name}.p99_ns"), h.quantile(0.99));
+            rec.set_counter(&format!("serve.{name}.max_ns"), h.max());
+            rec.set_counter(&format!("serve.{name}.mean_ns"), h.mean());
+        }
+        rec.set_counter("serve.queue.max_depth", self.queue_depth.max());
+        for (i, &depth) in self.queue_depth_series.lock().unwrap().iter().enumerate() {
+            rec.record("queue.depth", RUN_LEVEL, i as i64, depth as f64);
+        }
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            rec.set_counter(
+                "serve.throughput_rps",
+                (self.total_served() as f64 / secs).round() as u64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_obs::TraceMeta;
+
+    #[test]
+    fn export_writes_the_serve_namespace() {
+        let stats = ServeStats::default();
+        stats.topk_served.add(10);
+        stats.ppr_served.add(5);
+        for i in 0..100 {
+            stats.ppr_latency.record(1000 + i * 10);
+        }
+        stats.observe_queue_depth(3);
+        stats.observe_queue_depth(7);
+        let rec = Recorder::new(true);
+        stats.export_into(&rec, Duration::from_secs(2));
+        let trace = rec.finish(TraceMeta::default()).unwrap();
+        assert_eq!(trace.counter("serve.topk.served"), Some(10));
+        assert_eq!(trace.counter("serve.throughput_rps"), Some(8)); // 15 / 2s
+        assert!(trace.counter("serve.ppr.p95_ns").unwrap() >= 1000);
+        assert_eq!(trace.counter("serve.queue.max_depth"), Some(7));
+        assert_eq!(trace.spans.iter().filter(|s| s.phase == "queue.depth").count(), 2);
+    }
+}

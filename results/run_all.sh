@@ -1,6 +1,6 @@
 #!/bin/bash
 cd /root/repo
-for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence trace kernels; do
+for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence trace kernels serve; do
   echo "=== $bin start $(date +%T) ==="
   cargo run --release -q -p hipa-bench --bin $bin > results/$bin.txt 2>results/$bin.err
   echo "=== $bin done $(date +%T) ==="
@@ -15,6 +15,11 @@ echo "=== kernels bench start $(date +%T) ==="
 # results/kernels.txt is the authoritative measurement; see DESIGN.md 12).
 cargo bench -q -p hipa-bench --bench kernels > results/kernels_bench.txt 2>results/kernels_bench.err
 echo "=== kernels bench done $(date +%T) ==="
+echo "=== serve bench start $(date +%T) ==="
+# Residency A/B (one-shot layout rebuild vs resident workspace) + the
+# per-query amortization curve of batched multi-vector PPR.
+cargo bench -q -p hipa-bench --bench serve > results/serve_bench.txt 2>results/serve_bench.err
+echo "=== serve bench done $(date +%T) ==="
 echo "=== audit start $(date +%T) ==="
 cargo run --release -q -p hipa-audit -- --summary-only > results/audit.txt 2>results/audit.err
 echo "=== audit done $(date +%T) ==="

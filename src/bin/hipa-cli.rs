@@ -41,6 +41,8 @@ const USAGE: &str = "usage:
   hipa-cli bfs <GRAPH> [--source V]
   hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--tolerance X]
            [--partition SIZE] [--trace-out FILE] [--reorder ORDER] [--no-prefetch]
+  hipa-cli serve <GRAPH> [--threads N] [--users N] [--requests N] [--batch N]
+           [--seed S] [--top K] [--trace-out FILE]
   hipa-cli convert <IN> -o <OUT>
 
 GRAPH = path (.bin or edge-list text) or dataset:<journal|pld|wiki|kron|twitter|mpi>
@@ -205,6 +207,7 @@ fn run(args: &[String]) -> Result<()> {
         "simulate" => simulate(&rest),
         "bfs" => bfs(&rest),
         "compare" => compare(&rest),
+        "serve" => serve(&rest),
         "convert" => convert(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -357,6 +360,74 @@ fn simulate(a: &Args) -> Result<()> {
     );
     if let (Some(path), Some(trace)) = (trace_out, &run.trace) {
         write_traces(path, std::slice::from_ref(trace))?;
+    }
+    Ok(())
+}
+
+/// Stands up a resident rank server on the graph, drives it with the seeded
+/// open-loop load generator, and prints throughput + per-class latency
+/// percentiles. `--trace-out` writes the serve counters and the queue-depth
+/// series as a `RunTrace`.
+fn serve(a: &Args) -> Result<()> {
+    use hipa::serve::{edge_list_of, run_load, LoadConfig, ServeConfig, Server};
+
+    let g = load_graph(a.positional.first().ok_or("serve: need a graph")?)?;
+    let threads = a.get_usize("threads", 4)?;
+    let cfg = ServeConfig { threads, batch_max: a.get_usize("batch", 32)?, ..Default::default() };
+    let lcfg = LoadConfig {
+        users: a.get_usize("users", 8)?,
+        requests_per_user: a.get_usize("requests", 32)?,
+        seed: a.get_u64("seed", 42)?,
+        topk: a.get_usize("top", 10)?,
+        ..Default::default()
+    };
+    let server = Server::start(edge_list_of(&g), cfg);
+    let report = run_load(&server, &lcfg);
+    let stats = server.stats();
+    println!(
+        "served {} requests in {:.2?} ({:.0} req/s), {} errors",
+        report.completed, report.wall, report.throughput_rps, report.errors
+    );
+    for (name, served, h) in [
+        ("topk", stats.topk_served.get(), &stats.topk_latency),
+        ("ppr", stats.ppr_served.get(), &stats.ppr_latency),
+        ("edges", stats.edges_served.get(), &stats.edges_latency),
+    ] {
+        if h.is_empty() {
+            println!("  {name:<6} {served:>6} served");
+            continue;
+        }
+        println!(
+            "  {name:<6} {served:>6} served  p50 {:>8.0}us  p95 {:>8.0}us  p99 {:>8.0}us",
+            h.quantile(0.50) as f64 / 1e3,
+            h.quantile(0.95) as f64 / 1e3,
+            h.quantile(0.99) as f64 / 1e3,
+        );
+    }
+    println!(
+        "  epochs {}  ppr batches {} ({} sources)  queue depth max {}",
+        stats.epochs.get(),
+        stats.ppr_batches.get(),
+        stats.ppr_batched_sources.get(),
+        stats.queue_depth.max()
+    );
+    if let Some(path) = a.get("trace-out") {
+        let rec = hipa::obs::Recorder::new(true);
+        stats.export_into(&rec, report.wall);
+        let trace = rec
+            .finish(hipa::obs::TraceMeta {
+                engine: "hipa-serve".into(),
+                path: hipa::obs::PATH_NATIVE,
+                machine: None,
+                vertices: g.num_vertices() as u64,
+                edges: g.num_edges() as u64,
+                threads: threads as u64,
+                partitions: None,
+                iterations_run: report.completed,
+                converged: true,
+            })
+            .expect("recorder enabled");
+        write_traces(path, std::slice::from_ref(&trace))?;
     }
     Ok(())
 }

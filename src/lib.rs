@@ -19,7 +19,10 @@
 //! * [`algos`] — the paper's §6 extensions: SpMV, PageRank-Delta, BFS;
 //! * [`obs`] — a zero-overhead-when-off metrics and tracing layer whose
 //!   [`obs::RunTrace`] captures per-phase timings, per-iteration residuals
-//!   and simulator counters from every engine on both execution paths.
+//!   and simulator counters from every engine on both execution paths;
+//! * [`serve`] — a resident rank server: one preprocessed state per graph
+//!   epoch, top-k lookups, batched multi-vector personalized PageRank, and
+//!   streamed edge updates committed as delta epochs.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use hipa_numasim as numasim;
 pub use hipa_obs as obs;
 pub use hipa_partition as partition;
 pub use hipa_report as report;
+pub use hipa_serve as serve;
 
 /// The most common imports.
 pub mod prelude {
