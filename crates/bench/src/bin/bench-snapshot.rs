@@ -1,0 +1,82 @@
+//! Bench snapshot: run the engine / kernel-variant / serve censuses and
+//! distil every trace into one `hipa-bench/v1` document.
+//!
+//! ```text
+//! cargo run --release -p hipa-bench --bin bench-snapshot -- [--fast]
+//!          [--label NAME] [--out FILE] [--graph NAME] [--seed S]
+//!          [--no-native] [--no-variants] [--no-serve]
+//! ```
+//!
+//! Writes `BENCH_<label>.json` (or `--out FILE`) and prints a per-entry
+//! summary. Diff two snapshots with `hipa-perf diff A B`; the deterministic
+//! sections are byte-identical across runs of the same config — see
+//! DESIGN.md §14 and the CI perf-gate job.
+
+use hipa_bench::snapshot::{collect, SnapshotConfig};
+use hipa_bench::BinArgs;
+use hipa_graph::datasets::Dataset;
+use hipa_perf::MetricValue;
+use hipa_report::Table;
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .map(|i| argv.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a value")).clone())
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let argv: Vec<String> = std::env::args().collect();
+    let label = flag_value(&argv, "--label").unwrap_or_else(|| {
+        if args.fast {
+            "fast".into()
+        } else {
+            "full".into()
+        }
+    });
+    let mut cfg =
+        if args.fast { SnapshotConfig::fast(&label) } else { SnapshotConfig::full(&label) };
+    if let Some(name) = flag_value(&argv, "--graph") {
+        let ds = *Dataset::ALL
+            .iter()
+            .find(|d| d.name() == name)
+            .unwrap_or_else(|| panic!("unknown dataset '{name}'"));
+        cfg.datasets = vec![ds];
+    }
+    if let Some(seed) = flag_value(&argv, "--seed") {
+        cfg.seed = seed.parse().unwrap_or_else(|e| panic!("--seed: {e}"));
+    }
+    cfg.native = !argv.iter().any(|a| a == "--no-native");
+    cfg.variants = !argv.iter().any(|a| a == "--no-variants");
+    cfg.serve = !argv.iter().any(|a| a == "--no-serve");
+
+    let snap = collect(&cfg);
+
+    let mut table = Table::new(
+        &format!("Bench snapshot '{label}' ({} entries)", snap.entries.len()),
+        &["entry", "iters", "deterministic", "advisory", "cycles total", "ranks fnv"],
+    );
+    for e in &snap.entries {
+        let show = |name: &str| {
+            e.metric(name)
+                .map(|(v, _): (&MetricValue, _)| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        table.row(vec![
+            e.id.clone(),
+            show("iterations"),
+            e.deterministic.len().to_string(),
+            e.advisory.len().to_string(),
+            show("cycles.total"),
+            show("ranks.fnv1a64"),
+        ]);
+    }
+    table.print();
+    if args.csv {
+        print!("{}", table.to_csv());
+    }
+
+    let out = flag_value(&argv, "--out").unwrap_or_else(|| format!("BENCH_{label}.json"));
+    std::fs::write(&out, snap.to_json() + "\n").unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote snapshot ({} entries) to {out}", snap.entries.len());
+}

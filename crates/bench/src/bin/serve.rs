@@ -25,8 +25,8 @@ use hipa_core::layout_builds_total;
 use hipa_graph::datasets::Dataset;
 use hipa_obs::{Recorder, RunTrace, TraceMeta, PATH_NATIVE};
 use hipa_report::Table;
-use hipa_serve::{run_load, LoadConfig, Request, Response, ServeConfig, Server};
-use std::time::Instant;
+use hipa_serve::{run_load, LoadConfig, Request, Response, SamplerConfig, ServeConfig, Server};
+use std::time::{Duration, Instant};
 
 fn flag_value(argv: &[String], flag: &str) -> Option<String> {
     argv.iter()
@@ -190,6 +190,13 @@ fn main() {
             verts_per_partition: vpp,
             batch_max: 32,
             ppr: pcfg.clone(),
+            // Live health sampler: ticks through the load window so the
+            // exported trace carries a `sampler.*` trajectory too.
+            sampler: Some(SamplerConfig {
+                interval: Duration::from_millis(10),
+                capacity: 512,
+                expo_path: None,
+            }),
             ..Default::default()
         },
     );
@@ -243,6 +250,16 @@ fn main() {
         stats.ppr_batched_sources.get(),
         stats.queue_depth.max()
     );
+    let frames = stats.frames();
+    if let Some(last) = frames.last() {
+        println!(
+            "sampler: {} frame(s); last tick depth {} p99 {:.0}us {} req/s",
+            frames.len(),
+            last.queue_depth,
+            last.latency_p99_ns as f64 / 1e3,
+            last.throughput_rps
+        );
+    }
     if args.csv {
         print!("{}", census.to_csv());
         print!("{}", load.to_csv());

@@ -4,6 +4,8 @@
 //! cargo run --release -p hipa-bench --bin trace -- [--fast] [--graph NAME]
 //!          [--json-out FILE]
 //! cargo run --release -p hipa-bench --bin trace -- --pretty FILE
+//! cargo run --release -p hipa-bench --bin trace -- --diff A B
+//!          [--wall-tol X] [--deterministic-only]
 //! ```
 //!
 //! The census runs all five methods (paper settings) on one dataset, native
@@ -11,12 +13,16 @@
 //! plus the full human rendering of each trace, and optionally serialises
 //! the whole set as one JSON array (`--json-out`). `--pretty FILE` instead
 //! parses a trace document previously written by `--json-out` or the CLI's
-//! `--trace-out` and pretty-prints it.
+//! `--trace-out` and pretty-prints it. `--diff A B` compares two such
+//! documents under the `hipa-perf` noise policy (deterministic metrics must
+//! match exactly, wall metrics within `--wall-tol`) and exits nonzero on
+//! regression — same contract as `hipa-perf diff`.
 
 use hipa_bench::{paper_methods, scaled_partition, skylake, BinArgs};
 use hipa_core::{NativeOpts, PageRankConfig, SimOpts};
 use hipa_graph::datasets::Dataset;
 use hipa_obs::RunTrace;
+use hipa_perf::{diff_trace_docs, DiffOptions};
 use hipa_report::Table;
 
 fn flag_value(argv: &[String], flag: &str) -> Option<String> {
@@ -33,11 +39,33 @@ fn pretty_print(path: &str) {
     }
 }
 
+fn load_traces(path: &str) -> Vec<RunTrace> {
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    RunTrace::parse_many(&doc).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn diff_mode(argv: &[String], at: usize) -> ! {
+    let a_path = argv.get(at + 1).unwrap_or_else(|| panic!("--diff needs two files"));
+    let b_path = argv.get(at + 2).unwrap_or_else(|| panic!("--diff needs two files"));
+    let opts = DiffOptions {
+        wall_tol: flag_value(argv, "--wall-tol")
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("--wall-tol: {e}")))
+            .unwrap_or(DiffOptions::default().wall_tol),
+        deterministic_only: argv.iter().any(|a| a == "--deterministic-only"),
+    };
+    let report = diff_trace_docs(&load_traces(a_path), &load_traces(b_path), &opts);
+    print!("{}", report.render());
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if let Some(path) = flag_value(&argv, "--pretty") {
         pretty_print(&path);
         return;
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--diff") {
+        diff_mode(&argv, i);
     }
 
     let args = BinArgs::parse();

@@ -10,6 +10,8 @@
 //! they reach an engine.
 #![forbid(unsafe_code)]
 
+pub mod snapshot;
+
 use hipa_core::{Engine, PageRankConfig, SimOpts, SimRun};
 use hipa_graph::{datasets::Dataset, DiGraph};
 use hipa_numasim::MachineSpec;

@@ -1,0 +1,230 @@
+//! Benchmark-snapshot collector: runs the engine / kernel-variant / serve
+//! censuses and distils every `RunTrace` into one `hipa-bench/v1`
+//! [`Snapshot`] (see `hipa-perf` and DESIGN.md §14).
+//!
+//! The collector is deliberately a thin pass over machinery that already
+//! exists — [`paper_methods`] for the engine matrix, the prefetch toggle
+//! for kernel variants, the seeded load generator for serve — so a
+//! snapshot measures the same code paths the tables and figures do. Per
+//! entry it adds two metrics no trace carries: the bitwise rank
+//! fingerprint ([`hipa_perf::ranks_fingerprint`]) and the
+//! [`layout_builds_total`] delta, both deterministic and both things a
+//! regression gate genuinely wants to pin.
+
+use crate::{paper_methods, scaled_partition, skylake};
+use hipa_core::{layout_builds_total, NativeOpts, PageRankConfig, SimOpts};
+use hipa_graph::datasets::Dataset;
+use hipa_graph::DiGraph;
+use hipa_obs::{Recorder, TraceMeta, PATH_NATIVE};
+use hipa_perf::{entry_from_trace, ranks_fingerprint, BenchEntry, MetricValue, Snapshot};
+use hipa_serve::{edge_list_of, run_load, LoadConfig, SamplerConfig, ServeConfig, Server};
+use std::time::Duration;
+
+/// What one snapshot collection covers.
+#[derive(Debug, Clone)]
+pub struct SnapshotConfig {
+    /// Snapshot label (not part of the deterministic identity).
+    pub label: String,
+    pub datasets: Vec<Dataset>,
+    /// Iteration cap handed to every engine run.
+    pub iterations: usize,
+    /// L1 convergence tolerance for every engine run.
+    pub tolerance: f32,
+    /// Also run the native path per engine (sim always runs).
+    pub native: bool,
+    /// Also run the prefetch-off kernel variants (HiPa and v-PR, sim path)
+    /// so the gate pins the prefetch delta, not just the default kernels.
+    pub variants: bool,
+    /// Also run the seeded serve load census per dataset.
+    pub serve: bool,
+    pub serve_users: usize,
+    pub serve_requests: usize,
+    /// Load-generator seed (serve entries only).
+    pub seed: u64,
+}
+
+impl SnapshotConfig {
+    /// The CI perf-gate corpus: small datasets, every layer switched on.
+    pub fn fast(label: &str) -> SnapshotConfig {
+        SnapshotConfig {
+            label: label.to_string(),
+            datasets: vec![Dataset::Wiki, Dataset::Journal],
+            iterations: 20,
+            tolerance: 1e-5,
+            native: true,
+            variants: true,
+            serve: true,
+            serve_users: 4,
+            serve_requests: 16,
+            seed: 42,
+        }
+    }
+
+    /// The full corpus at the paper's settings.
+    pub fn full(label: &str) -> SnapshotConfig {
+        SnapshotConfig {
+            datasets: Dataset::ALL.to_vec(),
+            iterations: 60,
+            serve_users: 8,
+            serve_requests: 64,
+            ..SnapshotConfig::fast(label)
+        }
+    }
+
+    /// Configuration fingerprint stored in the snapshot: two snapshots are
+    /// only comparable when these pairs agree.
+    fn config_pairs(&self) -> Vec<(String, String)> {
+        let datasets: Vec<&str> = self.datasets.iter().map(|d| d.name()).collect();
+        vec![
+            ("machine".into(), "skylake-4210/scale64".into()),
+            ("iterations".into(), self.iterations.to_string()),
+            ("tolerance".into(), format!("{:e}", self.tolerance)),
+            ("datasets".into(), datasets.join(",")),
+            ("native".into(), self.native.to_string()),
+            ("variants".into(), self.variants.to_string()),
+            ("serve".into(), self.serve.to_string()),
+            (
+                "serve_load".into(),
+                format!("{}x{}@{}", self.serve_users, self.serve_requests, self.seed),
+            ),
+        ]
+    }
+}
+
+/// Runs the configured censuses and returns the canonicalized snapshot.
+pub fn collect(cfg: &SnapshotConfig) -> Snapshot {
+    let mut snap = Snapshot::new(&cfg.label);
+    snap.config = cfg.config_pairs();
+    let prcfg =
+        PageRankConfig::default().with_iterations(cfg.iterations).with_tolerance(cfg.tolerance);
+
+    for ds in &cfg.datasets {
+        let g = ds.build();
+        for m in paper_methods() {
+            let part = scaled_partition(m.partition_paper_bytes);
+
+            let b0 = layout_builds_total();
+            let run = m.engine.run_sim(
+                &g,
+                &prcfg,
+                &SimOpts::new(skylake())
+                    .with_threads(m.threads)
+                    .with_partition_bytes(part)
+                    .with_trace(true),
+            );
+            let builds = layout_builds_total() - b0;
+            let extras = vec![
+                ("ranks.fnv1a64".to_string(), MetricValue::Text(ranks_fingerprint(&run.ranks))),
+                ("layout.builds".to_string(), MetricValue::Num(builds as f64)),
+                ("cycles.total".to_string(), MetricValue::Num(run.report.cycles)),
+            ];
+            snap.entries.push(entry_from_trace(
+                &run.trace.expect("tracing enabled"),
+                ds.name(),
+                None,
+                &extras,
+            ));
+
+            if cfg.native {
+                let b0 = layout_builds_total();
+                let run = m.engine.run_native(
+                    &g,
+                    &prcfg,
+                    &NativeOpts::new(m.threads, part).with_trace(true),
+                );
+                let builds = layout_builds_total() - b0;
+                let extras = vec![
+                    ("ranks.fnv1a64".to_string(), MetricValue::Text(ranks_fingerprint(&run.ranks))),
+                    ("layout.builds".to_string(), MetricValue::Num(builds as f64)),
+                ];
+                snap.entries.push(entry_from_trace(
+                    &run.trace.expect("tracing enabled"),
+                    ds.name(),
+                    None,
+                    &extras,
+                ));
+            }
+        }
+
+        if cfg.variants {
+            // Prefetch-off kernel variants: pins the modelled prefetch
+            // delta for the two engines with gated software prefetch.
+            for m in paper_methods().into_iter().filter(|m| matches!(m.name(), "HiPa" | "v-PR")) {
+                let part = scaled_partition(m.partition_paper_bytes);
+                let run = m.engine.run_sim(
+                    &g,
+                    &prcfg,
+                    &SimOpts::new(skylake())
+                        .with_threads(m.threads)
+                        .with_partition_bytes(part)
+                        .with_prefetch(false)
+                        .with_trace(true),
+                );
+                let extras = vec![
+                    ("ranks.fnv1a64".to_string(), MetricValue::Text(ranks_fingerprint(&run.ranks))),
+                    ("cycles.total".to_string(), MetricValue::Num(run.report.cycles)),
+                ];
+                snap.entries.push(entry_from_trace(
+                    &run.trace.expect("tracing enabled"),
+                    ds.name(),
+                    Some("no-prefetch"),
+                    &extras,
+                ));
+            }
+        }
+
+        if cfg.serve {
+            snap.entries.push(serve_entry(&g, *ds, cfg));
+        }
+    }
+    snap.canonicalize();
+    snap
+}
+
+/// One seeded serve load census distilled into an entry. The request
+/// stream is a pure function of the load config, so per-class served
+/// totals and error counts are deterministic; latencies, throughput and
+/// the drain-dependent batch/epoch grouping land in the advisory section.
+fn serve_entry(g: &DiGraph, ds: Dataset, cfg: &SnapshotConfig) -> BenchEntry {
+    let threads = 2;
+    let server = Server::start(
+        edge_list_of(g),
+        ServeConfig {
+            threads,
+            sampler: Some(SamplerConfig {
+                interval: Duration::from_millis(10),
+                capacity: 128,
+                expo_path: None,
+            }),
+            ..Default::default()
+        },
+    );
+    let lcfg = LoadConfig {
+        users: cfg.serve_users,
+        requests_per_user: cfg.serve_requests,
+        seed: cfg.seed,
+        mean_gap_ns: 20_000,
+        ..Default::default()
+    };
+    let report = run_load(&server, &lcfg);
+    let rec = Recorder::new(true);
+    server.stats().export_into(&rec, report.wall);
+    let trace = rec
+        .finish(TraceMeta {
+            engine: "hipa-serve".into(),
+            path: PATH_NATIVE,
+            machine: None,
+            vertices: g.num_vertices() as u64,
+            edges: g.num_edges() as u64,
+            threads: threads as u64,
+            partitions: None,
+            iterations_run: report.completed,
+            converged: true,
+        })
+        .expect("recorder enabled");
+    let extras = [(
+        "load.requests".to_string(),
+        MetricValue::Num((cfg.serve_users * cfg.serve_requests) as f64),
+    )];
+    entry_from_trace(&trace, ds.name(), None, &extras)
+}

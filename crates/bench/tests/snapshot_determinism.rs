@@ -1,0 +1,106 @@
+//! End-to-end determinism contract for the benchmark-snapshot pipeline
+//! (DESIGN.md §14): two collections of the same config must agree byte-for-
+//! byte on their deterministic sections, self-diff must pass, and the diff
+//! engine must catch injected drift with the right exit semantics.
+//!
+//! Everything lives in one test fn: `collect` runs engines that bump the
+//! process-global `layout_builds_total` counter, so concurrent collections
+//! in sibling tests would race each other's `layout.builds` deltas.
+
+use hipa_bench::snapshot::{collect, SnapshotConfig};
+use hipa_graph::datasets::Dataset;
+use hipa_perf::{diff_snapshots, DiffOptions, MetricValue, Snapshot};
+
+fn small_config(label: &str) -> SnapshotConfig {
+    let mut cfg = SnapshotConfig::fast(label);
+    cfg.datasets = vec![Dataset::Wiki];
+    cfg.iterations = 5;
+    cfg.serve_users = 2;
+    cfg.serve_requests = 4;
+    cfg
+}
+
+/// Replaces a metric's value in-place, panicking if the entry or metric is
+/// missing (the test should fail loudly if the corpus shape changes).
+fn poke(snap: &mut Snapshot, entry_id: &str, metric: &str, value: MetricValue) {
+    let entry = snap
+        .entries
+        .iter_mut()
+        .find(|e| e.id == entry_id)
+        .unwrap_or_else(|| panic!("no entry '{entry_id}'"));
+    let slot = entry
+        .deterministic
+        .iter_mut()
+        .chain(entry.advisory.iter_mut())
+        .find(|(n, _)| n == metric)
+        .unwrap_or_else(|| panic!("no metric '{metric}' in '{entry_id}'"));
+    slot.1 = value;
+}
+
+#[test]
+fn snapshots_are_deterministic_and_diffs_gate_drift() {
+    let a = collect(&small_config("det-a"));
+    let b = collect(&small_config("det-b"));
+
+    // Two runs of the same config: deterministic sections byte-identical
+    // (label differs on purpose — it is excluded from the identity).
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+
+    // Round-trip through JSON preserves the deterministic identity.
+    let rt = Snapshot::from_json(&a.to_json()).expect("round-trip parse");
+    assert_eq!(rt.deterministic_json(), a.deterministic_json());
+
+    // Cross-run diff passes in deterministic-only mode; self-diff passes
+    // outright (advisory metrics equal to themselves never regress).
+    let det_only = DiffOptions { deterministic_only: true, ..DiffOptions::default() };
+    assert!(diff_snapshots(&a, &b, &det_only).ok());
+    let self_diff = diff_snapshots(&a, &a, &DiffOptions::default());
+    assert!(self_diff.ok());
+    assert!(self_diff.compared > 0);
+
+    // Injected drift in a deterministic metric hard-fails regardless of
+    // thresholds — the rank fingerprint is the canary a gate must catch.
+    let entry_id = "HiPa/sim/wiki";
+    let mut bad = a.clone();
+    poke(&mut bad, entry_id, "ranks.fnv1a64", MetricValue::Text("deadbeefdeadbeef".into()));
+    let report = diff_snapshots(&a, &bad, &DiffOptions { wall_tol: 1e9, ..det_only });
+    assert!(!report.ok());
+    assert!(report.failures.iter().any(|f| f.contains("ranks.fnv1a64")));
+
+    // Advisory drift: within tolerance passes, past it fails, and
+    // deterministic-only mode ignores it entirely. Wall phases only exist
+    // on the native path (sim phases are deterministic cycle counts).
+    let entry_id = "HiPa/native/wiki";
+    let wall =
+        a.entry(entry_id)
+            .unwrap()
+            .advisory
+            .iter()
+            .find_map(|(n, v)| {
+                if n.starts_with("wall_ns.") {
+                    v.as_num().map(|x| (n.clone(), x))
+                } else {
+                    None
+                }
+            })
+            .expect("sim entry has a wall_ns metric");
+    let mut slow = a.clone();
+    poke(&mut slow, entry_id, &wall.0, MetricValue::Num(wall.1 * 1.2));
+    assert!(diff_snapshots(&a, &slow, &DiffOptions::default()).ok(), "+20% within 50% tol");
+    poke(&mut slow, entry_id, &wall.0, MetricValue::Num(wall.1 * 3.0));
+    assert!(!diff_snapshots(&a, &slow, &DiffOptions::default()).ok(), "+200% past 50% tol");
+    assert!(diff_snapshots(&a, &slow, &det_only).ok(), "deterministic-only ignores wall");
+
+    // Dropping an entry is coverage drift, not a pass.
+    let mut short = a.clone();
+    short.entries.retain(|e| e.id != entry_id);
+    assert!(!diff_snapshots(&a, &short, &DiffOptions::default()).ok());
+
+    // Config mismatch refuses the comparison outright.
+    let mut other = a.clone();
+    let iters = other.config.iter_mut().find(|(k, _)| k == "iterations").unwrap();
+    iters.1 = "999".into();
+    let report = diff_snapshots(&a, &other, &DiffOptions::default());
+    assert!(!report.ok());
+    assert!(report.failures.iter().any(|f| f.contains("not comparable")));
+}

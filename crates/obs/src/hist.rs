@@ -105,6 +105,37 @@ impl Histogram {
         self.sum().checked_div(self.count()).unwrap_or(0)
     }
 
+    /// Merges `other` into `self`, bucket-wise (saturating adds). The state
+    /// is a plain commutative counter vector, so merging is equivalent to
+    /// having recorded both sample multisets into one histogram — every
+    /// merged quantile keeps the documented ≤6.25% relative error bound.
+    /// Safe concurrently with `record` on either side (a racing sample lands
+    /// wholly before or wholly after the merge of its bucket).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            // ordering: relaxed (commutative statistics counters; totals are
+            // read after recording settles, no payload is published).
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                saturating_acc(mine, v);
+            }
+        }
+        // ordering: relaxed (see above).
+        saturating_acc(&self.count, other.count.load(Ordering::Relaxed));
+        // ordering: relaxed (see above).
+        saturating_acc(&self.sum, other.sum.load(Ordering::Relaxed));
+        // ordering: relaxed (see above).
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A frozen copy of the current state (the serve sampler's per-tick
+    /// snapshot primitive): a fresh histogram with `other == self` merged in.
+    pub fn snapshot(&self) -> Histogram {
+        let h = Histogram::new();
+        h.merge(self);
+        h
+    }
+
     /// The value at quantile `q ∈ [0, 1]`: the upper edge of the bucket
     /// holding the `⌈q·count⌉`-th smallest sample (so `quantile(0.5)` is an
     /// upper bound on the median within one sub-bucket). Exact for values
@@ -127,9 +158,17 @@ impl Histogram {
     }
 }
 
+/// Saturating (never wrapping) atomic accumulate — merged histograms clamp
+/// at `u64::MAX` instead of silently restarting a bucket from zero.
+fn saturating_acc(c: &AtomicU64, v: u64) {
+    // ordering: relaxed (commutative statistics counter, no payload).
+    let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_add(v)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn buckets_are_monotone_and_aligned() {
@@ -204,5 +243,95 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [0u64, 3, 17, 1000, 1 << 30] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [5u64, 5, 900, u64::MAX] {
+            b.record(v);
+            combined.record(v);
+        }
+        let merged = a.snapshot();
+        merged.merge(&b);
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.sum(), combined.sum());
+        assert_eq!(merged.max(), combined.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), combined.quantile(q), "q={q}");
+        }
+        // Merging an empty histogram is a no-op; `a` itself is untouched.
+        let before = merged.count();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged.count(), before);
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let c = AtomicU64::new(u64::MAX - 3);
+        saturating_acc(&c, 10);
+        // ordering: relaxed (single-threaded test, no payload published)
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+        // Sum saturation end-to-end: two near-max sums clamp, not wrap.
+        let a = Histogram::new();
+        a.record(u64::MAX);
+        let b = a.snapshot();
+        b.merge(&a); // sum would overflow 2^64
+        assert_eq!(b.sum(), u64::MAX);
+        assert_eq!(b.count(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merged quantiles are exactly those of a histogram that recorded
+        /// the union multiset, and stay within the documented ≤6.25%
+        /// relative error of the true percentile of the union.
+        #[test]
+        fn merged_quantiles_stay_within_error_bound(
+            xs in prop::collection::vec(0u64..1_000_000, 1..200),
+            ys in prop::collection::vec(0u64..1_000_000, 1..200),
+            q in 0.0f64..1.0,
+        ) {
+            let hx = Histogram::new();
+            let hy = Histogram::new();
+            let combined = Histogram::new();
+            for &v in &xs {
+                hx.record(v);
+                combined.record(v);
+            }
+            for &v in &ys {
+                hy.record(v);
+                combined.record(v);
+            }
+            let merged = Histogram::new();
+            merged.merge(&hx);
+            merged.merge(&hy);
+            prop_assert_eq!(merged.count(), combined.count());
+            prop_assert_eq!(merged.sum(), combined.sum());
+            prop_assert_eq!(merged.max(), combined.max());
+            for qq in [0.0, 0.5, 0.9, 0.99, 1.0, q] {
+                prop_assert_eq!(merged.quantile(qq), combined.quantile(qq));
+            }
+            // True percentile of the union multiset (the sample the
+            // quantile's bucket contains).
+            let mut all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+            all.sort_unstable();
+            let target = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let truth = all[target - 1];
+            let est = merged.quantile(q);
+            prop_assert!(est >= truth, "quantile must upper-bound the sample: {est} < {truth}");
+            prop_assert!(
+                est as f64 <= truth as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "error bound exceeded: est {est} vs truth {truth}"
+            );
+        }
     }
 }

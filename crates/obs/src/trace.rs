@@ -276,6 +276,21 @@ impl RunTrace {
     }
 
     fn from_value(v: &Json) -> Result<RunTrace, String> {
+        // Forward compatibility contract: unknown object fields anywhere in
+        // the document are skipped (every lookup below is by key), but a
+        // schema-version mismatch is a hard error — a bump to `hipa-obs/v2`
+        // signals changed semantics, not just added fields.
+        match v.get("schema") {
+            None => return Err(format!("missing 'schema' field (expected '{SCHEMA}')")),
+            Some(s) => {
+                let got = s.as_str().ok_or("'schema' not a string")?;
+                if got != SCHEMA {
+                    return Err(format!(
+                        "unsupported trace schema '{got}': this build reads '{SCHEMA}'"
+                    ));
+                }
+            }
+        }
         let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
         let num = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("field '{k}' not a count"));
         let meta = TraceMeta {
@@ -584,6 +599,24 @@ mod tests {
         assert!(out.contains("convergence trajectory"));
         assert!(out.contains("partition_claims"));
         assert!(out.contains("2.500e-1") || out.contains("2.500e-01"), "{out}");
+    }
+
+    #[test]
+    fn unknown_fields_skip_but_schema_bumps_reject() {
+        let t = sample_trace();
+        // Unknown top-level and nested fields are ignored.
+        let doc = t
+            .to_json()
+            .replacen('{', "{\"x_future\":[1,{\"nested\":true}],", 1)
+            .replace("\"phase\":", "\"x_span_ext\":null,\"phase\":");
+        assert_eq!(RunTrace::from_json(&doc).unwrap(), t);
+        // A schema bump is a hard, named error.
+        let bumped = t.to_json().replace("hipa-obs/v1", "hipa-obs/v2");
+        let err = RunTrace::from_json(&bumped).unwrap_err();
+        assert!(err.contains("hipa-obs/v2") && err.contains("hipa-obs/v1"), "{err}");
+        // A missing schema field is rejected too (every writer emits it).
+        let stripped = t.to_json().replacen("\"schema\":\"hipa-obs/v1\",", "", 1);
+        assert!(RunTrace::from_json(&stripped).unwrap_err().contains("schema"));
     }
 
     #[test]

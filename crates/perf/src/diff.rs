@@ -1,0 +1,558 @@
+//! The snapshot/trace diff engine with the per-metric noise policy.
+//!
+//! [`diff_snapshots`] compares two `hipa-bench/v1` documents;
+//! [`diff_trace_docs`] compares two raw trace documents (the `--bin trace`
+//! output) directly, pairing traces by (engine, path). Both produce a
+//! [`DiffReport`]: a delta table plus a list of hard failures.
+//!
+//! The exit-code contract the `hipa-perf` binary builds on:
+//!
+//! * **Deterministic drift is a failure, full stop.** Sim cycles, event
+//!   counters, iteration counts, residuals and rank fingerprints are exact
+//!   functions of the config; `1 != 1` tolerance is the whole point.
+//! * **Advisory drift fails only past the threshold**, direction-aware:
+//!   times and depths regress upward, rates (`*_rps`) regress downward.
+//! * **Coverage drift is a failure**: an entry or metric present on one
+//!   side only means the census changed shape, which a regression gate must
+//!   surface rather than silently skip.
+
+use crate::policy::{counter_class, higher_is_worse, MetricClass};
+use crate::snapshot::{MetricValue, Snapshot};
+use hipa_obs::RunTrace;
+
+/// Knobs for a diff run.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative threshold for advisory metrics: B regresses past A when it
+    /// is worse by more than `wall_tol * |A|`. Default 0.5 — wall-clock on
+    /// shared CI runners is noisy and only catastrophic slowdowns should
+    /// gate.
+    pub wall_tol: f64,
+    /// Ignore advisory metrics entirely (cross-machine diffs: modelled
+    /// cycles and counters transfer between hosts, nanoseconds do not).
+    pub deterministic_only: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions { wall_tol: 0.5, deterministic_only: false }
+    }
+}
+
+/// One rendered delta row.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    pub entry: String,
+    pub metric: String,
+    pub class: MetricClass,
+    pub a: String,
+    pub b: String,
+    pub delta: String,
+    pub verdict: String,
+}
+
+/// Outcome of a diff: every changed metric as a row, hard failures
+/// separately, and the totals needed for the summary line.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+    /// Human-readable hard failures; non-empty means regression (exit 1).
+    pub failures: Vec<String>,
+    /// Total metrics compared (both sides present).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn fail(&mut self, row: DiffRow, why: String) {
+        self.failures.push(why);
+        self.rows.push(row);
+    }
+
+    /// Renders the delta table (changed metrics only) and a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.rows.is_empty() {
+            let mut t = hipa_report::Table::new(
+                "metric deltas",
+                &["entry", "metric", "class", "A", "B", "delta", "verdict"],
+            );
+            for r in &self.rows {
+                t.row(vec![
+                    r.entry.clone(),
+                    r.metric.clone(),
+                    match r.class {
+                        MetricClass::Deterministic => "det".into(),
+                        MetricClass::Advisory => "adv".into(),
+                    },
+                    r.a.clone(),
+                    r.b.clone(),
+                    r.delta.clone(),
+                    r.verdict.clone(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        for f in &self.failures {
+            out.push_str(&format!("FAIL: {f}\n"));
+        }
+        out.push_str(&format!(
+            "{} metrics compared, {} changed, {} failures: {}\n",
+            self.compared,
+            self.rows.len(),
+            self.failures.len(),
+            if self.ok() { "PASS" } else { "REGRESSION" },
+        ));
+        out
+    }
+}
+
+fn fmt_delta(a: f64, b: f64) -> String {
+    if a == b {
+        "0".into()
+    } else if a != 0.0 {
+        format!("{:+.1}%", (b - a) / a.abs() * 100.0)
+    } else {
+        format!("{:+.6e}", b - a)
+    }
+}
+
+/// Compares one metric present on both sides under its class policy.
+fn compare_metric(
+    report: &mut DiffReport,
+    opts: &DiffOptions,
+    entry: &str,
+    name: &str,
+    class: MetricClass,
+    a: &MetricValue,
+    b: &MetricValue,
+) {
+    if opts.deterministic_only && class == MetricClass::Advisory {
+        return;
+    }
+    report.compared += 1;
+    if a == b {
+        return;
+    }
+    let row = |delta: String, verdict: &str| DiffRow {
+        entry: entry.to_string(),
+        metric: name.to_string(),
+        class,
+        a: a.to_string(),
+        b: b.to_string(),
+        delta,
+        verdict: verdict.to_string(),
+    };
+    match class {
+        MetricClass::Deterministic => {
+            let delta = match (a.as_num(), b.as_num()) {
+                (Some(x), Some(y)) => fmt_delta(x, y),
+                _ => "-".into(),
+            };
+            report.fail(
+                row(delta, "DRIFT"),
+                format!("{entry}: deterministic metric '{name}' drifted: {a} -> {b}"),
+            );
+        }
+        MetricClass::Advisory => {
+            let (x, y) = match (a.as_num(), b.as_num()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    report.fail(
+                        row("-".into(), "TYPE"),
+                        format!("{entry}: advisory metric '{name}' changed type: {a} -> {b}"),
+                    );
+                    return;
+                }
+            };
+            let worse = match higher_is_worse(name) {
+                Some(true) => y - x,
+                Some(false) => x - y,
+                None => {
+                    // Direction-free scheduler artifact: record, never gate.
+                    report.rows.push(row(fmt_delta(x, y), "ok"));
+                    return;
+                }
+            };
+            let budget = opts.wall_tol * x.abs();
+            if worse > budget {
+                report.fail(
+                    row(fmt_delta(x, y), "REGRESSED"),
+                    format!(
+                        "{entry}: advisory metric '{name}' regressed past {:.0}%: {a} -> {b}",
+                        opts.wall_tol * 100.0
+                    ),
+                );
+            } else {
+                report.rows.push(row(fmt_delta(x, y), "ok"));
+            }
+        }
+    }
+}
+
+/// Diffs the union of two classified metric lists for one entry.
+#[allow(clippy::too_many_arguments)]
+fn compare_sections(
+    report: &mut DiffReport,
+    opts: &DiffOptions,
+    entry: &str,
+    a_det: &[(String, MetricValue)],
+    a_adv: &[(String, MetricValue)],
+    b_det: &[(String, MetricValue)],
+    b_adv: &[(String, MetricValue)],
+) {
+    let lookup = |det: &[(String, MetricValue)],
+                  adv: &[(String, MetricValue)],
+                  name: &str|
+     -> Option<(MetricValue, MetricClass)> {
+        det.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| (v.clone(), MetricClass::Deterministic))
+            .or_else(|| {
+                adv.iter().find(|(n, _)| n == name).map(|(_, v)| (v.clone(), MetricClass::Advisory))
+            })
+    };
+    let mut names: Vec<&str> = Vec::new();
+    for (n, _) in a_det.iter().chain(a_adv).chain(b_det).chain(b_adv) {
+        if !names.contains(&n.as_str()) {
+            names.push(n);
+        }
+    }
+    for name in names {
+        let av = lookup(a_det, a_adv, name);
+        let bv = lookup(b_det, b_adv, name);
+        match (av, bv) {
+            (Some((av, ac)), Some((bv, bc))) => {
+                if ac != bc {
+                    report
+                        .failures
+                        .push(format!("{entry}: metric '{name}' changed class between snapshots"));
+                    continue;
+                }
+                compare_metric(report, opts, entry, name, ac, &av, &bv);
+            }
+            (Some((_, c)), None) | (None, Some((_, c))) => {
+                if opts.deterministic_only && c == MetricClass::Advisory {
+                    continue;
+                }
+                report.failures.push(format!("{entry}: metric '{name}' present on one side only"));
+            }
+            (None, None) => unreachable!("name came from one of the lists"),
+        }
+    }
+}
+
+/// Diffs two snapshots: coverage (entry ids) must match exactly; shared
+/// entries diff metric-by-metric under the class policy.
+pub fn diff_snapshots(a: &Snapshot, b: &Snapshot, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (k, va) in &a.config {
+        match b.config.iter().find(|(bk, _)| bk == k) {
+            Some((_, vb)) if va == vb => {}
+            Some((_, vb)) => report
+                .failures
+                .push(format!("config '{k}' differs: '{va}' vs '{vb}' — not comparable runs")),
+            None => report.failures.push(format!("config '{k}' missing in B")),
+        }
+    }
+    for (k, _) in &b.config {
+        if !a.config.iter().any(|(ak, _)| ak == k) {
+            report.failures.push(format!("config '{k}' missing in A"));
+        }
+    }
+    for ea in &a.entries {
+        match b.entry(&ea.id) {
+            None => report.failures.push(format!("entry '{}' missing in B", ea.id)),
+            Some(eb) => compare_sections(
+                &mut report,
+                opts,
+                &ea.id,
+                &ea.deterministic,
+                &ea.advisory,
+                &eb.deterministic,
+                &eb.advisory,
+            ),
+        }
+    }
+    for eb in &b.entries {
+        if a.entry(&eb.id).is_none() {
+            report.failures.push(format!("entry '{}' missing in A", eb.id));
+        }
+    }
+    report
+}
+
+/// Diffs two raw trace documents, pairing traces by (engine, path). Used by
+/// `--bin trace --diff` for ad-hoc comparisons without building a snapshot.
+pub fn diff_trace_docs(a: &[RunTrace], b: &[RunTrace], opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    let key = |t: &RunTrace| format!("{}/{}", t.meta.engine, t.meta.path);
+    for ta in a {
+        let id = key(ta);
+        let Some(tb) = b.iter().find(|t| key(t) == id) else {
+            report.failures.push(format!("trace '{id}' missing in B"));
+            continue;
+        };
+        // Meta: run shape is deterministic.
+        let ma = &ta.meta;
+        let mb = &tb.meta;
+        for (name, x, y) in [
+            ("vertices", ma.vertices as f64, mb.vertices as f64),
+            ("edges", ma.edges as f64, mb.edges as f64),
+            ("threads", ma.threads as f64, mb.threads as f64),
+            (
+                "partitions",
+                ma.partitions.map_or(-1.0, |p| p as f64),
+                mb.partitions.map_or(-1.0, |p| p as f64),
+            ),
+            ("iterations_run", ma.iterations_run as f64, mb.iterations_run as f64),
+            ("converged", ma.converged as u64 as f64, mb.converged as u64 as f64),
+        ] {
+            compare_metric(
+                &mut report,
+                opts,
+                &id,
+                name,
+                MetricClass::Deterministic,
+                &MetricValue::Num(x),
+                &MetricValue::Num(y),
+            );
+        }
+        // Residual trajectory: exact, element by element.
+        let (ra, rb) = (ta.residuals(), tb.residuals());
+        if ra.len() != rb.len() {
+            report.failures.push(format!(
+                "{id}: residual trajectory length {} vs {}",
+                ra.len(),
+                rb.len()
+            ));
+        } else {
+            for (i, (x, y)) in ra.iter().zip(&rb).enumerate() {
+                let as_v = |o: &Option<f64>| MetricValue::Num(o.unwrap_or(-1.0));
+                compare_metric(
+                    &mut report,
+                    opts,
+                    &id,
+                    &format!("residual[{i}]"),
+                    MetricClass::Deterministic,
+                    &as_v(x),
+                    &as_v(y),
+                );
+            }
+        }
+        // Counters: union of names, classified by the counter policy.
+        let mut names: Vec<&str> = Vec::new();
+        for (n, _) in ta.counters.iter().chain(&tb.counters) {
+            if !names.contains(&n.as_str()) {
+                names.push(n);
+            }
+        }
+        for name in names {
+            match (ta.counter(name), tb.counter(name)) {
+                (Some(x), Some(y)) => compare_metric(
+                    &mut report,
+                    opts,
+                    &id,
+                    name,
+                    counter_class(name),
+                    &MetricValue::Num(x as f64),
+                    &MetricValue::Num(y as f64),
+                ),
+                _ => {
+                    if opts.deterministic_only && counter_class(name) == MetricClass::Advisory {
+                        continue;
+                    }
+                    report
+                        .failures
+                        .push(format!("{id}: counter '{name}' present on one side only"));
+                }
+            }
+        }
+        // Phase totals under the phase policy.
+        let (pa, pb) = (ta.phase_totals(), tb.phase_totals());
+        let mut phases: Vec<&str> = Vec::new();
+        for p in pa.iter().chain(&pb) {
+            if !phases.contains(&p.phase.as_str()) {
+                phases.push(&p.phase);
+            }
+        }
+        for phase in phases {
+            // Reuse the snapshot layer's naming so direction inference
+            // (`wall_ns.*` is higher-is-worse) matches snapshot diffs.
+            let (name, class) = crate::snapshot::phase_metric(ta.time_unit(), phase);
+            let find =
+                |ps: &[hipa_obs::PhaseTotal]| ps.iter().find(|p| p.phase == phase).map(|p| p.total);
+            match (find(&pa), find(&pb)) {
+                (Some(x), Some(y)) => compare_metric(
+                    &mut report,
+                    opts,
+                    &id,
+                    &name,
+                    class,
+                    &MetricValue::Num(x),
+                    &MetricValue::Num(y),
+                ),
+                _ => {
+                    if opts.deterministic_only && class == MetricClass::Advisory {
+                        continue;
+                    }
+                    report.failures.push(format!("{id}: phase '{phase}' present on one side only"));
+                }
+            }
+        }
+    }
+    for tb in b {
+        if !a.iter().any(|t| key(t) == key(tb)) {
+            report.failures.push(format!("trace '{}' missing in A", key(tb)));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::BenchEntry;
+
+    fn snap() -> Snapshot {
+        let mut s = Snapshot::new("base");
+        s.config.push(("iterations".into(), "8".into()));
+        let mut e = BenchEntry::new("HiPa", None, "sim", "wiki");
+        e.put("cycles.scatter", MetricValue::Num(1000.0), MetricClass::Deterministic);
+        e.put("mem.reads", MetricValue::Num(4096.0), MetricClass::Deterministic);
+        e.put("ranks.fnv1a64", MetricValue::Text("abcd".into()), MetricClass::Deterministic);
+        e.put("wall_ns.compute", MetricValue::Num(1.0e6), MetricClass::Advisory);
+        e.put("serve.throughput_rps", MetricValue::Num(500.0), MetricClass::Advisory);
+        s.entries.push(e);
+        s
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let s = snap();
+        let r = diff_snapshots(&s, &s, &DiffOptions::default());
+        assert!(r.ok(), "{}", r.render());
+        assert!(r.rows.is_empty());
+        assert!(r.compared >= 5);
+        assert!(r.render().contains("PASS"));
+    }
+
+    #[test]
+    fn deterministic_drift_is_a_hard_failure() {
+        let a = snap();
+        let mut b = snap();
+        b.entries[0].deterministic[0].1 = MetricValue::Num(1001.0);
+        let r = diff_snapshots(&a, &b, &DiffOptions::default());
+        assert!(!r.ok());
+        assert!(r.failures[0].contains("cycles.scatter"), "{:?}", r.failures);
+        assert!(r.render().contains("REGRESSION"));
+        // Even a tiny drift: tolerance does not apply to deterministic.
+        let mut c = snap();
+        for (n, v) in &mut c.entries[0].deterministic {
+            if n == "ranks.fnv1a64" {
+                *v = MetricValue::Text("abce".into());
+            }
+        }
+        assert!(!diff_snapshots(&a, &c, &DiffOptions::default()).ok());
+    }
+
+    #[test]
+    fn advisory_drift_respects_threshold_and_direction() {
+        let a = snap();
+        let opts = DiffOptions::default(); // wall_tol = 0.5
+                                           // +40% wall time: within threshold.
+        let mut b = snap();
+        for (n, v) in &mut b.entries[0].advisory {
+            if n == "wall_ns.compute" {
+                *v = MetricValue::Num(1.4e6);
+            }
+        }
+        let r = diff_snapshots(&a, &b, &opts);
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(r.rows.len(), 1); // changed, recorded, verdict ok
+        assert_eq!(r.rows[0].verdict, "ok");
+        // +60% wall time: regression.
+        for (n, v) in &mut b.entries[0].advisory {
+            if n == "wall_ns.compute" {
+                *v = MetricValue::Num(1.6e6);
+            }
+        }
+        assert!(!diff_snapshots(&a, &b, &opts).ok());
+        // Throughput is lower-is-worse: doubling it is fine, halving past
+        // the threshold is not.
+        let mut c = snap();
+        for (n, v) in &mut c.entries[0].advisory {
+            if n == "serve.throughput_rps" {
+                *v = MetricValue::Num(1000.0);
+            }
+        }
+        assert!(diff_snapshots(&a, &c, &opts).ok());
+        for (n, v) in &mut c.entries[0].advisory {
+            if n == "serve.throughput_rps" {
+                *v = MetricValue::Num(200.0);
+            }
+        }
+        assert!(!diff_snapshots(&a, &c, &opts).ok());
+        // deterministic_only ignores advisory drift entirely.
+        let r = diff_snapshots(&a, &c, &DiffOptions { deterministic_only: true, ..opts });
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn coverage_and_config_drift_fail() {
+        let a = snap();
+        let mut b = snap();
+        b.entries[0].id = "HiPa/sim/journal".into();
+        let r = diff_snapshots(&a, &b, &DiffOptions::default());
+        assert_eq!(r.failures.len(), 2, "{:?}", r.failures); // missing both ways
+        let mut c = snap();
+        c.entries[0].deterministic.pop();
+        assert!(!diff_snapshots(&a, &c, &DiffOptions::default()).ok());
+        let mut d = snap();
+        d.config[0].1 = "9".into();
+        assert!(diff_snapshots(&a, &d, &DiffOptions::default())
+            .failures
+            .iter()
+            .any(|f| f.contains("not comparable")));
+    }
+
+    #[test]
+    fn trace_doc_diff_pairs_and_gates() {
+        use hipa_obs::{IterationGauge, SpanSample, TraceMeta, PATH_SIM};
+        let mk = |cycles: f64, res: f64| RunTrace {
+            meta: TraceMeta {
+                engine: "HiPa".into(),
+                path: PATH_SIM,
+                machine: None,
+                vertices: 8,
+                edges: 16,
+                threads: 2,
+                partitions: Some(2),
+                iterations_run: 1,
+                converged: false,
+            },
+            spans: vec![SpanSample { phase: "scatter".into(), thread: 0, iter: 0, value: cycles }],
+            iterations: vec![IterationGauge {
+                iter: 0,
+                residual: Some(res),
+                active_partitions: Some(2),
+            }],
+            counters: vec![("mem.reads".into(), 64), ("pool.steals".into(), 1)],
+        };
+        let a = vec![mk(100.0, 0.5)];
+        assert!(diff_trace_docs(&a, &a, &DiffOptions::default()).ok());
+        // Sim cycle drift fails.
+        assert!(!diff_trace_docs(&a, &[mk(101.0, 0.5)], &DiffOptions::default()).ok());
+        // Residual drift fails.
+        assert!(!diff_trace_docs(&a, &[mk(100.0, 0.5000001)], &DiffOptions::default()).ok());
+        // Pool counters are advisory: big change still passes.
+        let mut b = vec![mk(100.0, 0.5)];
+        b[0].counters[1].1 = 40;
+        assert!(diff_trace_docs(&a, &b, &DiffOptions::default()).ok());
+        // Unpaired trace fails.
+        assert!(!diff_trace_docs(&a, &[], &DiffOptions::default()).ok());
+    }
+}

@@ -1,0 +1,82 @@
+//! `hipa-perf` — the regression gate CLI.
+//!
+//! ```text
+//! hipa-perf diff A B [--wall-tol 0.5] [--deterministic-only]
+//! ```
+//!
+//! A and B are either two `hipa-bench/v1` snapshots (from `--bin
+//! bench-snapshot`) or two raw trace documents (from `--bin trace
+//! --json-out`); the kind is auto-detected from the schema tag and must
+//! match on both sides. Prints the delta table and exits 0 when B holds the
+//! line against A, 1 on regression (any deterministic drift, advisory drift
+//! past the threshold, or coverage drift), 2 on usage or parse errors.
+
+use hipa_obs::{Json, RunTrace};
+use hipa_perf::{diff_snapshots, diff_trace_docs, DiffOptions, Snapshot, SNAPSHOT_SCHEMA};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hipa-perf diff <A> <B> [--wall-tol FRACTION] [--deterministic-only]";
+
+/// A parsed input document: one snapshot or a set of traces.
+enum Doc {
+    Snapshot(Snapshot),
+    Traces(Vec<RunTrace>),
+}
+
+fn load(path: &str) -> Result<Doc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let is_snapshot = v.get("schema").and_then(Json::as_str) == Some(SNAPSHOT_SCHEMA);
+    if is_snapshot {
+        Snapshot::from_json(&text).map(Doc::Snapshot).map_err(|e| format!("{path}: {e}"))
+    } else {
+        RunTrace::parse_many(&text).map(Doc::Traces).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn run(argv: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("diff") => {}
+        _ => return Err(USAGE.into()),
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--wall-tol" => {
+                let v = it.next().ok_or("--wall-tol needs a value")?;
+                opts.wall_tol =
+                    v.parse::<f64>().map_err(|e| format!("bad --wall-tol '{v}': {e}"))?;
+                if !opts.wall_tol.is_finite() || opts.wall_tol < 0.0 {
+                    return Err(format!("--wall-tol must be a finite fraction >= 0, got {v}"));
+                }
+            }
+            "--deterministic-only" => opts.deterministic_only = true,
+            p if !p.starts_with("--") => paths.push(p),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let [a, b] = paths[..] else {
+        return Err(USAGE.into());
+    };
+    let report = match (load(a)?, load(b)?) {
+        (Doc::Snapshot(sa), Doc::Snapshot(sb)) => diff_snapshots(&sa, &sb, &opts),
+        (Doc::Traces(ta), Doc::Traces(tb)) => diff_trace_docs(&ta, &tb, &opts),
+        _ => return Err(format!("{a} and {b} are different document kinds (snapshot vs trace)")),
+    };
+    print!("{}", report.render());
+    Ok(report.ok())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("hipa-perf: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

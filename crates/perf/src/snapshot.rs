@@ -1,0 +1,512 @@
+//! The `hipa-bench/v1` benchmark-snapshot format.
+//!
+//! A [`Snapshot`] is one machine-readable document distilling a whole
+//! benchmark census: one [`BenchEntry`] per engine × execution path ×
+//! dataset (plus kernel-variant and serve entries), each holding two metric
+//! lists — `deterministic` and `advisory` — pre-classified at collection
+//! time by [`crate::policy`]. Classifying at *write* time means a snapshot
+//! on disk carries its own noise policy: a reader diffing two snapshots
+//! never has to guess which numbers were allowed to wobble.
+//!
+//! [`Snapshot::deterministic_json`] renders only the ids and deterministic
+//! sections in canonical order; two runs of the same census on the same
+//! config must produce byte-identical output, which is what the snapshot
+//! determinism test and the CI perf-gate check.
+
+use crate::policy::{counter_class, phase_class, MetricClass};
+use hipa_obs::{Json, PhaseTotal, RunTrace};
+
+/// Schema tag of the snapshot document format.
+pub const SNAPSHOT_SCHEMA: &str = "hipa-bench/v1";
+
+/// One metric value. `Num` round-trips exactly through the JSON layer
+/// (shortest-round-trip f64); `Text` carries values that do not fit an f64
+/// exactly, such as the 64-bit rank fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Num(f64),
+    Text(String),
+}
+
+impl MetricValue {
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            MetricValue::Num(x) => Some(*x),
+            MetricValue::Text(_) => None,
+        }
+    }
+
+    fn to_value(&self) -> Json {
+        match self {
+            MetricValue::Num(x) => Json::Num(*x),
+            MetricValue::Text(s) => Json::Str(s.clone()),
+        }
+    }
+
+    fn from_value(v: &Json) -> Result<MetricValue, String> {
+        match v {
+            Json::Num(x) => Ok(MetricValue::Num(*x)),
+            Json::Str(s) => Ok(MetricValue::Text(s.clone())),
+            other => Err(format!("metric value must be number or string, got {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricValue::Num(x) if x.fract() == 0.0 && x.abs() < 9.0e15 => {
+                write!(f, "{}", *x as i64)
+            }
+            MetricValue::Num(x) => write!(f, "{x:.6e}"),
+            MetricValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One benchmark cell: an engine (possibly a named kernel variant) on one
+/// execution path and dataset, with its metrics split by [`MetricClass`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Canonical key: `<engine>[variant]/<path>/<dataset>`.
+    pub id: String,
+    pub engine: String,
+    pub path: String,
+    pub dataset: String,
+    /// Metrics that must be bitwise equal across runs, sorted by name.
+    pub deterministic: Vec<(String, MetricValue)>,
+    /// Host-timing metrics gated by a relative threshold, sorted by name.
+    pub advisory: Vec<(String, MetricValue)>,
+}
+
+impl BenchEntry {
+    pub fn new(engine: &str, variant: Option<&str>, path: &str, dataset: &str) -> BenchEntry {
+        let tag = variant.map(|v| format!("[{v}]")).unwrap_or_default();
+        BenchEntry {
+            id: format!("{engine}{tag}/{path}/{dataset}"),
+            engine: engine.to_string(),
+            path: path.to_string(),
+            dataset: dataset.to_string(),
+            deterministic: Vec::new(),
+            advisory: Vec::new(),
+        }
+    }
+
+    /// Adds a metric to the section its class dictates.
+    pub fn put(&mut self, name: impl Into<String>, value: MetricValue, class: MetricClass) {
+        let slot = match class {
+            MetricClass::Deterministic => &mut self.deterministic,
+            MetricClass::Advisory => &mut self.advisory,
+        };
+        slot.push((name.into(), value));
+    }
+
+    pub fn metric(&self, name: &str) -> Option<(&MetricValue, MetricClass)> {
+        if let Some((_, v)) = self.deterministic.iter().find(|(n, _)| n == name) {
+            return Some((v, MetricClass::Deterministic));
+        }
+        self.advisory.iter().find(|(n, _)| n == name).map(|(_, v)| (v, MetricClass::Advisory))
+    }
+
+    fn sort(&mut self) {
+        self.deterministic.sort_by(|a, b| a.0.cmp(&b.0));
+        self.advisory.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    fn to_value(&self) -> Json {
+        let pairs = |ms: &[(String, MetricValue)]| {
+            Json::Arr(
+                ms.iter()
+                    .map(|(n, v)| Json::Arr(vec![Json::Str(n.clone()), v.to_value()]))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("engine".into(), Json::Str(self.engine.clone())),
+            ("path".into(), Json::Str(self.path.clone())),
+            ("dataset".into(), Json::Str(self.dataset.clone())),
+            ("deterministic".into(), pairs(&self.deterministic)),
+            ("advisory".into(), pairs(&self.advisory)),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<BenchEntry, String> {
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string field '{k}'"))
+        };
+        let pairs = |k: &str| -> Result<Vec<(String, MetricValue)>, String> {
+            v.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("entry missing metric list '{k}'"))?
+                .iter()
+                .map(|p| {
+                    let items = p.as_arr().filter(|a| a.len() == 2).ok_or("bad metric pair")?;
+                    Ok((
+                        items[0].as_str().ok_or("metric name not a string")?.to_string(),
+                        MetricValue::from_value(&items[1])?,
+                    ))
+                })
+                .collect()
+        };
+        Ok(BenchEntry {
+            id: s("id")?,
+            engine: s("engine")?,
+            path: s("path")?,
+            dataset: s("dataset")?,
+            deterministic: pairs("deterministic")?,
+            advisory: pairs("advisory")?,
+        })
+    }
+}
+
+/// One benchmark snapshot: a labelled set of [`BenchEntry`]s plus the
+/// configuration that produced them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub label: String,
+    /// Collection configuration as `(key, value)` strings — part of the
+    /// deterministic identity (a diff across different configs is a
+    /// coverage drift, not a measurement).
+    pub config: Vec<(String, String)>,
+    pub entries: Vec<BenchEntry>,
+}
+
+impl Snapshot {
+    pub fn new(label: &str) -> Snapshot {
+        Snapshot { label: label.to_string(), config: Vec::new(), entries: Vec::new() }
+    }
+
+    pub fn entry(&self, id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Sorts entries by id and every metric list by name — the canonical
+    /// order both serializers emit.
+    pub fn canonicalize(&mut self) {
+        for e in &mut self.entries {
+            e.sort();
+        }
+        self.entries.sort_by(|a, b| a.id.cmp(&b.id));
+    }
+
+    fn to_value(&self) -> Json {
+        let mut canon = self.clone();
+        canon.canonicalize();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SNAPSHOT_SCHEMA.into())),
+            ("label".into(), Json::Str(canon.label.clone())),
+            (
+                "config".into(),
+                Json::Arr(
+                    canon
+                        .config
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+                        .collect(),
+                ),
+            ),
+            ("entries".into(), Json::Arr(canon.entries.iter().map(BenchEntry::to_value).collect())),
+        ])
+    }
+
+    /// Compact JSON serialisation in canonical order.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Renders only what must be byte-stable across identically-configured
+    /// runs: the schema, config, entry ids and deterministic sections, in
+    /// canonical order. Two runs of the same census agree on this string
+    /// byte-for-byte or something is broken.
+    pub fn deterministic_json(&self) -> String {
+        let mut canon = self.clone();
+        canon.canonicalize();
+        let pairs = |ms: &[(String, MetricValue)]| {
+            Json::Arr(
+                ms.iter()
+                    .map(|(n, v)| Json::Arr(vec![Json::Str(n.clone()), v.to_value()]))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SNAPSHOT_SCHEMA.into())),
+            (
+                "config".into(),
+                Json::Arr(
+                    canon
+                        .config
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+                        .collect(),
+                ),
+            ),
+            (
+                "entries".into(),
+                Json::Arr(
+                    canon
+                        .entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::Str(e.id.clone())),
+                                ("deterministic".into(), pairs(&e.deterministic)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a snapshot document. Same forward-compat contract as
+    /// `RunTrace`: unknown fields anywhere are skipped, a schema mismatch
+    /// is a hard error naming both versions.
+    pub fn from_json(s: &str) -> Result<Snapshot, String> {
+        let v = Json::parse(s)?;
+        match v.get("schema") {
+            None => return Err(format!("missing 'schema' field (expected '{SNAPSHOT_SCHEMA}')")),
+            Some(s) => {
+                let got = s.as_str().ok_or("'schema' not a string")?;
+                if got != SNAPSHOT_SCHEMA {
+                    return Err(format!(
+                        "unsupported snapshot schema '{got}': this build reads '{SNAPSHOT_SCHEMA}'"
+                    ));
+                }
+            }
+        }
+        let label = v.get("label").and_then(Json::as_str).unwrap_or_default().to_string();
+        let config = v
+            .get("config")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                let items = p.as_arr().filter(|a| a.len() == 2).ok_or("bad config pair")?;
+                Ok((
+                    items[0].as_str().ok_or("config key not a string")?.to_string(),
+                    items[1].as_str().ok_or("config value not a string")?.to_string(),
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'entries' array")?
+            .iter()
+            .map(BenchEntry::from_value)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Snapshot { label, config, entries })
+    }
+}
+
+/// Metric name and class for one aggregated span phase.
+///
+/// Undotted phases are times and get a unit prefix (`cycles.scatter`,
+/// `wall_ns.scatter`); dotted phases are metric series and keep their name
+/// (`scatter.claims`, `queue.depth`). Region-level aggregates (the trace
+/// layer's `" [region]"` suffix) become a `.region` suffix so the metric
+/// name stays a clean dotted path.
+pub(crate) fn phase_metric(time_unit: &str, phase: &str) -> (String, MetricClass) {
+    let (base, region) = match phase.strip_suffix(" [region]") {
+        Some(b) => (b, true),
+        None => (phase, false),
+    };
+    let class = phase_class(time_unit, base);
+    let mut name = if base.contains('.') {
+        base.to_string()
+    } else {
+        let prefix = if time_unit == "cycles" { "cycles" } else { "wall_ns" };
+        format!("{prefix}.{base}")
+    };
+    if region {
+        name.push_str(".region");
+    }
+    (name, class)
+}
+
+/// Distils one [`RunTrace`] into a [`BenchEntry`]: run shape (iterations,
+/// convergence, final residual), every counter, and per-phase totals, each
+/// routed to the deterministic or advisory section by [`crate::policy`].
+/// `extra_deterministic` carries metrics the trace itself does not hold —
+/// the rank fingerprint and layout-build deltas.
+pub fn entry_from_trace(
+    trace: &RunTrace,
+    dataset: &str,
+    variant: Option<&str>,
+    extra_deterministic: &[(String, MetricValue)],
+) -> BenchEntry {
+    let mut e = BenchEntry::new(&trace.meta.engine, variant, trace.meta.path, dataset);
+    let unit = trace.time_unit();
+
+    e.put(
+        "iterations",
+        MetricValue::Num(trace.meta.iterations_run as f64),
+        MetricClass::Deterministic,
+    );
+    e.put(
+        "converged",
+        MetricValue::Num(if trace.meta.converged { 1.0 } else { 0.0 }),
+        MetricClass::Deterministic,
+    );
+    if let Some(p) = trace.meta.partitions {
+        e.put("partitions", MetricValue::Num(p as f64), MetricClass::Deterministic);
+    }
+    if let Some(r) = trace.residuals().into_iter().flatten().last() {
+        e.put("residual.final", MetricValue::Num(r), MetricClass::Deterministic);
+    }
+
+    for (name, v) in &trace.counters {
+        e.put(name.clone(), MetricValue::Num(*v as f64), counter_class(name));
+    }
+
+    for PhaseTotal { phase, total, .. } in trace.phase_totals() {
+        let (name, class) = phase_metric(unit, &phase);
+        e.put(name, MetricValue::Num(total), class);
+    }
+
+    for (name, v) in extra_deterministic {
+        e.put(name.clone(), v.clone(), MetricClass::Deterministic);
+    }
+    e.sort();
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipa_obs::{IterationGauge, SpanSample, TraceMeta, PATH_SIM, RUN_LEVEL};
+
+    fn sim_trace() -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                engine: "HiPa".into(),
+                path: PATH_SIM,
+                machine: Some("tiny".into()),
+                vertices: 64,
+                edges: 256,
+                threads: 2,
+                partitions: Some(4),
+                iterations_run: 2,
+                converged: true,
+            },
+            spans: vec![
+                SpanSample { phase: "scatter".into(), thread: 0, iter: 0, value: 100.0 },
+                SpanSample { phase: "scatter".into(), thread: 1, iter: 0, value: 120.0 },
+                SpanSample { phase: "scatter.claims".into(), thread: 0, iter: 0, value: 4.0 },
+                SpanSample {
+                    phase: "preprocess".into(),
+                    thread: RUN_LEVEL,
+                    iter: RUN_LEVEL,
+                    value: 900.0,
+                },
+            ],
+            iterations: vec![
+                IterationGauge { iter: 0, residual: Some(0.5), active_partitions: Some(4) },
+                IterationGauge { iter: 1, residual: Some(0.125), active_partitions: Some(4) },
+            ],
+            counters: vec![
+                ("mem.reads".into(), 4096),
+                ("pool.steals".into(), 3),
+                ("serve.ppr.p99_ns".into(), 777),
+            ],
+        }
+    }
+
+    #[test]
+    fn entry_routes_metrics_by_class() {
+        let extra = [("ranks.fnv1a64".to_string(), MetricValue::Text("00ff".into()))];
+        let e = entry_from_trace(&sim_trace(), "wiki", None, &extra);
+        assert_eq!(e.id, "HiPa/sim/wiki");
+        let det = |n: &str| e.metric(n).map(|(v, c)| (v.clone(), c));
+        assert_eq!(det("iterations"), Some((MetricValue::Num(2.0), MetricClass::Deterministic)));
+        assert_eq!(
+            det("residual.final"),
+            Some((MetricValue::Num(0.125), MetricClass::Deterministic))
+        );
+        assert_eq!(det("mem.reads"), Some((MetricValue::Num(4096.0), MetricClass::Deterministic)));
+        assert_eq!(det("pool.steals"), Some((MetricValue::Num(3.0), MetricClass::Advisory)));
+        assert_eq!(det("serve.ppr.p99_ns"), Some((MetricValue::Num(777.0), MetricClass::Advisory)));
+        // Sim cycles are deterministic; claims keep their dotted name.
+        assert_eq!(
+            det("cycles.scatter"),
+            Some((MetricValue::Num(220.0), MetricClass::Deterministic))
+        );
+        assert_eq!(
+            det("scatter.claims"),
+            Some((MetricValue::Num(4.0), MetricClass::Deterministic))
+        );
+        assert_eq!(
+            det("ranks.fnv1a64"),
+            Some((MetricValue::Text("00ff".into()), MetricClass::Deterministic))
+        );
+        // Variant entries get a tagged id.
+        let v = entry_from_trace(&sim_trace(), "wiki", Some("no-prefetch"), &[]);
+        assert_eq!(v.id, "HiPa[no-prefetch]/sim/wiki");
+    }
+
+    #[test]
+    fn phase_metric_naming() {
+        assert_eq!(
+            phase_metric("ns", "scatter"),
+            ("wall_ns.scatter".to_string(), MetricClass::Advisory)
+        );
+        assert_eq!(
+            phase_metric("cycles", "scatter [region]"),
+            ("cycles.scatter.region".to_string(), MetricClass::Deterministic)
+        );
+        assert_eq!(
+            phase_metric("ns", "scatter.claims"),
+            ("scatter.claims".to_string(), MetricClass::Deterministic)
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_canonicalizes() {
+        let mut s = Snapshot::new("trial");
+        s.config.push(("iterations".into(), "20".into()));
+        s.entries.push(entry_from_trace(&sim_trace(), "wiki", Some("z-variant"), &[]));
+        s.entries.push(entry_from_trace(&sim_trace(), "wiki", None, &[]));
+        let back = Snapshot::from_json(&s.to_json()).expect("round trip");
+        // The parse of the canonical serialisation equals the canonical form.
+        let mut canon = s.clone();
+        canon.canonicalize();
+        assert_eq!(back, canon);
+        assert_eq!(back.entries[0].id, "HiPa/sim/wiki");
+        // Serialisation is order-insensitive: a permuted snapshot renders
+        // the same bytes.
+        let mut permuted = s.clone();
+        permuted.entries.reverse();
+        assert_eq!(permuted.to_json(), s.to_json());
+        assert_eq!(permuted.deterministic_json(), s.deterministic_json());
+    }
+
+    #[test]
+    fn deterministic_json_excludes_advisory_sections() {
+        let mut s = Snapshot::new("trial");
+        s.entries.push(entry_from_trace(&sim_trace(), "wiki", None, &[]));
+        let det = s.deterministic_json();
+        assert!(det.contains("mem.reads"));
+        assert!(!det.contains("pool.steals"), "{det}");
+        assert!(!det.contains("trial"), "label is advisory metadata: {det}");
+    }
+
+    #[test]
+    fn snapshot_schema_is_enforced() {
+        let s = Snapshot::new("x");
+        let doc = s.to_json();
+        let bumped = doc.replace("hipa-bench/v1", "hipa-bench/v2");
+        let err = Snapshot::from_json(&bumped).expect_err("v2 rejected");
+        assert!(err.contains("hipa-bench/v2") && err.contains("hipa-bench/v1"), "{err}");
+        assert!(Snapshot::from_json("{}").is_err());
+        // A trace document is not a snapshot.
+        assert!(Snapshot::from_json("{\"schema\":\"hipa-obs/v1\"}").is_err());
+        // Unknown fields are skipped.
+        let decorated = doc.replacen('{', "{\"x_future\":{\"a\":[1]},", 1);
+        assert!(Snapshot::from_json(&decorated).is_ok());
+    }
+}

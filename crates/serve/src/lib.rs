@@ -28,13 +28,19 @@
 //! histograms (p50/p95/p99), throughput and queue-depth gauges accumulate
 //! in [`ServeStats`] and export into a `RunTrace` via `hipa-obs`
 //! ([`ServeStats::export_into`]); the deterministic open-loop load
-//! generator lives in [`loadgen`].
+//! generator lives in [`loadgen`]. An opt-in background [`sampler`]
+//! ([`ServeConfig`]'s `sampler` field) snapshots queue depth, merged
+//! latency quantiles and windowed throughput into a bounded time-series
+//! ring each tick, and can rewrite a plain-text exposition file for
+//! external scrapers.
 #![forbid(unsafe_code)]
 
 pub mod loadgen;
+pub mod sampler;
 pub mod server;
 pub mod stats;
 
 pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use sampler::{SampleFrame, SamplerConfig};
 pub use server::{edge_list_of, Request, Response, ServeConfig, Server, Ticket};
 pub use stats::ServeStats;

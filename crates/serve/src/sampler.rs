@@ -1,0 +1,75 @@
+//! Live serve sampling: a background thread snapshots the server's health
+//! at a fixed interval into a bounded time-series ring.
+//!
+//! [`ServeStats`](crate::ServeStats) accumulates *totals* over a server's
+//! whole lifetime; operators of a long-running `hipa-serve` want the
+//! *trajectory* — queue depth right now, throughput over the last tick,
+//! latency quantiles as they move. Each tick the sampler reads the
+//! admission queue depth, merges the three per-class latency histograms
+//! into one ([`hipa_obs::Histogram::merge`] — wait-free, no recording
+//! pauses), and pushes a [`SampleFrame`] into a bounded ring (oldest frame
+//! evicted). Optionally it rewrites a plain-text exposition file
+//! ([`crate::ServeStats::render_exposition`]) for scraping with standard
+//! tooling.
+//!
+//! Frames export into the `RunTrace` as `sampler.*` metric series —
+//! advisory under the perf-gate policy, since every field follows the host
+//! clock and scheduler.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Background-sampler knobs ([`crate::ServeConfig::sampler`]; `None`
+/// disables sampling entirely — no thread, no overhead).
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Tick period.
+    pub interval: Duration,
+    /// Ring capacity in frames; the oldest frame is evicted at the cap, so
+    /// memory stays bounded however long the server runs.
+    pub capacity: usize,
+    /// When set, each tick rewrites this file with the plain-text metric
+    /// exposition (write errors are ignored — sampling must never take the
+    /// server down).
+    pub expo_path: Option<PathBuf>,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig { interval: Duration::from_millis(50), capacity: 256, expo_path: None }
+    }
+}
+
+/// One tick of the sampler: a point-in-time view of server health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleFrame {
+    /// Tick number, 0-based, monotone even after ring eviction.
+    pub seq: u64,
+    /// Nanoseconds since the sampler started.
+    pub elapsed_ns: u64,
+    /// Admission-queue depth at the tick.
+    pub queue_depth: u64,
+    /// Lifetime requests served as of the tick.
+    pub total_served: u64,
+    /// Lifetime error responses as of the tick.
+    pub errors: u64,
+    /// All-class latency quantiles as of the tick (merged histogram).
+    pub latency_p50_ns: u64,
+    pub latency_p99_ns: u64,
+    /// Requests served since the previous tick, scaled to per-second.
+    pub throughput_rps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_off_by_default_in_serve_config() {
+        assert!(crate::ServeConfig::default().sampler.is_none());
+        let s = SamplerConfig::default();
+        assert!(s.capacity > 0);
+        assert!(s.interval > Duration::ZERO);
+        assert!(s.expo_path.is_none());
+    }
+}

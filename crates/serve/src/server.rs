@@ -11,6 +11,7 @@
 //! graph. Invalid user input (out-of-range seeds or endpoints) produces an
 //! error response instead of killing the server.
 
+use crate::sampler::{SampleFrame, SamplerConfig};
 use crate::stats::ServeStats;
 use hipa_algos::{
     pagerank_delta, teleport_from_seeds, PersonalizedConfig, PprSolver, PrDeltaConfig,
@@ -36,6 +37,8 @@ pub struct ServeConfig {
     pub ppr: PersonalizedConfig,
     /// PageRank-Delta parameters for the global ranks and epoch re-ranks.
     pub delta: PrDeltaConfig,
+    /// Background health sampler; `None` (the default) spawns no thread.
+    pub sampler: Option<SamplerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +49,7 @@ impl Default for ServeConfig {
             batch_max: 32,
             ppr: PersonalizedConfig::default(),
             delta: PrDeltaConfig::default(),
+            sampler: None,
         }
     }
 }
@@ -130,6 +134,15 @@ pub struct Server {
     shared: Arc<Shared>,
     num_vertices: usize,
     scheduler: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<(Arc<SamplerCtl>, std::thread::JoinHandle<()>)>,
+}
+
+/// Stop signal for the sampler thread: a flag under a mutex plus a condvar
+/// so shutdown interrupts the inter-tick sleep promptly instead of waiting
+/// out the interval.
+struct SamplerCtl {
+    stop: Mutex<bool>,
+    cv: Condvar,
 }
 
 /// Snapshot of a [`DiGraph`]'s edges as an [`EdgeList`] (CSR order) — the
@@ -182,12 +195,21 @@ impl Server {
             cv: Condvar::new(),
             stats: ServeStats::default(),
         });
+        let sampler = cfg.sampler.clone().map(|scfg| {
+            let ctl = Arc::new(SamplerCtl { stop: Mutex::new(false), cv: Condvar::new() });
+            let (shared, ctl2) = (Arc::clone(&shared), Arc::clone(&ctl));
+            let handle = std::thread::Builder::new()
+                .name("hipa-serve-sampler".to_string())
+                .spawn(move || sampler_loop(shared, ctl2, scfg))
+                .expect("spawn sampler");
+            (ctl, handle)
+        });
         let shared2 = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
             .name("hipa-serve-scheduler".to_string())
             .spawn(move || scheduler_loop(shared2, edges, cfg))
             .expect("spawn scheduler");
-        Server { shared, num_vertices, scheduler: Some(scheduler) }
+        Server { shared, num_vertices, scheduler: Some(scheduler), sampler }
     }
 
     pub fn num_vertices(&self) -> usize {
@@ -230,6 +252,13 @@ impl Server {
                 q.shutdown = true;
             }
             self.shared.cv.notify_all();
+            let _ = handle.join();
+        }
+        // Stop the sampler after the scheduler drains so the final frame
+        // sees the fully-served totals.
+        if let Some((ctl, handle)) = self.sampler.take() {
+            *ctl.stop.lock().unwrap() = true;
+            ctl.cv.notify_all();
             let _ = handle.join();
         }
     }
@@ -360,6 +389,69 @@ fn scheduler_loop(shared: Arc<Shared>, edges: EdgeList, cfg: ServeConfig) {
     }
 }
 
+/// Background sampler: one [`SampleFrame`] per tick until told to stop,
+/// plus one final frame at shutdown so even the shortest server lifetime
+/// leaves a trajectory. All reads are wait-free or take the queue lock for
+/// a single `len()`; a tick never blocks request processing measurably.
+fn sampler_loop(shared: Arc<Shared>, ctl: Arc<SamplerCtl>, cfg: SamplerConfig) {
+    let started = Instant::now();
+    let mut seq = 0u64;
+    let mut prev_served = 0u64;
+    let mut prev_elapsed_ns = 0u64;
+    let tick = |seq: u64, prev_served: &mut u64, prev_elapsed_ns: &mut u64| {
+        let queue_depth = shared.queue.lock().unwrap().pending.len() as u64;
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let total_served = shared.stats.total_served();
+        let all = shared.stats.merged_latency();
+        let window_ns = elapsed_ns.saturating_sub(*prev_elapsed_ns).max(1);
+        let throughput_rps =
+            ((total_served - *prev_served) as f64 * 1e9 / window_ns as f64).round() as u64;
+        let (latency_p50_ns, latency_p99_ns) =
+            if all.is_empty() { (0, 0) } else { (all.quantile(0.50), all.quantile(0.99)) };
+        shared.stats.push_frame(
+            SampleFrame {
+                seq,
+                elapsed_ns,
+                queue_depth,
+                total_served,
+                errors: shared.stats.errors.get(),
+                latency_p50_ns,
+                latency_p99_ns,
+                throughput_rps,
+            },
+            cfg.capacity,
+        );
+        *prev_served = total_served;
+        *prev_elapsed_ns = elapsed_ns;
+        if let Some(path) = &cfg.expo_path {
+            // Sampling must never take the server down; drop write errors.
+            let _ = std::fs::write(
+                path,
+                shared.stats.render_exposition(queue_depth, started.elapsed()),
+            );
+        }
+    };
+    loop {
+        {
+            let mut stop = ctl.stop.lock().unwrap();
+            while !*stop {
+                let (guard, timeout) = ctl.cv.wait_timeout(stop, cfg.interval).unwrap();
+                stop = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *stop {
+                break;
+            }
+        }
+        tick(seq, &mut prev_served, &mut prev_elapsed_ns);
+        seq += 1;
+    }
+    // Final frame: totals after the scheduler drained.
+    tick(seq, &mut prev_served, &mut prev_elapsed_ns);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +530,47 @@ mod tests {
             Response::Error { message } => assert!(message.contains("out of range")),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn sampler_records_frames_and_exposition() {
+        let edges = edge_list_of(&hipa_graph::datasets::small_test_graph(141));
+        let expo = std::env::temp_dir().join("hipa_serve_sampler_test.prom");
+        let _ = std::fs::remove_file(&expo);
+        let cfg = ServeConfig {
+            sampler: Some(SamplerConfig {
+                interval: std::time::Duration::from_millis(5),
+                capacity: 4,
+                expo_path: Some(expo.clone()),
+            }),
+            ..small_cfg()
+        };
+        let server = Server::start(edges, cfg);
+        for _ in 0..20 {
+            assert!(matches!(server.call(Request::TopK { k: 3 }), Response::TopK { .. }));
+        }
+        let shared = Arc::clone(&server.shared);
+        server.shutdown();
+
+        let frames = shared.stats.frames();
+        // At least the final shutdown frame is always present, and the ring
+        // stays at its bound no matter how many ticks ran.
+        assert!(!frames.is_empty());
+        assert!(frames.len() <= 4, "ring must stay bounded, got {}", frames.len());
+        // seq is monotone even across eviction.
+        for w in frames.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+        let last = frames.last().unwrap();
+        assert_eq!(last.total_served, 20);
+        assert_eq!(last.errors, 0);
+        assert!(last.latency_p99_ns >= last.latency_p50_ns);
+
+        let text = std::fs::read_to_string(&expo).expect("exposition file written");
+        assert!(text.contains("hipa_serve_requests_total 20"), "{text}");
+        assert!(text.contains("hipa_serve_served_total{class=\"topk\"} 20"), "{text}");
+        assert!(text.contains("hipa_serve_latency_ns{class=\"all\",quantile=\"0.99\"}"), "{text}");
+        let _ = std::fs::remove_file(&expo);
     }
 
     #[test]

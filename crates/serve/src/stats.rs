@@ -2,7 +2,10 @@
 //! queue-depth gauges — all exportable into a `RunTrace` through the
 //! existing `hipa-obs` recorder.
 
+use crate::sampler::SampleFrame;
 use hipa_obs::{Counter, Histogram, Recorder, RUN_LEVEL};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -32,6 +35,9 @@ pub struct ServeStats {
     pub queue_depth: Histogram,
     /// The per-drain depth series, in drain order (for trace export).
     pub queue_depth_series: Mutex<Vec<u64>>,
+    /// Bounded time-series ring of background-sampler ticks (empty unless
+    /// [`crate::ServeConfig::sampler`] is set).
+    pub sampler_frames: Mutex<VecDeque<SampleFrame>>,
 }
 
 impl ServeStats {
@@ -43,6 +49,78 @@ impl ServeStats {
     pub fn observe_queue_depth(&self, depth: u64) {
         self.queue_depth.record(depth);
         self.queue_depth_series.lock().unwrap().push(depth);
+    }
+
+    /// Pushes one sampler tick into the ring, evicting the oldest frame at
+    /// `capacity` so memory stays bounded for resident servers.
+    pub fn push_frame(&self, frame: SampleFrame, capacity: usize) {
+        let mut ring = self.sampler_frames.lock().unwrap();
+        while ring.len() >= capacity.max(1) {
+            ring.pop_front();
+        }
+        ring.push_back(frame);
+    }
+
+    /// Snapshot of the sampler ring, oldest first.
+    pub fn frames(&self) -> Vec<SampleFrame> {
+        self.sampler_frames.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// All-class latency histogram: the three per-class histograms merged
+    /// into a fresh one (wait-free reads; recording continues undisturbed).
+    pub fn merged_latency(&self) -> Histogram {
+        let all = Histogram::new();
+        all.merge(&self.topk_latency);
+        all.merge(&self.ppr_latency);
+        all.merge(&self.edges_latency);
+        all
+    }
+
+    /// Plain-text metric exposition (one `name{labels} value` line per
+    /// metric, `#`-prefixed comments) — the format the sampler rewrites to
+    /// [`crate::sampler::SamplerConfig::expo_path`] each tick so standard
+    /// scrapers can watch a resident server.
+    pub fn render_exposition(&self, queue_depth_now: u64, uptime: Duration) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# hipa-serve metrics (plain-text exposition)");
+        let _ = writeln!(out, "hipa_serve_uptime_seconds {:.3}", uptime.as_secs_f64());
+        let _ = writeln!(out, "hipa_serve_requests_total {}", self.total_served());
+        let _ = writeln!(out, "hipa_serve_errors_total {}", self.errors.get());
+        let _ = writeln!(out, "hipa_serve_epochs_total {}", self.epochs.get());
+        let _ = writeln!(out, "hipa_serve_queue_depth {queue_depth_now}");
+        for (class, served, h) in [
+            ("topk", &self.topk_served, &self.topk_latency),
+            ("ppr", &self.ppr_served, &self.ppr_latency),
+            ("edges", &self.edges_served, &self.edges_latency),
+        ] {
+            let _ = writeln!(out, "hipa_serve_served_total{{class=\"{class}\"}} {}", served.get());
+            if h.is_empty() {
+                continue;
+            }
+            for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "hipa_serve_latency_ns{{class=\"{class}\",quantile=\"{label}\"}} {}",
+                    h.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "hipa_serve_latency_ns_max{{class=\"{class}\"}} {}", h.max());
+        }
+        let all = self.merged_latency();
+        if !all.is_empty() {
+            for (q, label) in [(0.50, "0.5"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "hipa_serve_latency_ns{{class=\"all\",quantile=\"{label}\"}} {}",
+                    all.quantile(q)
+                );
+            }
+        }
+        if let Some(f) = self.sampler_frames.lock().unwrap().back() {
+            let _ = writeln!(out, "hipa_serve_throughput_rps {}", f.throughput_rps);
+            let _ = writeln!(out, "hipa_serve_sampler_ticks_total {}", f.seq + 1);
+        }
+        out
     }
 
     /// Writes every statistic into `rec` under the `serve.` counter
@@ -75,6 +153,19 @@ impl ServeStats {
         for (i, &depth) in self.queue_depth_series.lock().unwrap().iter().enumerate() {
             rec.record("queue.depth", RUN_LEVEL, i as i64, depth as f64);
         }
+        // Background-sampler trajectory: dotted `sampler.*` metric series
+        // (excluded from flamegraphs, advisory under the perf-gate policy).
+        let frames = self.sampler_frames.lock().unwrap();
+        if !frames.is_empty() {
+            rec.set_counter("sampler.frames", frames.len() as u64);
+            for f in frames.iter() {
+                let i = f.seq as i64;
+                rec.record("sampler.queue.depth", RUN_LEVEL, i, f.queue_depth as f64);
+                rec.record("sampler.p99_ns", RUN_LEVEL, i, f.latency_p99_ns as f64);
+                rec.record("sampler.throughput_rps", RUN_LEVEL, i, f.throughput_rps as f64);
+            }
+        }
+        drop(frames);
         let secs = wall.as_secs_f64();
         if secs > 0.0 {
             rec.set_counter(
@@ -108,5 +199,78 @@ mod tests {
         assert!(trace.counter("serve.ppr.p95_ns").unwrap() >= 1000);
         assert_eq!(trace.counter("serve.queue.max_depth"), Some(7));
         assert_eq!(trace.spans.iter().filter(|s| s.phase == "queue.depth").count(), 2);
+    }
+
+    fn frame(seq: u64, served: u64) -> SampleFrame {
+        SampleFrame {
+            seq,
+            elapsed_ns: seq * 1000,
+            queue_depth: seq,
+            total_served: served,
+            errors: 0,
+            latency_p50_ns: 100,
+            latency_p99_ns: 900,
+            throughput_rps: 50,
+        }
+    }
+
+    #[test]
+    fn frame_ring_is_bounded_and_ordered() {
+        let stats = ServeStats::default();
+        for i in 0..10 {
+            stats.push_frame(frame(i, i * 2), 4);
+        }
+        let frames = stats.frames();
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames.first().unwrap().seq, 6, "oldest frames evicted");
+        assert_eq!(frames.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn frames_export_as_sampler_series() {
+        let stats = ServeStats::default();
+        stats.push_frame(frame(0, 5), 8);
+        stats.push_frame(frame(1, 9), 8);
+        let rec = Recorder::new(true);
+        stats.export_into(&rec, Duration::from_secs(1));
+        let trace = rec.finish(hipa_obs::TraceMeta::default()).unwrap();
+        assert_eq!(trace.counter("sampler.frames"), Some(2));
+        assert_eq!(trace.spans.iter().filter(|s| s.phase == "sampler.queue.depth").count(), 2);
+        assert_eq!(trace.spans.iter().filter(|s| s.phase == "sampler.p99_ns").count(), 2);
+        // Dotted metric series stay out of the flamegraph export.
+        assert!(!trace.to_collapsed().contains("sampler"));
+    }
+
+    #[test]
+    fn merged_latency_spans_all_classes() {
+        let stats = ServeStats::default();
+        stats.topk_latency.record(100);
+        stats.ppr_latency.record(1_000_000);
+        stats.edges_latency.record(10_000);
+        let all = stats.merged_latency();
+        assert_eq!(all.count(), 3);
+        assert!(all.max() >= 1_000_000);
+        // Re-merging later picks up new recordings: snapshots are cheap.
+        stats.topk_latency.record(50);
+        assert_eq!(stats.merged_latency().count(), 4);
+    }
+
+    #[test]
+    fn exposition_renders_expected_lines() {
+        let stats = ServeStats::default();
+        stats.topk_served.add(3);
+        stats.topk_latency.record(500);
+        stats.topk_latency.record(700);
+        stats.push_frame(frame(2, 3), 8);
+        let text = stats.render_exposition(5, Duration::from_secs(10));
+        assert!(text.contains("hipa_serve_uptime_seconds 10.000"), "{text}");
+        assert!(text.contains("hipa_serve_requests_total 3"), "{text}");
+        assert!(text.contains("hipa_serve_queue_depth 5"), "{text}");
+        assert!(text.contains("hipa_serve_served_total{class=\"topk\"} 3"), "{text}");
+        assert!(text.contains("class=\"topk\",quantile=\"0.99\""), "{text}");
+        assert!(text.contains("hipa_serve_throughput_rps 50"), "{text}");
+        assert!(text.contains("hipa_serve_sampler_ticks_total 3"), "{text}");
+        // Classes with no traffic emit no quantile lines.
+        assert!(!text.contains("class=\"ppr\",quantile"), "{text}");
     }
 }

@@ -1,26 +1,61 @@
 #!/bin/bash
-cd /root/repo
+# Regenerates every table/figure/census and a benchmark snapshot. Each step's
+# stdout/stderr land in results/<step>.txt / results/<step>.err; failures
+# don't abort the sweep but are summarised at the end and propagate into the
+# exit status, so a cron'd run can't silently half-complete.
+cd /root/repo || exit 1
+
+failed=()
+
+# run_step NAME CMD... — capture output, record failures, keep going.
+run_step() {
+  local name=$1
+  shift
+  echo "=== $name start $(date +%T) ==="
+  if ! "$@" > "results/$name.txt" 2> "results/$name.err"; then
+    failed+=("$name")
+  fi
+  echo "=== $name done $(date +%T) ==="
+}
+
 for bin in table1 table2 fig5 fig6 fig7 table3 overheads single_node ablations convergence trace kernels serve; do
-  echo "=== $bin start $(date +%T) ==="
-  cargo run --release -q -p hipa-bench --bin $bin > results/$bin.txt 2>results/$bin.err
-  echo "=== $bin done $(date +%T) ==="
+  run_step "$bin" cargo run --release -q -p hipa-bench --bin "$bin"
 done
-echo "=== pool bench start $(date +%T) ==="
+
 # Scheduler microbenches + a pool_stats counter snapshot (scope dispatch
 # cost, per-item claim overhead) from the rayon shim's persistent pool.
-cargo bench -q -p hipa-bench --bench pool > results/pool.txt 2>results/pool.err
-echo "=== pool bench done $(date +%T) ==="
-echo "=== kernels bench start $(date +%T) ==="
+run_step pool cargo bench -q -p hipa-bench --bench pool
+
 # Native prefetch A/B + reorder-prepare cost (the simulated A/B in
 # results/kernels.txt is the authoritative measurement; see DESIGN.md 12).
-cargo bench -q -p hipa-bench --bench kernels > results/kernels_bench.txt 2>results/kernels_bench.err
-echo "=== kernels bench done $(date +%T) ==="
-echo "=== serve bench start $(date +%T) ==="
+run_step kernels_bench cargo bench -q -p hipa-bench --bench kernels
+
 # Residency A/B (one-shot layout rebuild vs resident workspace) + the
 # per-query amortization curve of batched multi-vector PPR.
-cargo bench -q -p hipa-bench --bench serve > results/serve_bench.txt 2>results/serve_bench.err
-echo "=== serve bench done $(date +%T) ==="
-echo "=== audit start $(date +%T) ==="
-cargo run --release -q -p hipa-audit -- --summary-only > results/audit.txt 2>results/audit.err
-echo "=== audit done $(date +%T) ==="
+run_step serve_bench cargo bench -q -p hipa-bench --bench serve
+
+# Benchmark snapshot (hipa-bench/v1) + drift check against the committed
+# baseline: deterministic metrics must match exactly (DESIGN.md 14).
+run_step bench_snapshot cargo run --release -q -p hipa-bench --bin bench-snapshot -- \
+  --fast --label local --out results/BENCH_local.json
+run_step bench_diff cargo run --release -q -p hipa-perf -- \
+  diff results/bench_baseline.json results/BENCH_local.json --deterministic-only
+
+run_step audit cargo run --release -q -p hipa-audit -- --summary-only
+
+# Error summary: any step that exited nonzero or left a non-empty .err.
+echo "=== summary ==="
+noisy=0
+for err in results/*.err; do
+  if [ -s "$err" ]; then
+    noisy=$((noisy + 1))
+    echo "--- $err ($(wc -l < "$err") lines) ---"
+    head -5 "$err"
+  fi
+done
+[ "$noisy" -eq 0 ] && echo "no stderr output from any step"
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "FAILED steps: ${failed[*]}"
+  exit 1
+fi
 echo ALL_EXPERIMENTS_DONE

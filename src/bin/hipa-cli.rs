@@ -42,7 +42,7 @@ const USAGE: &str = "usage:
   hipa-cli compare <GRAPH> [--threads N] [--iterations N] [--tolerance X]
            [--partition SIZE] [--trace-out FILE] [--reorder ORDER] [--no-prefetch]
   hipa-cli serve <GRAPH> [--threads N] [--users N] [--requests N] [--batch N]
-           [--seed S] [--top K] [--trace-out FILE]
+           [--seed S] [--top K] [--trace-out FILE] [--sample-ms N] [--expo-out FILE]
   hipa-cli convert <IN> -o <OUT>
 
 GRAPH = path (.bin or edge-list text) or dataset:<journal|pld|wiki|kron|twitter|mpi>
@@ -369,11 +369,26 @@ fn simulate(a: &Args) -> Result<()> {
 /// percentiles. `--trace-out` writes the serve counters and the queue-depth
 /// series as a `RunTrace`.
 fn serve(a: &Args) -> Result<()> {
-    use hipa::serve::{edge_list_of, run_load, LoadConfig, ServeConfig, Server};
+    use hipa::serve::{edge_list_of, run_load, LoadConfig, SamplerConfig, ServeConfig, Server};
 
     let g = load_graph(a.positional.first().ok_or("serve: need a graph")?)?;
     let threads = a.get_usize("threads", 4)?;
-    let cfg = ServeConfig { threads, batch_max: a.get_usize("batch", 32)?, ..Default::default() };
+    // `--sample-ms N` turns on the background health sampler; `--expo-out
+    // FILE` additionally rewrites a plain-text exposition file each tick.
+    let sampler = match (a.get_usize("sample-ms", 0)?, a.get("expo-out")) {
+        (0, None) => None,
+        (ms, expo) => Some(SamplerConfig {
+            interval: std::time::Duration::from_millis(if ms == 0 { 50 } else { ms as u64 }),
+            expo_path: expo.map(std::path::PathBuf::from),
+            ..Default::default()
+        }),
+    };
+    let cfg = ServeConfig {
+        threads,
+        batch_max: a.get_usize("batch", 32)?,
+        sampler,
+        ..Default::default()
+    };
     let lcfg = LoadConfig {
         users: a.get_usize("users", 8)?,
         requests_per_user: a.get_usize("requests", 32)?,
@@ -411,6 +426,16 @@ fn serve(a: &Args) -> Result<()> {
         stats.ppr_batched_sources.get(),
         stats.queue_depth.max()
     );
+    let frames = stats.frames();
+    if let Some(last) = frames.last() {
+        println!(
+            "  sampler {} frame(s), last: depth {} p99 {:.0}us {} req/s",
+            frames.len(),
+            last.queue_depth,
+            last.latency_p99_ns as f64 / 1e3,
+            last.throughput_rps
+        );
+    }
     if let Some(path) = a.get("trace-out") {
         let rec = hipa::obs::Recorder::new(true);
         stats.export_into(&rec, report.wall);

@@ -125,6 +125,57 @@ fn native_and_sim_traces_agree() {
     }
 }
 
+/// Forward-compat contract (prep for `hipa-obs/v2`): a reader of today's
+/// schema must skip unknown object fields anywhere in the document — a
+/// future writer may *add* fields freely — but must refuse a bumped schema
+/// string outright, because a version bump signals changed semantics.
+#[test]
+fn trace_parser_skips_unknown_fields_and_rejects_schema_bumps() {
+    use hipa::obs::Json;
+
+    let g = hipa::graph::datasets::small_test_graph(24);
+    let cfg = PageRankConfig::default().with_iterations(4);
+    let sopts = SimOpts::new(MachineSpec::tiny_test()).with_threads(2).with_trace(true);
+    let trace = HiPa.run_sim(&g, &cfg, &sopts).trace.expect("sim trace");
+
+    // Inject unknown fields at the top level, into a span, and into an
+    // iteration gauge; the parse must come back bitwise-equal.
+    let mut v = Json::parse(&trace.to_json()).expect("own JSON parses");
+    let inject = |obj: &mut Json, key: &str| {
+        if let Json::Obj(fields) = obj {
+            fields.push((key.to_string(), Json::Arr(vec![Json::Num(7.0), Json::Null])));
+        }
+    };
+    inject(&mut v, "x_v2_extension");
+    if let Some(Json::Arr(spans)) = match &mut v {
+        Json::Obj(fields) => fields.iter_mut().find(|(k, _)| k == "spans").map(|(_, s)| s),
+        _ => None,
+    } {
+        inject(&mut spans[0], "x_span_cost_model");
+    }
+    if let Some(Json::Arr(iters)) = match &mut v {
+        Json::Obj(fields) => fields.iter_mut().find(|(k, _)| k == "iterations").map(|(_, s)| s),
+        _ => None,
+    } {
+        inject(&mut iters[0], "x_frontier_bytes");
+    }
+    let reparsed = RunTrace::from_json(&v.render()).expect("unknown fields must be skipped");
+    assert_eq!(reparsed, trace);
+    // An array document with decorated members parses too.
+    let arr = Json::Arr(vec![v.clone(), Json::parse(&trace.to_json()).unwrap()]);
+    let many = RunTrace::parse_many(&arr.render()).expect("array with unknown fields");
+    assert_eq!(many, vec![trace.clone(), trace.clone()]);
+
+    // Version bump: hard error naming both schemas.
+    let bumped = trace.to_json().replace("hipa-obs/v1", "hipa-obs/v2");
+    let err = RunTrace::from_json(&bumped).expect_err("v2 must be rejected");
+    assert!(err.contains("hipa-obs/v2"), "error should name the found schema: {err}");
+    assert!(err.contains("hipa-obs/v1"), "error should name the supported schema: {err}");
+    // And a document with no schema at all is rejected, not guessed at.
+    let stripped = trace.to_json().replacen("\"schema\":\"hipa-obs/v1\",", "", 1);
+    assert!(RunTrace::from_json(&stripped).expect_err("schema required").contains("schema"));
+}
+
 /// Engine traces survive the JSON round trip, one object or as an array.
 #[test]
 fn engine_traces_round_trip_json() {
