@@ -1,0 +1,16 @@
+//! Seeded violation for rule 6: data-parallel work on bare `std::thread`.
+//! Threads spawned here carry no vector clock, so the check-hb detector
+//! cannot order anything they do — the lint forces this onto the shim pool.
+//! (Never compiled; scanned by tests/fixtures.rs only.)
+
+fn fan_out(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        for chunk in xs.chunks_mut(16) {
+            s.spawn(|| chunk.iter_mut().for_each(|x| *x += 1));
+        }
+    });
+    let handle = std::thread::spawn(|| 7u64);
+    handle.join().unwrap();
+    let builder = std::thread::Builder::new().name("rogue".into());
+    drop(builder);
+}

@@ -1,13 +1,13 @@
-//! disjointness: fixture plan — one thread owns the whole index range, so
-//! every write index is trivially disjoint.
+//! disjointness: fixture plan (`single_owner_plan`) — one thread owns the
+//! whole index range, so every write index is trivially disjoint.
 //!
-//! Positive control: satisfies all four lint rules.
+//! Positive control: satisfies all the lint rules.
 //! (Never compiled; scanned by tests/fixtures.rs only.)
 
 use hipa_core::disjoint::SharedSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-fn main() {
+fn single_owner_plan() {
     let mut v = vec![0u32; 8];
     let s = SharedSlice::new(&mut v);
     // SAFETY: single-threaded — no concurrent access to any element.

@@ -1,0 +1,14 @@
+//! Seeded violation for rule 7: the contract header below cites a partition
+//! plan that is not defined anywhere in the scanned tree, so the promised
+//! disjointness has no producer — a stale contract.
+//! (Never compiled; scanned by tests/fixtures.rs only.)
+//!
+//! disjointness: phantom plan (`no_such_plan_symbol`) — claims each worker
+//! writes only the vertex range handed out by a partitioner this tree does
+//! not define.
+
+use hipa_core::disjoint::SharedSlice;
+
+fn touch(s: &SharedSlice<'_, u64>) {
+    let _ = s.len();
+}

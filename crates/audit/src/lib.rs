@@ -3,7 +3,7 @@
 //! Every native engine's hot path rests on one hand-upheld invariant:
 //! `SharedSlice` writes are structurally disjoint per thread (see
 //! `crates/core/src/disjoint.rs` and DESIGN.md §10). This crate enforces the
-//! *static* half of that contract with five lint rules over a hand-rolled
+//! *static* half of that contract with seven lint rules over a hand-rolled
 //! lexer (no `syn`, no registry access):
 //!
 //! 1. every `unsafe` block/fn/impl carries a `SAFETY:` comment (or a
@@ -16,15 +16,22 @@
 //! 4. atomic `Ordering` discipline: annotated `Relaxed` only, registered
 //!    Acquire/Release pairs only, `SeqCst` flagged;
 //! 5. no `static mut` and no `#[no_mangle]`: mutable process-globals and
-//!    unmangled exports bypass the contracts the other rules audit.
+//!    unmangled exports bypass the contracts the other rules audit;
+//! 6. no bare `std::thread` parallelism outside the registered sites: a
+//!    thread the shim pool did not spawn carries no vector clock, so the
+//!    `check-hb` race detector cannot see its fork/join edges;
+//! 7. every `//! disjointness:` header names (in backticks) a plan symbol
+//!    that is actually defined somewhere in the tree — a cross-file check,
+//!    so stale contracts citing deleted partitioners are caught.
 //!
-//! The *dynamic* half is the `check-disjoint` feature on `hipa-core`, which
-//! makes `SharedSlice` tag every element with its writer thread and panic on
-//! overlap. Run both locally with:
+//! The *dynamic* half is the `check-disjoint` / `check-hb` features on
+//! `hipa-core`: `SharedSlice` keeps per-element shadow state checked against
+//! the shim's vector clocks and panics on unordered access (DESIGN.md §15).
+//! Run both locally with:
 //!
 //! ```text
 //! cargo run -q -p hipa-audit
-//! cargo test -q --features check-disjoint
+//! cargo test -q --features check-hb
 //! ```
 #![forbid(unsafe_code)]
 
@@ -152,16 +159,25 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Audits a single file's contents, returning its findings.
+/// Audits a single file's contents, returning its findings. Rule 7 resolves
+/// plan symbols against this one file's definitions (the fixture tests use
+/// this entry point); the tree walk below resolves against every file's.
 pub fn audit_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    check_file(rel_path, &lexer::lex(src))
+    let lx = lexer::lex(src);
+    let defs = rules::collect_definitions(&lx);
+    let mut out = check_file(rel_path, &lx);
+    out.extend(rules::check_plan_symbols(rel_path, &lx, &defs));
+    out
 }
 
-/// Walks `root` and audits every `.rs` file under it.
+/// Walks `root` and audits every `.rs` file under it. Two passes: the first
+/// lexes everything and unions the definition sets (rule 7's symbol table),
+/// the second runs the per-file rules plus the cross-file plan-symbol check.
 pub fn audit_tree(root: &Path) -> std::io::Result<AuditReport> {
     let mut files = Vec::new();
     walk(root, &mut files);
-    let mut report = AuditReport::default();
+    let mut lexed = Vec::with_capacity(files.len());
+    let mut defs = std::collections::BTreeSet::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -172,7 +188,13 @@ pub fn audit_tree(root: &Path) -> std::io::Result<AuditReport> {
             .join("/");
         let src = fs::read_to_string(&path)?;
         let lx = lexer::lex(&src);
+        defs.append(&mut rules::collect_definitions(&lx));
+        lexed.push((rel, lx));
+    }
+    let mut report = AuditReport::default();
+    for (rel, lx) in lexed {
         report.findings.extend(check_file(&rel, &lx));
+        report.findings.extend(rules::check_plan_symbols(&rel, &lx, &defs));
         report.files_scanned += 1;
 
         let s = report.stats.entry(crate_of(&rel)).or_default();

@@ -1,13 +1,21 @@
-//! The four project lint rules over a lexed source file.
+//! The project lint rules over a lexed source file.
 //!
 //! All rules are *syntactic*: they see code tokens and comment text, not
-//! types. That keeps the pass dependency-free and fast, at the cost of two
+//! types. That keeps the pass dependency-free and fast, at the cost of
 //! documented approximations: rule 3 keys on the `SharedSlice` identifier
-//! appearing in a file (not on resolved method receivers), and rule 4 keys
-//! on `Ordering::<variant>` token paths (the atomic variant names do not
-//! collide with `std::cmp::Ordering`'s).
+//! appearing in a file (not on resolved method receivers), rule 4 keys on
+//! `Ordering::<variant>` token paths (the atomic variant names do not
+//! collide with `std::cmp::Ordering`'s), rule 6 keys on `thread::<name>`
+//! token paths, and rule 7 resolves plan symbols against the set of
+//! identifiers that follow a definition keyword anywhere in the scanned
+//! tree (see [`collect_definitions`]).
+//!
+//! Rules 1–6 are per-file ([`check_file`]). Rule 7 is the one *cross-file*
+//! check ([`check_plan_symbols`]): the driver collects definitions over the
+//! whole tree first, then validates every contract header against them.
 
 use crate::lexer::Lexed;
+use std::collections::BTreeSet;
 
 /// A single audit violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +31,8 @@ pub const RULE_RAW_PTR: &str = "raw-pointer-confinement";
 pub const RULE_DISJOINTNESS: &str = "shared-slice-needs-contract-header";
 pub const RULE_ORDERING: &str = "atomic-ordering-discipline";
 pub const RULE_STATIC_MUT: &str = "no-static-mut-or-no-mangle";
+pub const RULE_BARE_THREAD: &str = "no-bare-std-thread";
+pub const RULE_PLAN_SYMBOL: &str = "disjointness-plan-symbol-exists";
 
 /// Modules allowed to contain raw-pointer casts, `transmute`, or
 /// `UnsafeCell`: the one audited aliasing primitive, the prefetch-hint
@@ -35,15 +45,64 @@ pub const RAW_PTR_ALLOWLIST: &[&str] =
 /// that *defines* `SharedSlice` (its contract is the module itself).
 pub const DISJOINTNESS_EXEMPT: &[&str] = &["crates/core/src/disjoint.rs"];
 
-/// Registered Acquire/Release/AcqRel sites, as (path suffix, justification)
-/// pairs. Currently empty: the codebase synchronises with barriers and
-/// scoped joins, so no hand-rolled acquire/release pairing exists. Register
-/// new pairs here — both sides — when one is introduced.
-pub const PAIRED_ORDERING_ALLOWLIST: &[(&str, &str)] = &[];
+/// Registered Acquire/Release/AcqRel sites, as (path pattern, justification)
+/// pairs. Register new pairs here — both sides — when one is introduced;
+/// everywhere else the codebase synchronises with barriers and scoped joins.
+pub const PAIRED_ORDERING_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/shims/rayon/src/hb.rs",
+        "CLAIM_ORDERING: the check-hb claim-cursor AcqRel, defined once here so claim sites \
+         carry no bare ordering path. One RMW is both sides of the pair — each claimant's \
+         release half is the next claimant's acquire half on the same cursor (DESIGN.md §15).",
+    ),
+    (
+        "crates/shims/rayon/src/pool.rs",
+        "the consuming side of the claim-cursor pair (the chunk-claim fetch_add uses \
+         hb::CLAIM_ORDERING) plus the pool's condvar-latch hand-offs (work_cv/done_cv, scope \
+         completion), which pair through Mutex/Condvar and need no bare orderings.",
+    ),
+];
 
 /// The atomic memory-ordering variant names (disjoint from
 /// `std::cmp::Ordering`'s `Less`/`Equal`/`Greater`).
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Sites allowed to use bare `std::thread` parallelism (rule 6), as
+/// (path pattern, justification) pairs. Threads spawned outside the
+/// instrumented pool carry no vector clock: their fork/join edges are
+/// invisible to `check-hb`, so any `SharedSlice` traffic they perform is
+/// checked against stale clocks. Every entry either *is* the checker
+/// machinery, deliberately exploits the blind spot as a negative control,
+/// or runs detached service loops that never touch a `SharedSlice`.
+pub const BARE_THREAD_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/shims/",
+        "the instrumented pool itself: workers are spawned here and every sync edge they \
+         create is modeled by rayon::hb (plus the shim's own unit tests of those edges)",
+    ),
+    (
+        "crates/core/src/hipa/native.rs",
+        "the documented HiPa barrier-worker site: persistent per-run workers synchronised \
+         exclusively by a TrackedBarrier, whose edges the checker models (DESIGN.md §15)",
+    ),
+    (
+        "crates/core/src/disjoint.rs",
+        "checker negative controls: bare threads are deliberately outside the modeled edge \
+         set, so the overlap tests race deterministically even when serialised",
+    ),
+    (
+        "crates/serve/src/server.rs",
+        "detached service loops (census sampler, epoch scheduler): long-lived background \
+         threads that share state through channels and locks only, never a SharedSlice",
+    ),
+    ("tests/check_disjoint.rs", "checker negative control (see crates/core/src/disjoint.rs)"),
+    ("tests/check_hb.rs", "checker negative control (see crates/core/src/disjoint.rs)"),
+    (
+        "crates/bench/benches/pool.rs",
+        "benchmark baseline: measures a bare-thread scope against the shim pool, so the \
+         bare side must stay bare",
+    ),
+];
 
 /// Matches a workspace-relative path against an allowlist pattern: a
 /// trailing `/` means "anything under this directory", otherwise the
@@ -273,13 +332,165 @@ pub fn check_static_mut(path: &str, lx: &Lexed) -> Vec<Finding> {
     out
 }
 
-/// Runs all five rules over one file.
+/// Rule 6: no bare `std::thread` parallelism. `thread::spawn`,
+/// `thread::scope`, and `thread::Builder` are banned outside
+/// [`BARE_THREAD_ALLOWLIST`]: a thread the shim pool did not spawn carries
+/// no vector clock, so the `check-hb` race detector cannot see its fork and
+/// join edges — `SharedSlice` traffic on such a thread is checked against
+/// stale clocks and races are missed or misattributed. (`thread::sleep`,
+/// `thread::current`, and the other non-spawning helpers stay allowed.)
+pub fn check_bare_thread(path: &str, lx: &Lexed) -> Vec<Finding> {
+    if BARE_THREAD_ALLOWLIST.iter().any(|(pat, _)| path_matches(path, pat)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if toks[i].text != "thread" {
+            continue;
+        }
+        let is_path = toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":");
+        let Some(what) = toks.get(i + 3) else { continue };
+        if !is_path || !matches!(what.text.as_str(), "spawn" | "scope" | "Builder") {
+            continue;
+        }
+        out.push(Finding {
+            file: path.to_string(),
+            line: what.line,
+            rule: RULE_BARE_THREAD,
+            msg: format!(
+                "bare `std::thread::{}` outside the instrumented pool: threads spawned here \
+                 are invisible to the check-hb vector clocks (fork/join edges unmodeled), so \
+                 races on them are missed — run the work on the rayon shim pool, or register \
+                 the site in BARE_THREAD_ALLOWLIST with a justification",
+                what.text
+            ),
+        });
+    }
+    out
+}
+
+/// The keywords whose following identifier declares a name (rule 7's
+/// definition set). `fn`/`const` etc. may stack (`pub const fn f`), so a
+/// keyword followed by another keyword contributes nothing.
+const DEF_KEYWORDS: &[&str] =
+    &["fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union"];
+
+/// Identifier-introducing tokens that can sit between a definition keyword
+/// and the defined name without naming anything themselves.
+const DEF_NOISE: &[&str] = &["mut", "unsafe", "async", "extern", "dyn", "impl"];
+
+/// Collects every identifier the file *defines*: the token following a
+/// definition keyword (`fn f`, `struct S`, `const C`, ...). Over-collects
+/// harmlessly (e.g. `mod tests`); rule 7 only asks membership.
+pub fn collect_definitions(lx: &Lexed) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if !DEF_KEYWORDS.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        let Some(n) = toks.get(i + 1) else { continue };
+        let is_ident = n.text.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+        if is_ident
+            && !DEF_KEYWORDS.contains(&n.text.as_str())
+            && !DEF_NOISE.contains(&n.text.as_str())
+        {
+            out.insert(n.text.clone());
+        }
+    }
+    out
+}
+
+/// Extracts the `//! disjointness:` contract headers of a file: lines whose
+/// comment text *starts* with `disjointness:` (after doc-comment sigils),
+/// concatenated with the contiguous non-code comment lines below them. The
+/// strict line-start match keeps prose *mentions* of the marker (like this
+/// one) from counting as headers.
+fn contract_headers(lx: &Lexed) -> Vec<(usize, String)> {
+    let strip = |c: &str| -> String { c.trim_start_matches(['/', '!', ' ', '\t']).to_string() };
+    let mut out = Vec::new();
+    for l in 1..=lx.num_lines() {
+        let t = strip(&lx.line(l).comment);
+        let Some(rest) = t.strip_prefix("disjointness:") else { continue };
+        let mut text = rest.to_string();
+        let mut k = l + 1;
+        while k <= lx.num_lines() && !lx.line(k).has_code {
+            let cont = strip(&lx.line(k).comment);
+            if cont.is_empty() {
+                break;
+            }
+            text.push(' ');
+            text.push_str(&cont);
+            k += 1;
+        }
+        out.push((l, text));
+    }
+    out
+}
+
+/// The backtick-quoted symbol candidates in a header text: for each
+/// `` `span` ``, the leading identifier of its last `::` segment (so
+/// `` `a::b::plan(x)` `` yields `plan`, `` `parts[j]` `` yields `parts`).
+fn plan_candidates(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        let span = &after[..end];
+        rest = &after[end + 1..];
+        let seg = span.rsplit("::").next().unwrap_or(span);
+        let ident: String =
+            seg.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if ident.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+            out.push(ident);
+        }
+    }
+    out
+}
+
+/// Rule 7: every `//! disjointness:` contract header must name — in
+/// backticks — at least one plan symbol that is actually *defined* in the
+/// scanned tree (`defs`, from [`collect_definitions`] over every file). A
+/// header citing a partitioner that no longer exists is a stale contract:
+/// the prose promises disjointness that nothing in the tree produces.
+pub fn check_plan_symbols(path: &str, lx: &Lexed, defs: &BTreeSet<String>) -> Vec<Finding> {
+    if allowlisted(path, DISJOINTNESS_EXEMPT) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (line, text) in contract_headers(lx) {
+        let cands = plan_candidates(&text);
+        if cands.iter().any(|c| defs.contains(c)) {
+            continue;
+        }
+        let msg = if cands.is_empty() {
+            "contract header names no backtick-quoted plan symbol — name the partition \
+             plan (a function, struct, or const defined in the tree) that keeps the \
+             writes disjoint"
+                .to_string()
+        } else {
+            format!(
+                "contract header names {cands:?}, but none of them is defined anywhere \
+                 in the scanned tree — the disjointness plan it cites is stale"
+            )
+        };
+        out.push(Finding { file: path.to_string(), line, rule: RULE_PLAN_SYMBOL, msg });
+    }
+    out
+}
+
+/// Runs the six per-file rules over one file. Rule 7 needs the whole tree's
+/// definition set — the driver runs [`check_plan_symbols`] separately.
 pub fn check_file(path: &str, lx: &Lexed) -> Vec<Finding> {
     let mut out = check_unsafe_safety(path, lx);
     out.extend(check_raw_ptr_confinement(path, lx));
     out.extend(check_disjointness_header(path, lx));
     out.extend(check_ordering_discipline(path, lx));
     out.extend(check_static_mut(path, lx));
+    out.extend(check_bare_thread(path, lx));
     out
 }
 
@@ -372,6 +583,69 @@ mod tests {
         assert_eq!(check_static_mut("x.rs", &lx).len(), 1);
         let c = lex("// mentions no_mangle in prose only\nfn f() {}\n");
         assert!(check_static_mut("x.rs", &c).is_empty());
+    }
+
+    #[test]
+    fn bare_thread_spawn_scope_builder_are_flagged() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n    \
+                   let b = std::thread::Builder::new();\n}\n";
+        let f = check_bare_thread("crates/graph/src/gen.rs", &lex(src));
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == RULE_BARE_THREAD));
+        // Allowlisted paths pass untouched.
+        assert!(check_bare_thread("crates/shims/rayon/src/pool.rs", &lex(src)).is_empty());
+        assert!(check_bare_thread("crates/core/src/hipa/native.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn non_spawning_thread_helpers_are_allowed() {
+        let src =
+            "fn f() {\n    std::thread::sleep(d);\n    let id = std::thread::current();\n    \
+                   std::thread::yield_now();\n}\n";
+        assert!(check_bare_thread("crates/graph/src/gen.rs", &lex(src)).is_empty());
+        // Mentions in comments and strings never fire.
+        let prose = "// call std::thread::spawn here\nfn f() { let s = \"thread::spawn\"; }\n";
+        assert!(check_bare_thread("crates/graph/src/gen.rs", &lex(prose)).is_empty());
+    }
+
+    #[test]
+    fn definitions_are_collected_past_stacked_keywords() {
+        let lx = lex("pub const fn plan_a() {}\nstruct PlanB;\nstatic PLAN_C: u32 = 0;\n\
+                      type PlanD = u32;\nfn generic<T>(x: T) {}\n");
+        let defs = collect_definitions(&lx);
+        for name in ["plan_a", "PlanB", "PLAN_C", "PlanD", "generic"] {
+            assert!(defs.contains(name), "missing {name} in {defs:?}");
+        }
+        assert!(!defs.contains("fn") && !defs.contains("u32"));
+    }
+
+    #[test]
+    fn plan_symbol_must_resolve() {
+        let defs: BTreeSet<String> = ["real_plan".to_string()].into_iter().collect();
+        let good = "//! disjointness: chunk plan (`real_plan`) — each worker owns a range.\n\
+                    fn f() {}\n";
+        assert!(check_plan_symbols("x.rs", &lex(good), &defs).is_empty());
+        // A path-qualified or called symbol still resolves by last segment.
+        let qualified = "//! disjointness: via `crate::plans::real_plan(n)` ranges.\nfn f() {}\n";
+        assert!(check_plan_symbols("x.rs", &lex(qualified), &defs).is_empty());
+        let stale = "//! disjointness: chunk plan (`gone_plan`) — stale reference.\nfn f() {}\n";
+        let f = check_plan_symbols("x.rs", &lex(stale), &defs);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_PLAN_SYMBOL);
+        let unnamed = "//! disjointness: writes are disjoint, trust us.\nfn f() {}\n";
+        assert_eq!(check_plan_symbols("x.rs", &lex(unnamed), &defs).len(), 1);
+    }
+
+    #[test]
+    fn plan_symbol_headers_span_continuation_lines() {
+        let defs: BTreeSet<String> = ["real_plan".to_string()].into_iter().collect();
+        // The symbol sits on the continuation line of the header.
+        let wrapped = "//! disjointness: chunked-claim plan — every write below stays inside\n\
+                       //! the range `real_plan` hands the claiming worker.\n\nfn f() {}\n";
+        assert!(check_plan_symbols("x.rs", &lex(wrapped), &defs).is_empty());
+        // A prose *mention* mid-sentence is not a header and never fires.
+        let mention = "//! files carry a `//! disjointness:` header (see DESIGN.md).\nfn f() {}\n";
+        assert!(check_plan_symbols("x.rs", &lex(mention), &defs).is_empty());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! tests: the clean fixture and the real workspace audit clean.
 
 use hipa_audit::rules::{
-    RULE_DISJOINTNESS, RULE_ORDERING, RULE_RAW_PTR, RULE_STATIC_MUT, RULE_UNSAFE_SAFETY,
+    RULE_BARE_THREAD, RULE_DISJOINTNESS, RULE_ORDERING, RULE_PLAN_SYMBOL, RULE_RAW_PTR,
+    RULE_STATIC_MUT, RULE_UNSAFE_SAFETY,
 };
 use std::path::{Path, PathBuf};
 
@@ -56,6 +57,22 @@ fn static_mut_fixture_trips_rule_5_only() {
 }
 
 #[test]
+fn bare_thread_fixture_trips_rule_6_only() {
+    let findings = hipa_audit::audit_source("bare_thread.rs", &fixture("bare_thread.rs"));
+    assert!(findings.iter().all(|f| f.rule == RULE_BARE_THREAD), "{findings:?}");
+    // spawn, scope, and Builder each fire once.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn stale_plan_fixture_trips_rule_7_only() {
+    let findings = hipa_audit::audit_source("stale_plan.rs", &fixture("stale_plan.rs"));
+    assert!(findings.iter().all(|f| f.rule == RULE_PLAN_SYMBOL), "{findings:?}");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].msg.contains("no_such_plan_symbol"), "{findings:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     assert!(rules_fired("clean.rs").is_empty());
 }
@@ -90,6 +107,8 @@ fn audit_binary_exits_nonzero_on_seeded_violations() {
         "missing_contract.rs",
         "bad_ordering.rs",
         "static_mut.rs",
+        "bare_thread.rs",
+        "stale_plan.rs",
     ] {
         std::fs::write(src_dir.join(name), fixture(name)).unwrap();
     }
@@ -100,9 +119,17 @@ fn audit_binary_exits_nonzero_on_seeded_violations() {
     let rules: std::collections::BTreeSet<_> = report.findings.iter().map(|f| f.rule).collect();
     assert_eq!(
         rules,
-        [RULE_UNSAFE_SAFETY, RULE_RAW_PTR, RULE_DISJOINTNESS, RULE_ORDERING, RULE_STATIC_MUT]
-            .into_iter()
-            .collect()
+        [
+            RULE_UNSAFE_SAFETY,
+            RULE_RAW_PTR,
+            RULE_DISJOINTNESS,
+            RULE_ORDERING,
+            RULE_STATIC_MUT,
+            RULE_BARE_THREAD,
+            RULE_PLAN_SYMBOL,
+        ]
+        .into_iter()
+        .collect()
     );
     // And the real binary: nonzero on the seeded tree, zero on the
     // workspace.

@@ -22,16 +22,17 @@
 //! bins every edge, with no direct intra-edge application) and by touching
 //! per-partition framework metadata (Flags/State) in every phase.
 //!
-//! disjointness: FCFS claim plan — `counter.fetch_add` hands each partition
-//! index to exactly one thread per region, so acc/rank/vals/delta writes
-//! (indexed by claimed partition) and the per-thread `partials[j]` slot are
-//! disjoint. Slices are recreated per scatter/gather region, so each slice
-//! lifetime sees one writer per element even though claims differ between
-//! regions.
+//! disjointness: FCFS claim plan — a shared `ClaimCounter` hands each
+//! partition index to exactly one thread per region, so acc/rank/vals/delta
+//! writes (indexed by claimed partition) and the per-thread `partials[j]`
+//! slot are disjoint. Slices are recreated per scatter/gather region, so
+//! each slice lifetime sees one writer per element even though claims
+//! differ between regions.
 
 use crate::common::{base_value, dangling_mass, inv_deg_array_par};
 use hipa_core::convergence;
 use hipa_core::disjoint::SharedSlice;
+use hipa_core::hb::ClaimCounter;
 use hipa_core::prefetch::{prefetch_read, LineFilter, PREFETCH_DISTANCE};
 use hipa_core::{
     DanglingPolicy, NativeOpts, NativeRun, PageRankConfig, PcpmLayout, SimOpts, SimRun,
@@ -41,7 +42,6 @@ use hipa_numasim::{PhaseBalance, Placement, SimMachine, ThreadPlacement};
 use hipa_obs::{
     record_sim_report, PoolCounters, Recorder, TraceMeta, PATH_NATIVE, PATH_SIM, RUN_LEVEL,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Behavioural knobs distinguishing p-PR from GPOP-lite.
@@ -141,7 +141,7 @@ pub fn run_native(
             let rank = &rank;
             let acc_s = SharedSlice::new(&mut acc);
             let vals_s = SharedSlice::new(&mut vals);
-            let counter = AtomicUsize::new(0);
+            let counter = ClaimCounter::new();
             pool.scope(|scope| {
                 for j in 0..threads {
                     let acc_s = &acc_s;
@@ -156,11 +156,11 @@ pub fn run_native(
                         let span_t = spans.start();
                         let mut claims = 0u64;
                         loop {
-                            // ordering: relaxed (work-stealing claim counter —
-                            // uniqueness of the claimed index is all that
-                            // matters; data visibility comes from the region's
-                            // thread join).
-                            let p = counter.fetch_add(1, Ordering::Relaxed);
+                            // ordering: see `ClaimCounter::claim` —
+                            // relaxed uniqueness normally, an AcqRel +
+                            // vector-clock edge under the checker features;
+                            // data visibility comes from the region's join.
+                            let p = counter.claim();
                             if p >= parts {
                                 break;
                             }
@@ -220,7 +220,7 @@ pub fn run_native(
             let vals = &vals;
             let partials_s = SharedSlice::new(&mut partials);
             let deltas_s = SharedSlice::new(&mut delta_parts);
-            let counter = AtomicUsize::new(0);
+            let counter = ClaimCounter::new();
             pool.scope(|scope| {
                 for j in 0..threads {
                     let rank_s = &rank_s;
@@ -237,9 +237,9 @@ pub fn run_native(
                         let mut claims = 0u64;
                         let mut dpart = 0.0f64;
                         loop {
-                            // ordering: relaxed (work-stealing claim counter —
-                            // same discipline as the scatter region above).
-                            let q = counter.fetch_add(1, Ordering::Relaxed);
+                            // ordering: see `ClaimCounter::claim` — same
+                            // discipline as the scatter region above.
+                            let q = counter.claim();
                             if q >= parts {
                                 break;
                             }

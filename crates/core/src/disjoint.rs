@@ -10,85 +10,51 @@
 //!
 //! # Enforcement
 //!
-//! The contract is enforced on two fronts (DESIGN.md §10):
+//! The contract is enforced on two fronts (DESIGN.md §10, §15):
 //!
 //! * **statically** by `hipa-audit`: every file touching `SharedSlice` must
 //!   carry a `//! disjointness:` header naming the partition plan that keeps
-//!   its indices disjoint, and every `unsafe` site a `SAFETY:` comment;
-//! * **dynamically** by the `check-disjoint` cargo feature: every element
-//!   records its first writer thread for the lifetime of the wrapper, and an
-//!   overlapping write panics with both thread tags and the index — a
-//!   mini-ThreadSanitizer scoped to the structural contract. In all engines
-//!   the writer of an element is *static per slice lifetime* (ownership
-//!   never migrates between barriers; slices are recreated when a region's
-//!   ownership map changes), so lifetime-scoped tags are strictly stronger
-//!   than between-barrier tags and need no barrier hooks. An engine that
-//!   wants to migrate ownership across a phase boundary must recreate its
-//!   `SharedSlice` at that boundary.
+//!   its indices disjoint (a plan symbol that must exist in the tree), and
+//!   every `unsafe` site a `SAFETY:` comment — and bare `std::thread`
+//!   parallelism is banned outside the instrumented pool, so no thread
+//!   escapes the checker below;
+//! * **dynamically** by the `check-disjoint` / `check-hb` cargo features:
+//!   every element carries shadow state ([`crate::hb::shadow`]) checked
+//!   against FastTrack-style vector clocks that the rayon shim threads
+//!   through every pool synchronization edge (scope spawn/join, barriers,
+//!   claim cursors — `rayon::hb`). Two *unordered* writes to one element
+//!   panic with both thread tags, the index, and the unordered clocks under
+//!   either feature; `check-hb` additionally tracks reads (an adaptive
+//!   epoch that promotes to a read vector clock under concurrent readers)
+//!   and catches read-write and write-read races the write-only subset
+//!   cannot see. Writes *ordered* by a modeled edge — e.g. two scopes
+//!   separated by a join — are not flagged: the checker verifies the
+//!   synchronization discipline, not a per-lifetime single-writer rule.
 //!
-//! Debug builds additionally verify bounds on every access. With
-//! `check-disjoint` off, the tag machinery does not exist: accesses compile
-//! to a single raw-pointer read/write, and ranks are bitwise identical
-//! either way (the tags never feed the arithmetic).
+//! The shadow tables are pooled and generation-stamped (the `WriterTags`
+//! predecessor zeroed an `O(len)` table on every construction; serve and
+//! SpMV build fresh slices per phase, so construction is now O(1) amortised
+//! — see `crate::hb` for the cost model). Debug builds additionally verify
+//! bounds on every access. With the features off, the shadow machinery does
+//! not exist: accesses compile to a single raw-pointer read/write, and
+//! ranks are bitwise identical either way (the shadow state never feeds the
+//! arithmetic).
 
 use std::cell::UnsafeCell;
-
-#[cfg(feature = "check-disjoint")]
-mod tags {
-    //! Writer-tag table backing the `check-disjoint` race checker.
-
-    use std::sync::atomic::{AtomicU32, Ordering};
-
-    /// Monotonic source of per-thread tags; 0 is reserved for "no writer".
-    static NEXT_TAG: AtomicU32 = AtomicU32::new(1);
-
-    thread_local! {
-        /// This thread's tag, assigned on first `SharedSlice` write.
-        static MY_TAG: u32 = {
-            // ordering: relaxed (unique-id counter — only atomicity matters).
-            NEXT_TAG.fetch_add(1, Ordering::Relaxed)
-        };
-    }
-
-    /// One writer tag per element, 0 = not yet written this slice lifetime.
-    pub(super) struct WriterTags {
-        slots: Vec<AtomicU32>,
-    }
-
-    impl WriterTags {
-        pub(super) fn new(len: usize) -> Self {
-            WriterTags { slots: (0..len).map(|_| AtomicU32::new(0)).collect() }
-        }
-
-        /// Records this thread as writer of element `i`; panics if another
-        /// thread already wrote it during this slice lifetime.
-        #[inline]
-        pub(super) fn check_write(&self, i: usize) {
-            let me = MY_TAG.with(|t| *t);
-            // ordering: relaxed (tag table is detection-only state — the
-            // CAS's atomicity guarantees at least one conflicting thread
-            // observes the other's tag; no payload is published through it).
-            match self.slots[i].compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => {}
-                Err(prev) if prev == me => {}
-                Err(prev) => panic!(
-                    "check-disjoint: overlapping SharedSlice write at index {i}: thread \
-                     tag {me} ({:?}) wrote an element first written by thread tag {prev} \
-                     within the same slice lifetime — the disjoint-write contract \
-                     (crates/core/src/disjoint.rs) is violated",
-                    std::thread::current().id()
-                ),
-            }
-        }
-    }
-}
 
 /// A slice whose elements may be written concurrently by multiple threads,
 /// provided no element is accessed by two threads without synchronisation.
 pub struct SharedSlice<'a, T> {
     data: &'a [UnsafeCell<T>],
     #[cfg(feature = "check-disjoint")]
-    tags: tags::WriterTags,
+    shadow: crate::hb::shadow::ShadowTable,
+}
+
+#[cfg(feature = "check-disjoint")]
+impl<T> Drop for SharedSlice<'_, T> {
+    fn drop(&mut self) {
+        crate::hb::shadow::ShadowTable::release(std::mem::take(&mut self.shadow));
+    }
 }
 
 // SAFETY: `SharedSlice` only adds the *capability* for shared mutation; the
@@ -105,7 +71,7 @@ impl<'a, T> SharedSlice<'a, T> {
     /// Wraps a uniquely borrowed slice.
     pub fn new(slice: &'a mut [T]) -> Self {
         #[cfg(feature = "check-disjoint")]
-        let tags = tags::WriterTags::new(slice.len());
+        let shadow = crate::hb::shadow::ShadowTable::acquire(slice.len());
         // SAFETY: `&mut [T]` guarantees unique access; `UnsafeCell<T>` has
         // the same layout as `T`, so the cast is valid. All further aliasing
         // goes through raw-pointer reads/writes below.
@@ -113,7 +79,7 @@ impl<'a, T> SharedSlice<'a, T> {
         SharedSlice {
             data,
             #[cfg(feature = "check-disjoint")]
-            tags,
+            shadow,
         }
     }
 
@@ -136,7 +102,7 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.data.len());
         #[cfg(feature = "check-disjoint")]
-        self.tags.check_write(i);
+        self.shadow.on_write(i);
         // SAFETY: caller upholds exclusive access to element `i`; the index
         // is bounds-checked above in debug builds.
         unsafe { *self.data[i].get() = value };
@@ -146,16 +112,18 @@ impl<'a, T> SharedSlice<'a, T> {
     ///
     /// # Safety
     /// No other thread may write element `i` concurrently. (`check-disjoint`
-    /// validates writes only: a racing read against a same-phase foreign
-    /// write is caught on the *write* side when the reader later writes, but
-    /// a pure read-write race across threads is outside the tag table's
-    /// scope — the engines' plans never read foreign elements mid-phase.)
+    /// validates writes only: a pure read-write race is outside the
+    /// write-epoch subset's scope. `check-hb` tracks reads too and catches
+    /// it from either side — the read panics if it races a recorded write,
+    /// or the later write panics against the recorded read.)
     #[inline]
     pub unsafe fn get(&self, i: usize) -> T
     where
         T: Copy,
     {
         debug_assert!(i < self.data.len());
+        #[cfg(feature = "check-hb")]
+        self.shadow.on_read(i);
         // SAFETY: caller guarantees no concurrent writer for element `i`.
         unsafe { *self.data[i].get() }
     }
@@ -192,7 +160,7 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn update(&self, i: usize, f: impl FnOnce(&mut T)) {
         debug_assert!(i < self.data.len());
         #[cfg(feature = "check-disjoint")]
-        self.tags.check_write(i);
+        self.shadow.on_write(i);
         // SAFETY: caller upholds exclusive access to element `i` for the
         // duration of `f`.
         unsafe { f(&mut *self.data[i].get()) };
@@ -245,9 +213,12 @@ mod tests {
 
     /// The runtime checker half of the soundness contract: two threads
     /// writing the same element must panic with both tags and the index.
-    /// Tags live for the slice lifetime, so the conflict is caught even with
-    /// fully serialised thread execution; the second writer catches its own
-    /// panic (`thread::scope` would replace the payload on join).
+    /// Bare `std::thread` spawns/joins are *not* modeled synchronization
+    /// edges (only the instrumented pool, barriers, and claim cursors are),
+    /// so the two writers stay unordered even though the scope fully
+    /// serialises them — which makes this negative control deterministic.
+    /// The second writer catches its own panic (`thread::scope` would
+    /// replace the payload on join).
     #[cfg(feature = "check-disjoint")]
     #[test]
     fn overlapping_writes_panic_under_check_disjoint() {

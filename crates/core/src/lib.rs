@@ -21,6 +21,7 @@
 pub mod config;
 pub mod convergence;
 pub mod disjoint;
+pub mod hb;
 pub mod hipa;
 pub mod par;
 pub mod pcpm;

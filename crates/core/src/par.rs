@@ -14,8 +14,8 @@
 //! `run_indexed` call, so elements have a single writer per slice lifetime.
 
 use crate::disjoint::SharedSlice;
+use crate::hb::ClaimCounter;
 use hipa_graph::DiGraph;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Vertices per parallel work chunk for element-wise tabulation.
 const TAB_CHUNK: usize = 16 * 1024;
@@ -37,16 +37,16 @@ pub fn run_indexed(items: usize, threads: usize, f: impl Fn(usize) + Sync) {
         }
         return;
     }
-    let next = AtomicUsize::new(0);
+    let next = ClaimCounter::new();
     let next = &next;
     let f = &f;
     rayon::scope(|s| {
         for _ in 0..workers {
             s.spawn(move |_| loop {
-                // ordering: relaxed (work-stealing claim counter — only
-                // uniqueness of the claimed index matters; results become
-                // visible via the scope join).
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                // ordering: see `ClaimCounter::claim` — relaxed uniqueness
+                // normally, an AcqRel + vector-clock edge under the checker
+                // features; results become visible via the scope join.
+                let i = next.claim();
                 if i >= items {
                     break;
                 }
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn run_indexed_covers_every_index() {
-        use std::sync::atomic::AtomicU64;
+        use std::sync::atomic::{AtomicU64, Ordering};
         let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
         run_indexed(1000, 4, |i| {
             // ordering: relaxed (test tally; the scope join publishes it).

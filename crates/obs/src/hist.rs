@@ -222,10 +222,10 @@ mod tests {
     #[test]
     fn concurrent_recording_is_exact_in_count() {
         let h = Histogram::new();
-        std::thread::scope(|s| {
+        rayon::scope(|s| {
             for t in 0..4u64 {
                 let h = &h;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     for i in 0..10_000u64 {
                         h.record(t * 1000 + i % 97);
                     }

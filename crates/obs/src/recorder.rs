@@ -310,10 +310,10 @@ mod tests {
     #[test]
     fn thread_spans_flush_once() {
         let rec = Recorder::new(true);
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             for j in 0..4usize {
                 let rec = &rec;
-                scope.spawn(move || {
+                scope.spawn(move |_| {
                     let mut ts = rec.thread_spans(j);
                     for it in 0..3usize {
                         ts.record("scatter", it, 1.0);
@@ -332,10 +332,10 @@ mod tests {
     fn concurrent_counter_increments_are_exact() {
         let rec = Recorder::new(true);
         let handle = rec.counter("events");
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             for _ in 0..8 {
                 let h = handle.clone();
-                scope.spawn(move || {
+                scope.spawn(move |_| {
                     for _ in 0..10_000 {
                         h.incr();
                     }

@@ -12,6 +12,7 @@
 use crate::server::{Request, Response, Server};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Load-generation parameters.
@@ -101,43 +102,55 @@ pub fn request_for(cfg: &LoadConfig, num_vertices: usize, user: usize, i: usize)
 /// Runs the seeded open-loop load against `server` and waits for every
 /// response. Latency histograms and queue gauges accumulate in
 /// `server.stats()`.
+///
+/// User jobs run on a *dedicated* shim pool sized to `users` (not bare
+/// `std::thread`, so the check-hb vector clocks cover them — audit rule 6;
+/// and not the global pool, where jobs parked in `Ticket::wait` could
+/// starve whatever else shares it). Width == job count, so every simulated
+/// user still submits concurrently.
 pub fn run_load(server: &Server, cfg: &LoadConfig) -> LoadReport {
     let n = server.num_vertices();
     let t0 = Instant::now();
-    let (completed, errors) = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.users)
-            .map(|user| {
-                scope.spawn(move || {
-                    let mut gap_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(user as u64));
-                    let mut tickets = Vec::with_capacity(cfg.requests_per_user);
-                    for i in 0..cfg.requests_per_user {
-                        if cfg.mean_gap_ns > 0 {
-                            let u: f64 = gap_rng.gen();
-                            let gap = (-(1.0 - u).ln() * cfg.mean_gap_ns as f64) as u64;
-                            std::thread::sleep(Duration::from_nanos(gap));
-                        }
-                        tickets.push(server.submit(request_for(cfg, n, user, i)));
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.users.max(1))
+        .build()
+        .expect("build load-generator pool");
+    let completed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    pool.scope(|scope| {
+        for user in 0..cfg.users {
+            let (completed, errors) = (&completed, &errors);
+            scope.spawn(move |_| {
+                let mut gap_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(user as u64));
+                let mut tickets = Vec::with_capacity(cfg.requests_per_user);
+                for i in 0..cfg.requests_per_user {
+                    if cfg.mean_gap_ns > 0 {
+                        let u: f64 = gap_rng.gen();
+                        let gap = (-(1.0 - u).ln() * cfg.mean_gap_ns as f64) as u64;
+                        std::thread::sleep(Duration::from_nanos(gap));
                     }
-                    let mut done = 0u64;
-                    let mut errs = 0u64;
-                    for t in tickets {
-                        match t.wait() {
-                            Response::Error { .. } => {
-                                done += 1;
-                                errs += 1;
-                            }
-                            _ => done += 1,
+                    tickets.push(server.submit(request_for(cfg, n, user, i)));
+                }
+                let mut done = 0u64;
+                let mut errs = 0u64;
+                for t in tickets {
+                    match t.wait() {
+                        Response::Error { .. } => {
+                            done += 1;
+                            errs += 1;
                         }
+                        _ => done += 1,
                     }
-                    (done, errs)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("user thread"))
-            .fold((0u64, 0u64), |(c, e), (dc, de)| (c + dc, e + de))
+                }
+                // ordering: relaxed (per-user tallies; the pool-scope join
+                // publishes them before the loads below).
+                completed.fetch_add(done, Ordering::Relaxed);
+                errors.fetch_add(errs, Ordering::Relaxed); // ordering: as above
+            });
+        }
     });
+    // ordering: relaxed (read after the scope join — no writers left).
+    let (completed, errors) = (completed.load(Ordering::Relaxed), errors.load(Ordering::Relaxed));
     let wall = t0.elapsed();
     let secs = wall.as_secs_f64();
     LoadReport {

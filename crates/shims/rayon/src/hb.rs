@@ -1,0 +1,335 @@
+//! Vector-clock happens-before runtime behind the `check-hb` feature.
+//!
+//! This module gives every OS thread a FastTrack-style vector clock and
+//! threads those clocks through every synchronization edge the pool creates
+//! (DESIGN.md §15):
+//!
+//! * **scope spawn** — [`fork`] snapshots the spawning thread's clock into
+//!   the queued job, then bumps the spawner so its later events are *not*
+//!   ordered before the job; the worker [`adopt`]s the snapshot before
+//!   running the task;
+//! * **scope join** — each finished job [`SyncClock::release`]s into its
+//!   scope's join clock before the latch drops, and the scope caller
+//!   [`SyncClock::acquire`]s it after the latch drains, so everything a job
+//!   did happens-before everything after the scope;
+//! * **chunk claims** — `parallel_for`'s claim cursors get a
+//!   [`SyncClock::rel_acq`] edge per claim, and the cursor RMW itself is
+//!   upgraded from `Relaxed` to `AcqRel` via [`CLAIM_ORDERING`] so the
+//!   modeled edge exists on the hardware too (a detector must never invent
+//!   an edge the real execution lacks).
+//!
+//! The pool's mutex/condvar hand-offs create *incidental* hardware edges
+//! beyond these (any two jobs of one pool are loosely ordered through the
+//! queue mutex). Those are deliberately **not** modeled: the detector checks
+//! the documented synchronization contract — scope joins, barriers, claim
+//! cursors — so code that is only ordered by queue-lock luck is reported as
+//! racy, which is the point ("disjoint by plan" vs "racy but lucky").
+//!
+//! Thread identity is per OS thread, not per job. Pool workers are
+//! persistent, so a worker's clock accumulates edges across the jobs it
+//! runs — every one of which is a *true* happens-before edge (the worker
+//! really did run those jobs in sequence), so reuse only suppresses reports
+//! between accesses that genuinely cannot race. Clocks are sparse sorted
+//! `(tid, clk)` vectors: fork-join programs touch a handful of threads, so
+//! joins stay cheap and snapshots small.
+//!
+//! With the feature off, only [`CLAIM_ORDERING`] exists (as `Relaxed`) and
+//! the runtime compiles to nothing.
+
+#[cfg(feature = "check-hb")]
+use std::cell::RefCell;
+#[cfg(feature = "check-hb")]
+use std::sync::atomic::AtomicU32;
+use std::sync::atomic::Ordering;
+#[cfg(feature = "check-hb")]
+use std::sync::Mutex;
+
+/// Memory ordering for work-claim cursor RMWs (the pool's `parallel_for`
+/// cursors and the engines' FCFS claim counters).
+///
+/// Under `check-hb` the detector draws a happens-before edge through every
+/// claim, so the RMW must actually be `AcqRel` for the modeled edge to exist
+/// in the real execution; without the feature the cursors only need
+/// uniqueness of the claimed window, and stay `Relaxed` as documented at
+/// each site.
+#[cfg(feature = "check-hb")]
+pub const CLAIM_ORDERING: Ordering = Ordering::AcqRel;
+/// See the `check-hb` variant above; claim cursors need only uniqueness.
+// ordering: relaxed (claim cursors carry no payload when the HB detector is
+// off; every use site carries its own `ordering:` justification).
+#[cfg(not(feature = "check-hb"))]
+pub const CLAIM_ORDERING: Ordering = Ordering::Relaxed;
+
+/// A sparse vector clock: sorted `(tid, clk)` pairs, absent tids implicitly
+/// zero. `clk` values come from [`fork`]/release bumps on the owning thread.
+#[cfg(feature = "check-hb")]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    entries: Vec<(u32, u64)>,
+}
+
+#[cfg(feature = "check-hb")]
+impl VClock {
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// This clock's component for `tid` (0 if absent).
+    pub fn get(&self, tid: u32) -> u64 {
+        match self.entries.binary_search_by_key(&tid, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Raises the `tid` component to at least `clk`.
+    pub fn set_max(&mut self, tid: u32, clk: u64) {
+        match self.entries.binary_search_by_key(&tid, |e| e.0) {
+            Ok(i) => {
+                if self.entries[i].1 < clk {
+                    self.entries[i].1 = clk;
+                }
+            }
+            Err(i) => self.entries.insert(i, (tid, clk)),
+        }
+    }
+
+    fn bump(&mut self, tid: u32) {
+        match self.entries.binary_search_by_key(&tid, |e| e.0) {
+            Ok(i) => self.entries[i].1 += 1,
+            Err(i) => self.entries.insert(i, (tid, 1)),
+        }
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        for &(tid, clk) in &other.entries {
+            self.set_max(tid, clk);
+        }
+    }
+
+    /// True when the epoch `(tid, clk)` happened-before (or at) this clock —
+    /// i.e. `clk <= self[tid]`.
+    pub fn covers(&self, tid: u32, clk: u64) -> bool {
+        clk <= self.get(tid)
+    }
+
+    /// The `(tid, clk)` components, ascending by tid.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Human form for race reports: `{t1@3, t4@17}`.
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        for (k, &(tid, clk)) in self.entries.iter().enumerate() {
+            if k > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("t{tid}@{clk}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Monotonic source of detector thread ids; 0 is reserved for "nobody".
+#[cfg(feature = "check-hb")]
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+#[cfg(feature = "check-hb")]
+struct ThreadHb {
+    tid: u32,
+    clock: VClock,
+}
+
+#[cfg(feature = "check-hb")]
+impl ThreadHb {
+    fn fresh() -> ThreadHb {
+        // ordering: relaxed (unique-id counter — only atomicity matters).
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let mut clock = VClock::new();
+        clock.set_max(tid, 1);
+        ThreadHb { tid, clock }
+    }
+}
+
+#[cfg(feature = "check-hb")]
+thread_local! {
+    /// This OS thread's detector identity and vector clock, assigned on
+    /// first use and kept for the thread's lifetime.
+    static THREAD_HB: RefCell<ThreadHb> = RefCell::new(ThreadHb::fresh());
+}
+
+/// This thread's detector id (stable for the OS thread's lifetime).
+#[cfg(feature = "check-hb")]
+pub fn my_tid() -> u32 {
+    THREAD_HB.with(|h| h.borrow().tid)
+}
+
+/// This thread's current epoch `(tid, clock[tid])` — the value shadow state
+/// records for an access happening now.
+#[cfg(feature = "check-hb")]
+pub fn my_epoch() -> (u32, u64) {
+    THREAD_HB.with(|h| {
+        let h = h.borrow();
+        (h.tid, h.clock.get(h.tid))
+    })
+}
+
+/// A snapshot of this thread's full vector clock (for race reports).
+#[cfg(feature = "check-hb")]
+pub fn my_clock() -> VClock {
+    THREAD_HB.with(|h| h.borrow().clock.clone())
+}
+
+/// True when the recorded epoch `(tid, clk)` happened-before this thread's
+/// present — the core ordering test of the detector.
+#[cfg(feature = "check-hb")]
+pub fn clock_covers(tid: u32, clk: u64) -> bool {
+    THREAD_HB.with(|h| h.borrow().clock.covers(tid, clk))
+}
+
+/// Spawn edge, caller side: snapshots the caller's clock for the spawned
+/// task and bumps the caller, so the caller's *later* events are unordered
+/// with the task.
+#[cfg(feature = "check-hb")]
+pub fn fork() -> VClock {
+    THREAD_HB.with(|h| {
+        let mut h = h.borrow_mut();
+        let snap = h.clock.clone();
+        let tid = h.tid;
+        h.clock.bump(tid);
+        snap
+    })
+}
+
+/// Spawn edge, task side: joins the spawner's snapshot into this thread's
+/// clock before the task body runs.
+#[cfg(feature = "check-hb")]
+pub fn adopt(snapshot: &VClock) {
+    THREAD_HB.with(|h| h.borrow_mut().clock.join(snapshot));
+}
+
+/// A mutex-guarded clock accumulator modeling one synchronization object
+/// (a scope's join latch, a barrier generation, a claim cursor).
+#[cfg(feature = "check-hb")]
+pub struct SyncClock {
+    inner: Mutex<VClock>,
+}
+
+#[cfg(feature = "check-hb")]
+impl Default for SyncClock {
+    fn default() -> Self {
+        SyncClock::new()
+    }
+}
+
+#[cfg(feature = "check-hb")]
+impl SyncClock {
+    pub fn new() -> SyncClock {
+        SyncClock { inner: Mutex::new(VClock::new()) }
+    }
+
+    /// Release edge: publishes this thread's clock into the object
+    /// (`m ⊔= C`), then bumps the thread so later events are not covered by
+    /// the published snapshot.
+    pub fn release(&self) {
+        THREAD_HB.with(|h| {
+            let mut h = h.borrow_mut();
+            self.inner.lock().unwrap().join(&h.clock);
+            let tid = h.tid;
+            h.clock.bump(tid);
+        });
+    }
+
+    /// Acquire edge: absorbs the object's clock (`C ⊔= m`).
+    pub fn acquire(&self) {
+        THREAD_HB.with(|h| {
+            h.borrow_mut().clock.join(&self.inner.lock().unwrap());
+        });
+    }
+
+    /// Combined acquire+release for an RMW site (claim cursors): absorbs the
+    /// object, publishes back, bumps — one atomic exchange of orderings
+    /// under the object's lock.
+    pub fn rel_acq(&self) {
+        THREAD_HB.with(|h| {
+            let mut h = h.borrow_mut();
+            let mut m = self.inner.lock().unwrap();
+            h.clock.join(&m);
+            m.join(&h.clock);
+            let tid = h.tid;
+            h.clock.bump(tid);
+        });
+    }
+}
+
+#[cfg(all(test, feature = "check-hb"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_join_and_covers() {
+        let mut a = VClock::new();
+        a.set_max(1, 5);
+        a.set_max(3, 2);
+        let mut b = VClock::new();
+        b.set_max(1, 3);
+        b.set_max(2, 7);
+        b.join(&a);
+        assert_eq!(b.get(1), 5);
+        assert_eq!(b.get(2), 7);
+        assert_eq!(b.get(3), 2);
+        assert!(b.covers(1, 5));
+        assert!(!b.covers(1, 6));
+        assert!(b.covers(9, 0));
+        assert_eq!(b.render(), "{t1@5, t2@7, t3@2}");
+    }
+
+    #[test]
+    fn fork_unorders_later_events() {
+        let snap = fork();
+        let (tid, now) = my_epoch();
+        // The snapshot covers everything before the fork but not the
+        // bumped present.
+        assert!(snap.covers(tid, now - 1));
+        assert!(!snap.covers(tid, now));
+    }
+
+    #[test]
+    fn release_acquire_transfers_order() {
+        use std::sync::Arc;
+        let sc = Arc::new(SyncClock::new());
+        let (me, before) = my_epoch();
+        sc.release();
+        // `before` is the epoch the release published; the bump moved us on.
+        assert_eq!(my_epoch().1, before + 1);
+        let sc2 = Arc::clone(&sc);
+        let (saw_before, saw_after) = std::thread::spawn(move || {
+            let unseen = clock_covers(me, before);
+            sc2.acquire();
+            (unseen, clock_covers(me, before))
+        })
+        .join()
+        .unwrap();
+        assert!(!saw_before, "a fresh thread must not cover a foreign epoch");
+        assert!(saw_after, "acquire must absorb the released epoch");
+    }
+
+    #[test]
+    fn rel_acq_orders_successive_claimants() {
+        use std::sync::Arc;
+        let sc = Arc::new(SyncClock::new());
+        let (me, before) = my_epoch();
+        sc.rel_acq();
+        let sc2 = Arc::clone(&sc);
+        let covered = std::thread::spawn(move || {
+            sc2.rel_acq();
+            clock_covers(me, before)
+        })
+        .join()
+        .unwrap();
+        assert!(covered, "a later claimant must cover an earlier claimant's past");
+    }
+}

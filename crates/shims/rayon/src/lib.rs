@@ -16,7 +16,13 @@
 //! `par_iter` inside). [`pool_stats`] exposes the scheduler's counters
 //! (jobs, chunk claims, steals, park/unpark transitions) so the workspace's
 //! trace layer can attribute scheduling cost.
+//!
+//! Under the `check-hb` feature the [`hb`] module threads FastTrack-style
+//! vector clocks through every synchronization edge the pool creates (scope
+//! spawn/join latches and the chunk-claim cursors) — the substrate of
+//! `hipa-core`'s happens-before race detector.
 
+pub mod hb;
 mod iter;
 mod pool;
 

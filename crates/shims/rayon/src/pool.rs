@@ -21,7 +21,13 @@
 //! to observe the final latch decrement). The only atomics are the claim
 //! cursors and the statistics cells, all `Relaxed`: a cursor needs nothing
 //! but uniqueness of the claimed window, and the counters carry no payload.
+//! Under `check-hb` the same edges additionally carry vector clocks ([`crate::hb`]):
+//! spawns fork the caller's clock into the job, finished jobs release into
+//! the scope's join clock (acquired by the caller after the latch drains),
+//! and each chunk claim takes a release+acquire edge through its cursor —
+//! whose RMW is upgraded to `AcqRel` so the modeled edge is real.
 
+use crate::hb;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -168,6 +174,10 @@ struct PoolState {
 struct Job {
     task: Box<dyn FnOnce() + Send>,
     scope: ScopePtr,
+    /// Spawn edge: the spawning thread's clock at `add_job`, adopted by the
+    /// worker before the task body runs.
+    #[cfg(feature = "check-hb")]
+    spawn_clock: hb::VClock,
 }
 
 /// Pointer to the stack-pinned [`ScopeCore`] of the owning scope.
@@ -190,19 +200,36 @@ struct ScopeCore {
     pending: AtomicUsize,
     /// First panic out of any spawned job; rethrown by the scope caller.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Join edge: every finished job releases its clock here; the scope
+    /// caller acquires it once the latch drains.
+    #[cfg(feature = "check-hb")]
+    join_clock: hb::SyncClock,
 }
 
 impl ScopeCore {
     fn new(pool: Arc<PoolShared>) -> ScopeCore {
-        ScopeCore { pool, pending: AtomicUsize::new(1), panic: Mutex::new(None) }
+        ScopeCore {
+            pool,
+            pending: AtomicUsize::new(1),
+            panic: Mutex::new(None),
+            #[cfg(feature = "check-hb")]
+            join_clock: hb::SyncClock::new(),
+        }
     }
 
     /// Queues a job on the pool and counts it on the latch.
     fn add_job(&self, task: Box<dyn FnOnce() + Send>, this: ScopePtr) {
+        #[cfg(feature = "check-hb")]
+        let spawn_clock = hb::fork();
         let mut st = self.pool.state.lock().unwrap();
         // ordering: relaxed (guarded by the pool mutex).
         self.pending.fetch_add(1, Ordering::Relaxed);
-        st.queue.push_back(Job { task, scope: this });
+        st.queue.push_back(Job {
+            task,
+            scope: this,
+            #[cfg(feature = "check-hb")]
+            spawn_clock,
+        });
         self.pool.work_cv.notify_one();
         // Helpers waiting on a nested latch must re-check the queue.
         self.pool.done_cv.notify_all();
@@ -254,13 +281,19 @@ impl ScopeCore {
 /// Runs a dequeued job and completes its latch, capturing panics so the
 /// latch always drains and the scope caller can rethrow.
 fn run_job(job: Job) {
-    let Job { task, scope } = job;
+    #[cfg(feature = "check-hb")]
+    hb::adopt(&job.spawn_clock);
+    let Job { task, scope, .. } = job;
     enter_job();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
     exit_job();
     // SAFETY: the owning scope is still waiting on its latch — this job has
     // not been counted complete yet — so the core pointer is live.
     let core = unsafe { &*scope.0 };
+    // Join edge half 1: publish everything this job did (panicked or not)
+    // into the scope's join clock before the latch can drain.
+    #[cfg(feature = "check-hb")]
+    core.join_clock.release();
     if let Err(payload) = result {
         core.store_panic(payload);
     }
@@ -430,6 +463,10 @@ where
     // The body's own latch unit is done; spawned jobs may still be running.
     core.complete();
     core.wait();
+    // Join edge half 2: the caller absorbs every job's released clock, so
+    // everything the scope ran happens-before everything after it.
+    #[cfg(feature = "check-hb")]
+    core.join_clock.acquire();
     let job_panic = core.panic.lock().unwrap().take();
     match (result, job_panic) {
         (Ok(r), None) => r,
@@ -578,8 +615,12 @@ where
     }
     let bounds: Vec<usize> = (0..=workers).map(|w| w * len / workers).collect();
     let cursors: Vec<AtomicUsize> = bounds[..workers].iter().map(|&lo| AtomicUsize::new(lo)).collect();
+    #[cfg(feature = "check-hb")]
+    let claim_clocks: Vec<hb::SyncClock> = (0..workers).map(|_| hb::SyncClock::new()).collect();
     let bounds = &bounds;
     let cursors = &cursors;
+    #[cfg(feature = "check-hb")]
+    let claim_clocks = &claim_clocks;
     scope_on(Arc::clone(pool), |s| {
         for w in 0..workers {
             s.spawn(move |_| {
@@ -587,14 +628,20 @@ where
                     let v = (w + k) % workers;
                     let hi = bounds[v + 1];
                     loop {
-                        // ordering: relaxed (chunk-claim cursor — only
-                        // uniqueness of the claimed window matters; results
-                        // become visible to the caller through the scope's
-                        // mutex-guarded latch, not through this counter).
-                        let lo = cursors[v].fetch_add(chunk, Ordering::Relaxed);
+                        // ordering: relaxed via `hb::CLAIM_ORDERING` (chunk-
+                        // claim cursor — only uniqueness of the claimed
+                        // window matters; results become visible to the
+                        // caller through the scope's mutex-guarded latch).
+                        // Under `check-hb` the constant upgrades to `AcqRel`
+                        // and the claim takes a matching vector-clock edge,
+                        // so successive claimants of one cursor are ordered
+                        // in the model exactly as on the hardware.
+                        let lo = cursors[v].fetch_add(chunk, hb::CLAIM_ORDERING);
                         if lo >= hi {
                             break;
                         }
+                        #[cfg(feature = "check-hb")]
+                        claim_clocks[v].rel_acq();
                         bump(&STATS.tasks_claimed, 1);
                         if k > 0 {
                             bump(&STATS.steals, 1);

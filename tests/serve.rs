@@ -105,21 +105,28 @@ fn serve_responses(g: &DiGraph, users: usize, batch_max: usize) -> Vec<Vec<Respo
         mean_gap_ns: 0,
     };
     let n = g.num_vertices();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..users)
-            .map(|user| {
-                let server = &server;
-                let lcfg = &lcfg;
-                scope.spawn(move || {
-                    let tickets: Vec<_> = (0..lcfg.requests_per_user)
-                        .map(|i| server.submit(request_for(lcfg, n, user, i)))
-                        .collect();
-                    tickets.into_iter().map(|t| t.wait()).collect::<Vec<Response>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    // A dedicated shim pool sized to `users` (not bare std::thread — audit
+    // rule 6 — and not the global pool, where jobs parked in Ticket::wait
+    // could starve other tests' parallel work).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(users.max(1))
+        .build()
+        .expect("build client pool");
+    let results: Vec<std::sync::Mutex<Vec<Response>>> =
+        (0..users).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    pool.scope(|scope| {
+        for user in 0..users {
+            let (server, lcfg, results) = (&server, &lcfg, &results);
+            scope.spawn(move |_| {
+                let tickets: Vec<_> = (0..lcfg.requests_per_user)
+                    .map(|i| server.submit(request_for(lcfg, n, user, i)))
+                    .collect();
+                *results[user].lock().unwrap() =
+                    tickets.into_iter().map(|t| t.wait()).collect::<Vec<Response>>();
+            });
+        }
+    });
+    results.into_iter().map(|m| m.into_inner().unwrap()).collect()
 }
 
 #[test]

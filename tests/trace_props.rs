@@ -6,7 +6,6 @@ use hipa::obs::{Recorder, RunTrace, TraceMeta};
 use hipa::prelude::*;
 use hipa_baselines::all_engines;
 use proptest::prelude::*;
-use std::sync::Arc;
 
 fn finish_trace(rec: Recorder) -> RunTrace {
     rec.finish(TraceMeta::default()).expect("enabled recorder must produce a trace")
@@ -22,22 +21,19 @@ proptest! {
     fn counters_exact_under_concurrent_increments(
         per_thread in prop::collection::vec(prop::collection::vec(0u64..1000, 1..40), 1..8)
     ) {
-        let rec = Arc::new(Recorder::new(true));
+        let rec = Recorder::new(true);
         let expected: u64 = per_thread.iter().flatten().sum();
-        let mut handles = Vec::new();
-        for incs in per_thread {
-            let rec = Arc::clone(&rec);
-            handles.push(std::thread::spawn(move || {
-                let c = rec.counter("hits");
-                for v in incs {
-                    c.add(v);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        let rec = Arc::try_unwrap(rec).expect("all clones joined");
+        rayon::scope(|s| {
+            for incs in per_thread {
+                let rec = &rec;
+                s.spawn(move |_| {
+                    let c = rec.counter("hits");
+                    for v in incs {
+                        c.add(v);
+                    }
+                });
+            }
+        });
         let trace = finish_trace(rec);
         prop_assert_eq!(trace.counter("hits"), Some(expected));
     }
